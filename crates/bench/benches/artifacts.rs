@@ -1,0 +1,60 @@
+//! One benchmark per paper artifact, regenerating a quick-scale version of
+//! each table/figure end to end (generation → allocation → mapping →
+//! simulation → statistics). Full-scale regeneration is done by the
+//! `rats-experiments` binaries; these benches track the cost of the whole
+//! path so a performance regression in any stage is caught.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use rats_experiments::artifacts;
+use rats_platform::ProcSet;
+use rats_redist::redistribute;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    // Table I is a single redistribution matrix.
+    let src = ProcSet::from_range(0, 4);
+    let dst = ProcSet::from_range(4, 5);
+    c.bench_function("artifact/table1", |b| {
+        b.iter(|| {
+            let r = redistribute(black_box(10.0), &src, &dst);
+            r.dense_matrix(&src, &dst, 10.0)
+        })
+    });
+}
+
+fn bench_static_tables(c: &mut Criterion) {
+    c.bench_function("artifact/table2", |b| b.iter(artifacts::table2));
+    c.bench_function("artifact/table3", |b| b.iter(|| artifacts::table3(true)));
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("artifact");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("fig2_3", |b| b.iter(|| artifacts::fig2_3(true, 2)));
+    g.bench_function("fig4", |b| b.iter(|| artifacts::fig4(true, 2)));
+    g.bench_function("fig5", |b| b.iter(|| artifacts::fig5(true, 2)));
+    g.bench_function("fig6_7", |b| b.iter(|| artifacts::fig6_7(true, 2)));
+    g.finish();
+}
+
+fn bench_comparison_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("artifact");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(5));
+    g.bench_function("table4", |b| b.iter(|| artifacts::table4(true, 2, 1)));
+    g.bench_function("table5_6", |b| b.iter(|| artifacts::table5_6(true, 2)));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_static_tables,
+    bench_figures,
+    bench_comparison_tables
+);
+criterion_main!(benches);

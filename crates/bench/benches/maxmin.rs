@@ -1,0 +1,41 @@
+//! The max-min fairness solver (the simulator's hot inner loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rats_simnet::maxmin::{FlowSpec, Problem};
+use std::hint::black_box;
+
+/// A grillon-like problem: `n` flows over 47 node links, each flow crossing
+/// a sender and a receiver link, 30 % of them TCP-window capped.
+fn problem(n: usize) -> Problem {
+    let links = 47usize;
+    let capacity = vec![125e6; links];
+    let flows = (0..n)
+        .map(|i| {
+            let src = i % links;
+            let dst = (i * 7 + 1) % links;
+            FlowSpec {
+                links: if src == dst {
+                    vec![src]
+                } else {
+                    vec![src, dst]
+                },
+                rate_cap: if i % 3 == 0 { 81.92e6 } else { f64::INFINITY },
+            }
+        })
+        .collect();
+    Problem { capacity, flows }
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("maxmin/solve");
+    for n in [10usize, 100, 1000] {
+        let p = problem(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| black_box(p).solve())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

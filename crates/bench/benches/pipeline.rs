@@ -1,0 +1,67 @@
+//! Stage-by-stage throughput of the scheduling pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use rats_bench::{fft16, grillon, irregular50};
+use rats_sched::{allocate, AllocParams, MappingStrategy, Scheduler};
+use rats_sim::simulate;
+use std::hint::black_box;
+
+fn bench_allocation(c: &mut Criterion) {
+    let platform = grillon();
+    let mut g = c.benchmark_group("allocate");
+    g.sample_size(20);
+    for (name, dag) in [("fft16", fft16()), ("irregular50", irregular50())] {
+        g.bench_function(name, |b| {
+            b.iter(|| allocate(black_box(&dag), &platform, AllocParams::default()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let platform = grillon();
+    let dag = irregular50();
+    let alloc = allocate(&dag, &platform, AllocParams::default());
+    let mut g = c.benchmark_group("map/irregular50");
+    g.sample_size(20);
+    for strategy in [
+        MappingStrategy::Hcpa,
+        MappingStrategy::rats_delta(0.5, 0.5),
+        MappingStrategy::rats_time_cost(0.5, true),
+    ] {
+        g.bench_function(strategy.name(), |b| {
+            b.iter(|| {
+                Scheduler::new(&platform)
+                    .strategy(strategy)
+                    .schedule_with_allocation(black_box(&dag), &alloc)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let platform = grillon();
+    let dag = irregular50();
+    let alloc = allocate(&dag, &platform, AllocParams::default());
+    let mut g = c.benchmark_group("simulate/irregular50");
+    g.sample_size(15);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    for strategy in [
+        MappingStrategy::Hcpa,
+        MappingStrategy::rats_time_cost(0.5, true),
+    ] {
+        let schedule = Scheduler::new(&platform)
+            .strategy(strategy)
+            .schedule_with_allocation(&dag, &alloc);
+        g.bench_function(strategy.name(), |b| {
+            b.iter(|| simulate(black_box(&dag), &schedule, &platform))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_allocation, bench_mapping, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Block-redistribution kernels: matrix construction, self-communication
+//! alignment, contention-free estimation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rats_bench::grillon;
+use rats_platform::ProcSet;
+use rats_redist::{align_for_self_comm, estimate_time, redistribute};
+use std::hint::black_box;
+
+fn bench_matrix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("redist/matrix");
+    for (p, q) in [(4u32, 5u32), (16, 24), (47, 40), (120, 96)] {
+        let src = ProcSet::from_range(0, p);
+        let dst = ProcSet::from_range(p.min(8), q); // overlapping sets
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{p}x{q}")),
+            &(src, dst),
+            |b, (src, dst)| b.iter(|| redistribute(black_box(1e9), src, dst)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_alignment(c: &mut Criterion) {
+    let src = ProcSet::from_range(0, 40);
+    let dst: ProcSet = (8..56).rev().collect();
+    c.bench_function("redist/align_40_48", |b| {
+        b.iter(|| align_for_self_comm(black_box(&src), black_box(&dst)))
+    });
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    let platform = grillon();
+    let src = ProcSet::from_range(0, 24);
+    let dst = ProcSet::from_range(12, 30);
+    let r = redistribute(1e9, &src, &dst);
+    c.bench_function("redist/estimate_24_30", |b| {
+        b.iter(|| estimate_time(black_box(&r), &platform))
+    });
+}
+
+criterion_group!(benches, bench_matrix, bench_alignment, bench_estimate);
+criterion_main!(benches);

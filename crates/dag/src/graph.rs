@@ -1,0 +1,455 @@
+//! The task-graph data structure.
+
+use std::fmt;
+
+use rats_model::TaskCost;
+
+use crate::ids::{EdgeId, TaskId};
+
+/// A data-parallel task: a node of the application DAG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskNode {
+    /// Human-readable label (used in DOT output and error messages).
+    pub name: String,
+    /// Computational cost model of the task.
+    pub cost: TaskCost,
+}
+
+/// A precedence/communication edge: `src` must send `bytes` bytes to `dst`
+/// before `dst` can start. The redistribution cost is zero whenever both
+/// tasks run on the same set of processors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Producing task.
+    pub src: TaskId,
+    /// Consuming task.
+    pub dst: TaskId,
+    /// Amount of data transferred, in bytes.
+    pub bytes: f64,
+}
+
+/// Structural problems detected by [`TaskGraph::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// The graph contains no tasks.
+    Empty,
+    /// The graph contains a dependence cycle through the named task.
+    Cycle(TaskId),
+    /// The graph has no entry (source) task.
+    NoEntry,
+    /// The graph has no exit (sink) task.
+    NoExit,
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::Empty => write!(f, "task graph is empty"),
+            DagError::Cycle(t) => write!(f, "task graph has a cycle through {t}"),
+            DagError::NoEntry => write!(f, "task graph has no entry task"),
+            DagError::NoExit => write!(f, "task graph has no exit task"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// A directed acyclic graph of moldable data-parallel tasks.
+///
+/// Nodes and edges are stored in insertion order and addressed by the dense
+/// [`TaskId`] / [`EdgeId`] indices; adjacency is kept as per-node edge-id
+/// lists in both directions, so predecessor and successor scans — the hot
+/// operations of list scheduling — are cache-friendly and allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct TaskGraph {
+    nodes: Vec<TaskNode>,
+    edges: Vec<Edge>,
+    succ: Vec<Vec<EdgeId>>,
+    pred: Vec<Vec<EdgeId>>,
+}
+
+impl TaskGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty graph with preallocated capacity.
+    pub fn with_capacity(tasks: usize, edges: usize) -> Self {
+        Self {
+            nodes: Vec::with_capacity(tasks),
+            edges: Vec::with_capacity(edges),
+            succ: Vec::with_capacity(tasks),
+            pred: Vec::with_capacity(tasks),
+        }
+    }
+
+    /// Number of tasks.
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` if the graph has no tasks.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a task and returns its id.
+    pub fn add_task(&mut self, name: impl Into<String>, cost: TaskCost) -> TaskId {
+        let id = TaskId::from_index(self.nodes.len());
+        self.nodes.push(TaskNode {
+            name: name.into(),
+            cost,
+        });
+        self.succ.push(Vec::new());
+        self.pred.push(Vec::new());
+        id
+    }
+
+    /// Adds a dependence edge carrying `bytes` bytes from `src` to `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops, out-of-range ids, or negative/non-finite sizes.
+    /// Acyclicity is *not* checked here (use [`validate`](Self::validate)).
+    pub fn add_edge(&mut self, src: TaskId, dst: TaskId, bytes: f64) -> EdgeId {
+        assert!(src != dst, "self-loop on task {src}");
+        assert!(
+            src.index() < self.nodes.len() && dst.index() < self.nodes.len(),
+            "edge endpoints out of range"
+        );
+        assert!(
+            bytes.is_finite() && bytes >= 0.0,
+            "edge weight must be a finite non-negative byte count, got {bytes}"
+        );
+        let id = EdgeId::from_index(self.edges.len());
+        self.edges.push(Edge { src, dst, bytes });
+        self.succ[src.index()].push(id);
+        self.pred[dst.index()].push(id);
+        id
+    }
+
+    /// The task with the given id.
+    #[inline]
+    pub fn task(&self, id: TaskId) -> &TaskNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable access to a task (e.g. to adjust generated costs).
+    #[inline]
+    pub fn task_mut(&mut self, id: TaskId) -> &mut TaskNode {
+        &mut self.nodes[id.index()]
+    }
+
+    /// The edge with the given id.
+    #[inline]
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.index()]
+    }
+
+    /// Mutable access to an edge.
+    #[inline]
+    pub fn edge_mut(&mut self, id: EdgeId) -> &mut Edge {
+        &mut self.edges[id.index()]
+    }
+
+    /// Iterates over all task ids in insertion order.
+    pub fn task_ids(&self) -> impl ExactSizeIterator<Item = TaskId> + use<> {
+        (0..self.nodes.len()).map(TaskId::from_index)
+    }
+
+    /// Iterates over all edge ids in insertion order.
+    pub fn edge_ids(&self) -> impl ExactSizeIterator<Item = EdgeId> + use<> {
+        (0..self.edges.len()).map(EdgeId::from_index)
+    }
+
+    /// Outgoing edges of `t`.
+    #[inline]
+    pub fn out_edges(&self, t: TaskId) -> &[EdgeId] {
+        &self.succ[t.index()]
+    }
+
+    /// Incoming edges of `t`.
+    #[inline]
+    pub fn in_edges(&self, t: TaskId) -> &[EdgeId] {
+        &self.pred[t.index()]
+    }
+
+    /// Successor tasks of `t` (with the connecting edge id).
+    pub fn successors(&self, t: TaskId) -> impl Iterator<Item = (TaskId, EdgeId)> + '_ {
+        self.succ[t.index()].iter().map(|&e| (self.edges[e.index()].dst, e))
+    }
+
+    /// Predecessor tasks of `t` (with the connecting edge id).
+    pub fn predecessors(&self, t: TaskId) -> impl Iterator<Item = (TaskId, EdgeId)> + '_ {
+        self.pred[t.index()].iter().map(|&e| (self.edges[e.index()].src, e))
+    }
+
+    /// In-degree of `t`.
+    #[inline]
+    pub fn in_degree(&self, t: TaskId) -> usize {
+        self.pred[t.index()].len()
+    }
+
+    /// Out-degree of `t`.
+    #[inline]
+    pub fn out_degree(&self, t: TaskId) -> usize {
+        self.succ[t.index()].len()
+    }
+
+    /// Entry tasks (no predecessors).
+    pub fn entries(&self) -> Vec<TaskId> {
+        self.task_ids().filter(|&t| self.in_degree(t) == 0).collect()
+    }
+
+    /// Exit tasks (no successors).
+    pub fn exits(&self) -> Vec<TaskId> {
+        self.task_ids().filter(|&t| self.out_degree(t) == 0).collect()
+    }
+
+    /// A topological order of the tasks (Kahn's algorithm), or the id of a
+    /// task on a cycle.
+    pub fn topo_order(&self) -> Result<Vec<TaskId>, DagError> {
+        let n = self.num_tasks();
+        let mut indeg: Vec<usize> = (0..n).map(|i| self.pred[i].len()).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut queue: Vec<TaskId> = self
+            .task_ids()
+            .filter(|t| indeg[t.index()] == 0)
+            .collect();
+        // Use a FIFO index rather than pop() so insertion order is preserved
+        // among simultaneously-ready tasks; this keeps the order deterministic.
+        let mut head = 0;
+        while head < queue.len() {
+            let t = queue[head];
+            head += 1;
+            order.push(t);
+            for (s, _) in self.successors(t) {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        if order.len() == n {
+            Ok(order)
+        } else {
+            let on_cycle = self
+                .task_ids()
+                .find(|t| indeg[t.index()] > 0)
+                .expect("cycle implies a node with residual in-degree");
+            Err(DagError::Cycle(on_cycle))
+        }
+    }
+
+    /// `true` if the graph contains no cycle.
+    pub fn is_acyclic(&self) -> bool {
+        self.topo_order().is_ok()
+    }
+
+    /// Checks structural sanity: non-empty, acyclic, has entries and exits.
+    pub fn validate(&self) -> Result<(), DagError> {
+        if self.is_empty() {
+            return Err(DagError::Empty);
+        }
+        self.topo_order()?;
+        if self.entries().is_empty() {
+            return Err(DagError::NoEntry);
+        }
+        if self.exits().is_empty() {
+            return Err(DagError::NoExit);
+        }
+        Ok(())
+    }
+
+    /// The *depth level* of every task: entry tasks are level 0 and every
+    /// other task sits one past its deepest predecessor (longest-path depth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is cyclic.
+    pub fn levels(&self) -> Vec<u32> {
+        let order = self.topo_order().expect("levels() requires an acyclic graph");
+        let mut level = vec![0u32; self.num_tasks()];
+        for &t in &order {
+            for (s, _) in self.successors(t) {
+                level[s.index()] = level[s.index()].max(level[t.index()] + 1);
+            }
+        }
+        level
+    }
+
+    /// Groups task ids by depth level (index = level).
+    pub fn tasks_by_level(&self) -> Vec<Vec<TaskId>> {
+        let levels = self.levels();
+        let depth = levels.iter().copied().max().map_or(0, |d| d as usize + 1);
+        let mut buckets = vec![Vec::new(); depth];
+        for t in self.task_ids() {
+            buckets[levels[t.index()] as usize].push(t);
+        }
+        buckets
+    }
+
+    /// Total sequential work of the application in flop.
+    pub fn total_seq_flops(&self) -> f64 {
+        self.nodes.iter().map(|n| n.cost.seq_flops()).sum()
+    }
+
+    /// Total bytes carried by all edges.
+    pub fn total_edge_bytes(&self) -> f64 {
+        self.edges.iter().map(|e| e.bytes).sum()
+    }
+
+    /// Renders the graph in Graphviz DOT syntax (task names and edge MB).
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph G {\n  rankdir=TB;\n");
+        for t in self.task_ids() {
+            let n = self.task(t);
+            let _ = writeln!(
+                out,
+                "  {} [label=\"{}\\n{:.1} Gflop\"];",
+                t,
+                n.name,
+                n.cost.seq_flops() / 1e9
+            );
+        }
+        for e in self.edge_ids() {
+            let Edge { src, dst, bytes } = *self.edge(e);
+            let _ = writeln!(out, "  {src} -> {dst} [label=\"{:.1} MB\"];", bytes / 1e6);
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost() -> TaskCost {
+        TaskCost::new(1_000_000, 100.0, 0.1)
+    }
+
+    /// A diamond: a → b, a → c, b → d, c → d.
+    fn diamond() -> (TaskGraph, [TaskId; 4]) {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", cost());
+        let b = g.add_task("b", cost());
+        let c = g.add_task("c", cost());
+        let d = g.add_task("d", cost());
+        g.add_edge(a, b, 8.0);
+        g.add_edge(a, c, 8.0);
+        g.add_edge(b, d, 8.0);
+        g.add_edge(c, d, 8.0);
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn build_and_query() {
+        let (g, [a, b, c, d]) = diamond();
+        assert_eq!(g.num_tasks(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.entries(), vec![a]);
+        assert_eq!(g.exits(), vec![d]);
+        assert_eq!(g.out_degree(a), 2);
+        assert_eq!(g.in_degree(d), 2);
+        let succs: Vec<TaskId> = g.successors(a).map(|(t, _)| t).collect();
+        assert_eq!(succs, vec![b, c]);
+        let preds: Vec<TaskId> = g.predecessors(d).map(|(t, _)| t).collect();
+        assert_eq!(preds, vec![b, c]);
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let (g, _) = diamond();
+        let order = g.topo_order().unwrap();
+        let pos: Vec<usize> = {
+            let mut pos = vec![0; g.num_tasks()];
+            for (i, t) in order.iter().enumerate() {
+                pos[t.index()] = i;
+            }
+            pos
+        };
+        for e in g.edge_ids() {
+            let edge = g.edge(e);
+            assert!(pos[edge.src.index()] < pos[edge.dst.index()]);
+        }
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", cost());
+        let b = g.add_task("b", cost());
+        g.add_edge(a, b, 1.0);
+        g.add_edge(b, a, 1.0);
+        assert!(!g.is_acyclic());
+        assert!(matches!(g.validate(), Err(DagError::Cycle(_))));
+    }
+
+    #[test]
+    fn empty_graph_invalid() {
+        assert_eq!(TaskGraph::new().validate(), Err(DagError::Empty));
+    }
+
+    #[test]
+    fn levels_of_diamond() {
+        let (g, [a, b, c, d]) = diamond();
+        let lv = g.levels();
+        assert_eq!(lv[a.index()], 0);
+        assert_eq!(lv[b.index()], 1);
+        assert_eq!(lv[c.index()], 1);
+        assert_eq!(lv[d.index()], 2);
+        let by = g.tasks_by_level();
+        assert_eq!(by.len(), 3);
+        assert_eq!(by[1], vec![b, c]);
+    }
+
+    #[test]
+    fn totals() {
+        let (g, _) = diamond();
+        assert!((g.total_edge_bytes() - 32.0).abs() < 1e-12);
+        assert!((g.total_seq_flops() - 4.0 * 1e8).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", cost());
+        g.add_edge(a, a, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge weight")]
+    fn rejects_negative_weight() {
+        let (mut g, [a, b, ..]) = diamond();
+        g.add_edge(b, a, -1.0);
+    }
+
+    #[test]
+    fn dot_output_mentions_every_task() {
+        let (g, _) = diamond();
+        let dot = g.to_dot();
+        assert!(dot.starts_with("digraph"));
+        for t in g.task_ids() {
+            assert!(dot.contains(&format!("{t} ")));
+        }
+        assert!(dot.contains("->"));
+    }
+
+    #[test]
+    fn topo_order_is_deterministic() {
+        let (g, _) = diamond();
+        assert_eq!(g.topo_order().unwrap(), g.topo_order().unwrap());
+    }
+}

@@ -1,0 +1,77 @@
+//! Typed index types for tasks and edges.
+
+use std::fmt;
+
+/// Identifier of a task (node) inside a [`TaskGraph`](crate::TaskGraph).
+///
+/// Ids are dense indices assigned in insertion order, which lets schedulers
+/// keep per-task state in plain `Vec`s indexed by `TaskId::index()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub(crate) u32);
+
+/// Identifier of a dependence edge inside a [`TaskGraph`](crate::TaskGraph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub(crate) u32);
+
+impl TaskId {
+    /// Creates a `TaskId` from a raw index. The id is only meaningful for
+    /// the graph it was created for.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        Self(u32::try_from(i).expect("more than u32::MAX tasks"))
+    }
+
+    /// The dense index of this task (0-based insertion order).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// Creates an `EdgeId` from a raw index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        Self(u32::try_from(i).expect("more than u32::MAX edges"))
+    }
+
+    /// The dense index of this edge (0-based insertion order).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        assert_eq!(TaskId::from_index(17).index(), 17);
+        assert_eq!(EdgeId::from_index(0).index(), 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(TaskId::from_index(3).to_string(), "n3");
+        assert_eq!(EdgeId::from_index(4).to_string(), "e4");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(TaskId::from_index(1) < TaskId::from_index(2));
+    }
+}

@@ -1,0 +1,154 @@
+//! Structural and cost statistics of task graphs.
+
+use rats_model::BYTES_PER_ELEMENT;
+
+use crate::graph::TaskGraph;
+
+/// Aggregate description of a task graph, useful for workload
+/// characterization tables and for sanity-checking generators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Number of entry tasks.
+    pub entries: usize,
+    /// Number of exit tasks.
+    pub exits: usize,
+    /// Number of depth levels.
+    pub depth: usize,
+    /// Largest level size (the DAG's maximum task parallelism).
+    pub max_width: usize,
+    /// Mean level size.
+    pub avg_width: f64,
+    /// Mean in-degree over non-entry tasks.
+    pub avg_in_degree: f64,
+    /// Total sequential computation in flop.
+    pub total_flops: f64,
+    /// Total bytes carried by edges.
+    pub total_edge_bytes: f64,
+    /// Communication-to-computation ratio in seconds-per-second terms for a
+    /// 1 GFlop/s processor and a 1 GB/s link (dimensionless once both
+    /// normalizations are applied; > 1 means data-dominated).
+    pub comm_to_comp: f64,
+}
+
+impl GraphStats {
+    /// Computes the statistics of `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is empty or cyclic.
+    pub fn of(g: &TaskGraph) -> Self {
+        assert!(!g.is_empty(), "no statistics for an empty graph");
+        let by_level = g.tasks_by_level();
+        let depth = by_level.len();
+        let max_width = by_level.iter().map(Vec::len).max().unwrap_or(0);
+        let avg_width = g.num_tasks() as f64 / depth as f64;
+        let non_entries = g
+            .task_ids()
+            .filter(|&t| g.in_degree(t) > 0)
+            .count();
+        let avg_in_degree = if non_entries == 0 {
+            0.0
+        } else {
+            g.num_edges() as f64 / non_entries as f64
+        };
+        let total_flops = g.total_seq_flops();
+        let total_edge_bytes = g.total_edge_bytes();
+        // 1 GFlop/s compute vs 1 GB/s network.
+        let comp_s = total_flops / 1e9;
+        let comm_s = total_edge_bytes / 1e9;
+        Self {
+            tasks: g.num_tasks(),
+            edges: g.num_edges(),
+            entries: g.entries().len(),
+            exits: g.exits().len(),
+            depth,
+            max_width,
+            avg_width,
+            avg_in_degree,
+            total_flops,
+            total_edge_bytes,
+            comm_to_comp: if comp_s == 0.0 { f64::INFINITY } else { comm_s / comp_s },
+        }
+    }
+
+    /// Mean dataset size per task, in elements.
+    pub fn avg_elements_per_task(&self) -> f64 {
+        self.total_edge_bytes / (BYTES_PER_ELEMENT as f64) / self.edges.max(1) as f64
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} tasks, {} edges, depth {}, width ≤ {} (avg {:.1}), \
+             {:.1} Gflop, {:.1} MB over edges, comm/comp {:.2}",
+            self.tasks,
+            self.edges,
+            self.depth,
+            self.max_width,
+            self.avg_width,
+            self.total_flops / 1e9,
+            self.total_edge_bytes / 1e6,
+            self.comm_to_comp
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rats_model::TaskCost;
+
+    fn diamond() -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let c = TaskCost::new(1_000_000, 100.0, 0.1);
+        let a = g.add_task("a", c);
+        let b = g.add_task("b", c);
+        let d = g.add_task("c", c);
+        let e = g.add_task("d", c);
+        g.add_edge(a, b, 8e6);
+        g.add_edge(a, d, 8e6);
+        g.add_edge(b, e, 8e6);
+        g.add_edge(d, e, 8e6);
+        g
+    }
+
+    #[test]
+    fn diamond_stats() {
+        let s = GraphStats::of(&diamond());
+        assert_eq!(s.tasks, 4);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.exits, 1);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.max_width, 2);
+        assert!((s.avg_in_degree - 4.0 / 3.0).abs() < 1e-12);
+        assert!((s.total_edge_bytes - 32e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn comm_to_comp_captures_data_dominance() {
+        // 4 tasks × 1e8 flop = 0.4 Gflop-s at 1 GFlop/s; 32 MB at 1 GB/s =
+        // 0.032 s → ratio 0.08.
+        let s = GraphStats::of(&diamond());
+        assert!((s.comm_to_comp - 0.032 / 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let text = GraphStats::of(&diamond()).to_string();
+        assert!(text.contains("4 tasks"));
+        assert!(text.contains("depth 3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty graph")]
+    fn empty_graph_panics() {
+        GraphStats::of(&TaskGraph::new());
+    }
+}

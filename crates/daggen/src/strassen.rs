@@ -1,0 +1,156 @@
+//! The 25-task Strassen matrix-multiplication graph.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rats_dag::TaskGraph;
+use rats_model::{CostParams, TaskCost};
+
+use crate::assign_level_costs;
+
+/// Number of tasks of the Strassen graph (the paper's "A Strassen DAG
+/// comprises 25 tasks").
+pub const STRASSEN_TASKS: usize = 25;
+
+/// Builds the task graph of one level of Strassen's matrix multiplication
+/// `C = A × B` on quadrant submatrices:
+///
+/// * **10 entry addition tasks** `S1..S10` computing the quadrant sums and
+///   differences feeding the seven products (e.g. `S1 = A11 + A22`,
+///   `S2 = B11 + B22`); they all read raw input quadrants, so all ten are
+///   entry tasks — and, as the paper notes, all lie on a critical path;
+/// * **7 multiplication tasks** `M1..M7` (e.g. `M1 = S1 · S2`);
+/// * **8 combination additions** assembling the four output quadrants
+///   (`C11 = (M1 + M4) + (M7 − M5)` as three binary tasks, `C12 = M3 + M5`,
+///   `C21 = M2 + M4`, `C22 = (M1 − M2) + (M3 + M6)` as three tasks).
+///
+/// Tasks of the same depth level share one randomly drawn cost, following
+/// the paper's cost-generation rule for this family.
+pub fn strassen_dag(cost: &CostParams, seed: u64) -> TaskGraph {
+    let mut g = TaskGraph::with_capacity(STRASSEN_TASKS, 40);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let s: Vec<_> = (1..=10)
+        .map(|i| g.add_task(format!("S{i}"), TaskCost::zero()))
+        .collect();
+    // Operand tasks per product: M1 = S1·S2, M2 = S3·B11, M3 = A11·S4,
+    // M4 = A22·S5, M5 = S6·B22, M6 = S7·S8, M7 = S9·S10. Raw quadrants
+    // (A11, B22, …) are inputs, not tasks.
+    let m_parents: [&[usize]; 7] = [
+        &[0, 1], // M1 ← S1, S2
+        &[2],    // M2 ← S3
+        &[3],    // M3 ← S4
+        &[4],    // M4 ← S5
+        &[5],    // M5 ← S6
+        &[6, 7], // M6 ← S7, S8
+        &[8, 9], // M7 ← S9, S10
+    ];
+    let m: Vec<_> = (1..=7)
+        .map(|i| g.add_task(format!("M{i}"), TaskCost::zero()))
+        .collect();
+    for (mi, parents) in m.iter().zip(m_parents) {
+        for &p in parents {
+            g.add_edge(s[p], *mi, 0.0);
+        }
+    }
+
+    // Output combinations.
+    let u1 = g.add_task("U1=M1+M4", TaskCost::zero());
+    g.add_edge(m[0], u1, 0.0);
+    g.add_edge(m[3], u1, 0.0);
+    let u2 = g.add_task("U2=M7-M5", TaskCost::zero());
+    g.add_edge(m[6], u2, 0.0);
+    g.add_edge(m[4], u2, 0.0);
+    let c11 = g.add_task("C11=U1+U2", TaskCost::zero());
+    g.add_edge(u1, c11, 0.0);
+    g.add_edge(u2, c11, 0.0);
+
+    let c12 = g.add_task("C12=M3+M5", TaskCost::zero());
+    g.add_edge(m[2], c12, 0.0);
+    g.add_edge(m[4], c12, 0.0);
+
+    let c21 = g.add_task("C21=M2+M4", TaskCost::zero());
+    g.add_edge(m[1], c21, 0.0);
+    g.add_edge(m[3], c21, 0.0);
+
+    let v1 = g.add_task("V1=M1-M2", TaskCost::zero());
+    g.add_edge(m[0], v1, 0.0);
+    g.add_edge(m[1], v1, 0.0);
+    let v2 = g.add_task("V2=M3+M6", TaskCost::zero());
+    g.add_edge(m[2], v2, 0.0);
+    g.add_edge(m[5], v2, 0.0);
+    let c22 = g.add_task("C22=V1+V2", TaskCost::zero());
+    g.add_edge(v1, c22, 0.0);
+    g.add_edge(v2, c22, 0.0);
+
+    assign_level_costs(&mut g, cost, &mut rng);
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_25_tasks() {
+        let g = strassen_dag(&CostParams::tiny(), 0);
+        assert_eq!(g.num_tasks(), STRASSEN_TASKS);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn ten_entries_all_s_tasks() {
+        let g = strassen_dag(&CostParams::tiny(), 1);
+        let entries = g.entries();
+        assert_eq!(entries.len(), 10);
+        for t in entries {
+            assert!(g.task(t).name.starts_with('S'), "{}", g.task(t).name);
+        }
+    }
+
+    #[test]
+    fn four_output_quadrants_exit() {
+        let g = strassen_dag(&CostParams::tiny(), 2);
+        let exits = g.exits();
+        assert_eq!(exits.len(), 4);
+        let names: Vec<&str> = exits.iter().map(|&t| g.task(t).name.as_str()).collect();
+        for want in ["C11", "C12", "C21", "C22"] {
+            assert!(
+                names.iter().any(|n| n.starts_with(want)),
+                "missing {want} among {names:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn seven_multiplications_at_level_1() {
+        let g = strassen_dag(&CostParams::tiny(), 3);
+        let by_level = g.tasks_by_level();
+        assert_eq!(by_level[0].len(), 10);
+        assert_eq!(by_level[1].len(), 7);
+        // Levels 2 and 3 hold the 8 combination tasks.
+        assert_eq!(by_level[2].len() + by_level[3].len(), 8);
+    }
+
+    #[test]
+    fn level_costs_shared() {
+        let g = strassen_dag(&CostParams::tiny(), 4);
+        let levels = g.levels();
+        for a in g.task_ids() {
+            for b in g.task_ids() {
+                if levels[a.index()] == levels[b.index()] {
+                    assert_eq!(g.task(a).cost, g.task(b).cost);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = strassen_dag(&CostParams::tiny(), 5);
+        let b = strassen_dag(&CostParams::tiny(), 5);
+        for (x, y) in a.task_ids().zip(b.task_ids()) {
+            assert_eq!(a.task(x).cost, b.task(y).cost);
+        }
+    }
+}

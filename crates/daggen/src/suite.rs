@@ -1,0 +1,300 @@
+//! The paper's 557-configuration application suite (Table III).
+
+use rats_dag::TaskGraph;
+use rats_model::CostParams;
+
+use crate::{fft_dag, irregular_dag, layered_dag, strassen_dag, DagParams};
+
+/// The four application families of the evaluation (the paper's Table IV
+/// groups tuning results by these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppFamily {
+    /// FFT task graphs.
+    Fft,
+    /// Strassen matrix-multiplication graphs.
+    Strassen,
+    /// Layered random DAGs.
+    Layered,
+    /// Irregular random DAGs ("Random" in the paper's Table IV).
+    Irregular,
+}
+
+impl AppFamily {
+    /// All four families in the paper's Table IV column order.
+    pub const ALL: [AppFamily; 4] = [
+        AppFamily::Fft,
+        AppFamily::Strassen,
+        AppFamily::Layered,
+        AppFamily::Irregular,
+    ];
+
+    /// Display name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppFamily::Fft => "FFT",
+            AppFamily::Strassen => "Strassen",
+            AppFamily::Layered => "Layered",
+            AppFamily::Irregular => "Random",
+        }
+    }
+}
+
+/// One application configuration of the evaluation campaign.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Dense id (0..557 for the full paper suite).
+    pub id: usize,
+    /// Human-readable description of the generation parameters.
+    pub name: String,
+    /// Which family the configuration belongs to.
+    pub family: AppFamily,
+    /// The generated task graph.
+    pub dag: TaskGraph,
+}
+
+/// SplitMix64 — stable per-scenario seed derivation.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn scenario_seed(base: u64, index: usize) -> u64 {
+    mix(base ^ mix(index as u64))
+}
+
+/// Numbers of configurations per family in the paper.
+pub const LAYERED_COUNT: usize = 108;
+/// See [`LAYERED_COUNT`].
+pub const IRREGULAR_COUNT: usize = 324;
+/// See [`LAYERED_COUNT`].
+pub const FFT_COUNT: usize = 100;
+/// See [`LAYERED_COUNT`].
+pub const STRASSEN_COUNT: usize = 25;
+/// Total size of the paper suite (557 configurations).
+pub const SUITE_COUNT: usize = LAYERED_COUNT + IRREGULAR_COUNT + FFT_COUNT + STRASSEN_COUNT;
+
+/// Generates the full 557-configuration suite of the paper:
+///
+/// * layered: `n ∈ {25, 50, 100} × width ∈ {0.2, 0.5, 0.8} ×
+///   density ∈ {0.2, 0.8} × regularity ∈ {0.2, 0.8} × 3 samples` = 108;
+/// * irregular: the same grid `× jump ∈ {1, 2, 4}` = 324;
+/// * FFT: `k ∈ {2, 4, 8, 16} × 25 samples` = 100;
+/// * Strassen: 25 samples.
+///
+/// Generation is deterministic in `base_seed`; scenario ids are dense and
+/// stable across runs.
+pub fn paper_suite(cost: &CostParams, base_seed: u64) -> Vec<Scenario> {
+    let mut out = Vec::with_capacity(SUITE_COUNT);
+    let push = |name: String, family: AppFamily, dag: TaskGraph, out: &mut Vec<Scenario>| {
+        let id = out.len();
+        out.push(Scenario {
+            id,
+            name,
+            family,
+            dag,
+        });
+    };
+
+    const NS: [u32; 3] = [25, 50, 100];
+    const WIDTHS: [f64; 3] = [0.2, 0.5, 0.8];
+    const DENSITIES: [f64; 2] = [0.2, 0.8];
+    const REGULARITIES: [f64; 2] = [0.2, 0.8];
+    const JUMPS: [u32; 3] = [1, 2, 4];
+    const SAMPLES: usize = 3;
+
+    for n in NS {
+        for width in WIDTHS {
+            for density in DENSITIES {
+                for regularity in REGULARITIES {
+                    for sample in 0..SAMPLES {
+                        let p = DagParams::layered(n, width, regularity, density);
+                        let seed = scenario_seed(base_seed, out.len());
+                        let dag = layered_dag(&p, cost, seed);
+                        push(
+                            format!(
+                                "layered n={n} w={width} d={density} r={regularity} s={sample}"
+                            ),
+                            AppFamily::Layered,
+                            dag,
+                            &mut out,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    for n in NS {
+        for width in WIDTHS {
+            for density in DENSITIES {
+                for regularity in REGULARITIES {
+                    for jump in JUMPS {
+                        for sample in 0..SAMPLES {
+                            let p = DagParams {
+                                n,
+                                width,
+                                regularity,
+                                density,
+                                jump,
+                            };
+                            let seed = scenario_seed(base_seed, out.len());
+                            let dag = irregular_dag(&p, cost, seed);
+                            push(
+                                format!(
+                                    "irregular n={n} w={width} d={density} r={regularity} \
+                                     j={jump} s={sample}"
+                                ),
+                                AppFamily::Irregular,
+                                dag,
+                                &mut out,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    for k in [2u32, 4, 8, 16] {
+        for sample in 0..25 {
+            let seed = scenario_seed(base_seed, out.len());
+            let dag = fft_dag(k, cost, seed);
+            push(format!("fft k={k} s={sample}"), AppFamily::Fft, dag, &mut out);
+        }
+    }
+
+    for sample in 0..25 {
+        let seed = scenario_seed(base_seed, out.len());
+        let dag = strassen_dag(cost, seed);
+        push(
+            format!("strassen s={sample}"),
+            AppFamily::Strassen,
+            dag,
+            &mut out,
+        );
+    }
+
+    debug_assert_eq!(out.len(), SUITE_COUNT);
+    out
+}
+
+/// A small, fast subset of the suite (a few configurations per family) for
+/// integration tests and Criterion benches.
+pub fn mini_suite(cost: &CostParams, base_seed: u64) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    let mut id = 0usize;
+    let mut push = |name: &str, family: AppFamily, dag: TaskGraph, out: &mut Vec<Scenario>| {
+        out.push(Scenario {
+            id,
+            name: name.to_string(),
+            family,
+            dag,
+        });
+        id += 1;
+    };
+    for (i, &(w, d)) in [(0.2, 0.8), (0.5, 0.5), (0.8, 0.2)].iter().enumerate() {
+        let p = DagParams::layered(25, w, 0.8, d);
+        push(
+            "layered-mini",
+            AppFamily::Layered,
+            layered_dag(&p, cost, scenario_seed(base_seed, 1000 + i)),
+            &mut out,
+        );
+        let pi = DagParams {
+            n: 25,
+            width: w,
+            regularity: 0.8,
+            density: d,
+            jump: 2,
+        };
+        push(
+            "irregular-mini",
+            AppFamily::Irregular,
+            irregular_dag(&pi, cost, scenario_seed(base_seed, 2000 + i)),
+            &mut out,
+        );
+    }
+    for (i, k) in [2u32, 8].into_iter().enumerate() {
+        push(
+            "fft-mini",
+            AppFamily::Fft,
+            fft_dag(k, cost, scenario_seed(base_seed, 3000 + i)),
+            &mut out,
+        );
+    }
+    push(
+        "strassen-mini",
+        AppFamily::Strassen,
+        strassen_dag(cost, scenario_seed(base_seed, 4000)),
+        &mut out,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_557_configurations() {
+        let suite = paper_suite(&CostParams::tiny(), 42);
+        assert_eq!(suite.len(), 557);
+        let count = |f: AppFamily| suite.iter().filter(|s| s.family == f).count();
+        assert_eq!(count(AppFamily::Layered), 108);
+        assert_eq!(count(AppFamily::Irregular), 324);
+        assert_eq!(count(AppFamily::Fft), 100);
+        assert_eq!(count(AppFamily::Strassen), 25);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let suite = paper_suite(&CostParams::tiny(), 1);
+        for (i, s) in suite.iter().enumerate() {
+            assert_eq!(s.id, i);
+        }
+    }
+
+    #[test]
+    fn all_dags_are_valid() {
+        for s in paper_suite(&CostParams::tiny(), 7) {
+            s.dag.validate().unwrap_or_else(|e| panic!("{}: {e}", s.name));
+        }
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let a = paper_suite(&CostParams::tiny(), 9);
+        let b = paper_suite(&CostParams::tiny(), 9);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.dag.num_tasks(), y.dag.num_tasks());
+            assert_eq!(x.dag.num_edges(), y.dag.num_edges());
+        }
+    }
+
+    #[test]
+    fn seeds_differ_across_scenarios() {
+        let a = scenario_seed(42, 0);
+        let b = scenario_seed(42, 1);
+        let c = scenario_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mini_suite_covers_all_families() {
+        let mini = mini_suite(&CostParams::tiny(), 3);
+        for f in AppFamily::ALL {
+            assert!(mini.iter().any(|s| s.family == f), "missing {f:?}");
+        }
+        assert!(mini.len() < 20);
+    }
+
+    #[test]
+    fn family_names_match_paper() {
+        assert_eq!(AppFamily::Irregular.name(), "Random");
+        assert_eq!(AppFamily::Fft.name(), "FFT");
+    }
+}

@@ -1,0 +1,422 @@
+//! One generator per paper artifact (tables II–VI, figures 2–7).
+//!
+//! Each function returns the artifact as printable text; the binaries in
+//! `src/bin/` are thin wrappers. `quick = true` swaps the 557-configuration
+//! paper suite for a mini suite (smoke-test scale).
+
+use std::fmt::Write as _;
+
+use rats_daggen::suite::{self, AppFamily, Scenario};
+use rats_model::CostParams;
+use rats_platform::{ClusterSpec, Platform};
+
+
+use crate::campaign::{naive_strategies, run_campaign, AlgoResults, PreparedScenario, BASE_SEED};
+use crate::figures;
+use crate::runner::parallel_map;
+use crate::stats;
+use crate::tuning::{self, paper_tuned};
+
+/// Loads the scenario suite (full paper population or mini).
+pub fn load_suite(quick: bool) -> Vec<Scenario> {
+    if quick {
+        suite::mini_suite(&CostParams::paper(), BASE_SEED)
+    } else {
+        suite::paper_suite(&CostParams::paper(), BASE_SEED)
+    }
+}
+
+/// The paper's three clusters.
+pub fn clusters() -> Vec<Platform> {
+    ClusterSpec::paper_clusters()
+        .iter()
+        .map(Platform::from_spec)
+        .collect()
+}
+
+/// Table II: cluster characteristics.
+pub fn table2() -> String {
+    let mut out = String::from("# Table II — cluster characteristics\n");
+    let _ = writeln!(out, "{:<10} {:>8} {:>12} {:>14}", "cluster", "#proc", "GFlop/s", "topology");
+    for spec in ClusterSpec::paper_clusters() {
+        let topo = match spec.topology {
+            rats_platform::TopologySpec::Flat => "flat".to_string(),
+            rats_platform::TopologySpec::Hierarchical {
+                cabinets,
+                nodes_per_cabinet,
+                ..
+            } => format!("{cabinets}x{nodes_per_cabinet} cab"),
+        };
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8} {:>12.3} {:>14}",
+            spec.name, spec.num_procs, spec.gflops, topo
+        );
+    }
+    out
+}
+
+/// Table III: DAG generation parameters and realized population counts.
+pub fn table3(quick: bool) -> String {
+    let suite = load_suite(quick);
+    let mut out = String::from("# Table III — random DAG generation parameters\n");
+    out.push_str("#computation tasks : 25, 50, 100\n");
+    out.push_str("non-parallelizable : [0.0, 0.25]\n");
+    out.push_str("width              : 0.2, 0.5, 0.8\n");
+    out.push_str("density            : 0.2, 0.8\n");
+    out.push_str("regularity         : 0.2, 0.8\n");
+    out.push_str("jump (irregular)   : 1, 2, 4\n");
+    out.push_str("#samples           : 3 (random), 25 (FFT per k, Strassen)\n\n");
+    let _ = writeln!(out, "realized population ({} configurations):", suite.len());
+    for f in AppFamily::ALL {
+        let n = suite.iter().filter(|s| s.family == f).count();
+        let tasks: usize = suite
+            .iter()
+            .filter(|s| s.family == f)
+            .map(|s| s.dag.num_tasks())
+            .sum();
+        let _ = writeln!(out, "  {:<10} {:>4} DAGs, {:>6} tasks total", f.name(), n, tasks);
+    }
+    out
+}
+
+/// Shared helper: prepared scenarios for a platform.
+fn prepare(platform: &Platform, quick: bool, threads: usize) -> Vec<PreparedScenario> {
+    PreparedScenario::prepare(load_suite(quick), platform, threads)
+}
+
+/// Figures 2 and 3: relative makespan and relative work of RATS (naive
+/// parameters) vs HCPA on grillon.
+pub fn fig2_3(quick: bool, threads: usize) -> String {
+    let platform = Platform::from_spec(&ClusterSpec::grillon());
+    let prepared = prepare(&platform, quick, threads);
+    let results = run_campaign(&prepared, &platform, &naive_strategies(), threads);
+    render_relative_pair(
+        "Figure 2 — relative makespan (naive parameters, grillon)",
+        "Figure 3 — relative work (naive parameters, grillon)",
+        &results,
+    )
+}
+
+/// Renders the makespan + work relative-series pair shared by Figures 2/3
+/// and 6/7. `results[0]` must be the HCPA baseline.
+fn render_relative_pair(title_makespan: &str, title_work: &str, results: &[AlgoResults]) -> String {
+    let base_m = results[0].makespans();
+    let base_w = results[0].works();
+    let labels: Vec<&str> = results[1..].iter().map(|r| r.name.as_str()).collect();
+
+    let rel_m: Vec<Vec<f64>> = results[1..]
+        .iter()
+        .map(|r| stats::relative(&r.makespans(), &base_m))
+        .collect();
+    let rel_w: Vec<Vec<f64>> = results[1..]
+        .iter()
+        .map(|r| stats::relative(&r.works(), &base_w))
+        .collect();
+
+    let mut out = String::new();
+    let sorted_m: Vec<Vec<f64>> = rel_m
+        .iter()
+        .map(|v| stats::sorted_ascending(v.clone()))
+        .collect();
+    out.push_str(&figures::render_relative_series(
+        title_makespan,
+        &labels,
+        &sorted_m,
+        21,
+    ));
+    for (label, rel) in labels.iter().zip(&rel_m) {
+        let _ = writeln!(
+            out,
+            "{}",
+            figures::render_summary(label, stats::summarize(rel))
+        );
+    }
+    for (label, algo) in labels.iter().zip(&results[1..]) {
+        let by = stats::summarize_by_family(&algo.runs, &results[0].runs);
+        let cells: Vec<String> = by
+            .iter()
+            .map(|(f, s)| format!("{} {:.3}", f.name(), s.mean_ratio))
+            .collect();
+        let _ = writeln!(out, "{label} by family: {}", cells.join(", "));
+    }
+    out.push('\n');
+    let sorted_w: Vec<Vec<f64>> = rel_w
+        .iter()
+        .map(|v| stats::sorted_ascending(v.clone()))
+        .collect();
+    out.push_str(&figures::render_relative_series(title_work, &labels, &sorted_w, 21));
+    for (label, rel) in labels.iter().zip(&rel_w) {
+        let _ = writeln!(
+            out,
+            "{}",
+            figures::render_summary(label, stats::summarize(rel))
+        );
+    }
+    out
+}
+
+/// Figure 4: delta-strategy parameter surface for FFT DAGs on grillon.
+pub fn fig4(quick: bool, threads: usize) -> String {
+    let platform = Platform::from_spec(&ClusterSpec::grillon());
+    let prepared: Vec<PreparedScenario> = prepare(&platform, quick, threads)
+        .into_iter()
+        .filter(|p| p.scenario.family == AppFamily::Fft)
+        .collect();
+    let grid = tuning::delta_grid(&prepared, &platform, threads);
+    figures::render_delta_grid(
+        &format!(
+            "Figure 4 — avg relative makespan of delta vs (mindelta, maxdelta), \
+             FFT on grillon ({} DAGs)",
+            prepared.len()
+        ),
+        &grid,
+    )
+}
+
+/// Figure 5: time-cost `minrho` curves (packing on/off) for irregular DAGs
+/// on grillon.
+pub fn fig5(quick: bool, threads: usize) -> String {
+    let platform = Platform::from_spec(&ClusterSpec::grillon());
+    let prepared: Vec<PreparedScenario> = prepare(&platform, quick, threads)
+        .into_iter()
+        .filter(|p| p.scenario.family == AppFamily::Irregular)
+        .collect();
+    let (with_packing, without_packing) = tuning::rho_curves(&prepared, &platform, threads);
+    figures::render_rho_curves(
+        &format!(
+            "Figure 5 — avg relative makespan of time-cost vs minrho, \
+             irregular DAGs on grillon ({} DAGs)",
+            prepared.len()
+        ),
+        &with_packing,
+        &without_packing,
+    )
+}
+
+/// Table IV: tuned parameters per application family and cluster
+/// (recomputed from scratch by sweeping the grids — the heavy artifact).
+/// `thin` keeps every `thin`-th scenario of each family (1 = all).
+pub fn table4(quick: bool, threads: usize, thin: usize) -> String {
+    let mut out = format!(
+        "# Table IV — tuned (mindelta, maxdelta, minrho) per family and cluster\
+         {}\n",
+        if thin > 1 {
+            format!(" (thinned 1/{thin})")
+        } else {
+            String::new()
+        }
+    );
+    let _ = write!(out, "{:<10}", "cluster");
+    for f in AppFamily::ALL {
+        let _ = write!(out, "{:>22}", f.name());
+    }
+    out.push('\n');
+    for platform in clusters() {
+        let prepared = prepare(&platform, quick, threads);
+        let _ = write!(out, "{:<10}", platform.name());
+        for family in AppFamily::ALL {
+            let fam: Vec<PreparedScenario> = prepared
+                .iter()
+                .filter(|p| p.scenario.family == family)
+                .step_by(thin.max(1))
+                .cloned()
+                .collect();
+            if fam.is_empty() {
+                let _ = write!(out, "{:>22}", "-");
+                continue;
+            }
+            let t = tuning::tune_family(&fam, &platform, threads);
+            let _ = write!(
+                out,
+                "{:>22}",
+                format!("(-{}, {}, {})", t.mindelta, t.maxdelta, t.minrho)
+            );
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Runs the tuned campaign on one platform: every scenario evaluated with
+/// its family's paper-tuned parameters. Returns `[HCPA, delta, time-cost]`.
+pub fn tuned_campaign(
+    prepared: &[PreparedScenario],
+    platform: &Platform,
+    threads: usize,
+) -> Vec<AlgoResults> {
+    let names = ["HCPA", "delta", "time-cost"];
+    let runs = parallel_map(prepared, threads, |_, p| {
+        let params = paper_tuned(p.scenario.family, platform.name());
+        tuning::evaluate_tuned(p, platform, params)
+    });
+    (0..3)
+        .map(|k| AlgoResults {
+            name: names[k].to_string(),
+            runs: runs.iter().map(|r| r[k]).collect(),
+        })
+        .collect()
+}
+
+/// Figures 6 and 7: the Figure 2/3 comparison with tuned parameters.
+pub fn fig6_7(quick: bool, threads: usize) -> String {
+    let platform = Platform::from_spec(&ClusterSpec::grillon());
+    let prepared = prepare(&platform, quick, threads);
+    let results = tuned_campaign(&prepared, &platform, threads);
+    render_relative_pair(
+        "Figure 6 — relative makespan (tuned parameters, grillon)",
+        "Figure 7 — relative work (tuned parameters, grillon)",
+        &results,
+    )
+}
+
+/// Tables V and VI: pairwise comparison counts and degradation-from-best of
+/// the tuned algorithms on all three clusters. Returns `(table5, table6)`.
+pub fn table5_6(quick: bool, threads: usize) -> (String, String) {
+    let names = ["HCPA", "delta", "time-cost"];
+    // makespans[cluster][algo][scenario]
+    let mut makespans: Vec<Vec<Vec<f64>>> = Vec::new();
+    for platform in clusters() {
+        let prepared = prepare(&platform, quick, threads);
+        let results = tuned_campaign(&prepared, &platform, threads);
+        makespans.push(results.iter().map(AlgoResults::makespans).collect());
+    }
+
+    let mut t5 = String::from(
+        "# Table V — pairwise better/equal/worse counts (tuned), chti / grillon / grelon\n",
+    );
+    for (ai, a) in names.iter().enumerate() {
+        let columns: Vec<&str> = names
+            .iter()
+            .enumerate()
+            .filter(|(bi, _)| *bi != ai)
+            .map(|(_, n)| *n)
+            .collect();
+        let counts: Vec<[stats::PairwiseCount; 3]> = names
+            .iter()
+            .enumerate()
+            .filter(|(bi, _)| *bi != ai)
+            .map(|(bi, _)| {
+                std::array::from_fn(|cl| {
+                    stats::pairwise(&makespans[cl][ai], &makespans[cl][bi])
+                })
+            })
+            .collect();
+        let combined: [stats::PairwiseCount; 3] = std::array::from_fn(|cl| {
+            let others: Vec<&[f64]> = (0..names.len())
+                .filter(|&bi| bi != ai)
+                .map(|bi| makespans[cl][bi].as_slice())
+                .collect();
+            stats::pairwise_combined(&makespans[cl][ai], &others)
+        });
+        t5.push_str(&figures::render_pairwise_block(a, &columns, &counts, &combined));
+        t5.push('\n');
+    }
+
+    let mut t6 = String::from("# Table VI — average degradation from best (tuned)\n");
+    for (cl, platform) in clusters().iter().enumerate() {
+        let deg = stats::degradation_from_best(&makespans[cl]);
+        t6.push_str(&figures::render_degradation(platform.name(), &names, &deg));
+    }
+    (t5, t6)
+}
+
+/// The full report: every artifact in paper order.
+pub fn all(quick: bool, threads: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&table2());
+    out.push('\n');
+    out.push_str(&table3(quick));
+    out.push('\n');
+    out.push_str(&fig2_3(quick, threads));
+    out.push('\n');
+    out.push_str(&fig4(quick, threads));
+    out.push('\n');
+    out.push_str(&fig5(quick, threads));
+    out.push('\n');
+    out.push_str(&table4(quick, threads, 1));
+    out.push('\n');
+    out.push_str(&fig6_7(quick, threads));
+    out.push('\n');
+    let (t5, t6) = table5_6(quick, threads);
+    out.push_str(&t5);
+    out.push('\n');
+    out.push_str(&t6);
+    out
+}
+
+/// Minimal CLI parsing shared by the artifact binaries: `--quick` and
+/// `--threads N`. `--thin N` (used by the Table IV sweep) keeps only every
+/// N-th scenario of each family to bound the tuning cost; it is recorded in
+/// the artifact header.
+pub fn cli_opts() -> (bool, usize) {
+    let (quick, threads, _) = cli_opts_thin();
+    (quick, threads)
+}
+
+/// See [`cli_opts`]; also returns the `--thin` factor (default 1).
+pub fn cli_opts_thin() -> (bool, usize, usize) {
+    let mut quick = false;
+    let mut threads = crate::runner::default_threads();
+    let mut thin = 1usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a number");
+            }
+            "--thin" => {
+                thin = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v| v >= 1)
+                    .expect("--thin needs a positive number");
+            }
+            other => {
+                panic!("unknown argument {other:?} (expected --quick / --threads N / --thin N)")
+            }
+        }
+    }
+    (quick, threads, thin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_lists_all_clusters() {
+        let t = table2();
+        for c in ["chti", "grillon", "grelon"] {
+            assert!(t.contains(c));
+        }
+    }
+
+    #[test]
+    fn table3_quick_counts_families() {
+        let t = table3(true);
+        for f in ["FFT", "Strassen", "Layered", "Random"] {
+            assert!(t.contains(f), "missing {f} in:\n{t}");
+        }
+    }
+
+    #[test]
+    fn fig2_3_quick_produces_both_figures() {
+        let s = fig2_3(true, 2);
+        assert!(s.contains("Figure 2"));
+        assert!(s.contains("Figure 3"));
+        assert!(s.contains("delta"));
+        assert!(s.contains("time-cost"));
+    }
+
+    #[test]
+    fn tuned_pipeline_quick_smoke() {
+        let (t5, t6) = table5_6(true, 2);
+        assert!(t5.contains("HCPA"));
+        assert!(t6.contains("# not best"));
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates every table and figure of the paper in one run.
+fn main() {
+    let (quick, threads) = rats_experiments::artifacts::cli_opts();
+    print!("{}", rats_experiments::artifacts::all(quick, threads));
+}

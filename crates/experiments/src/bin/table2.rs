@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table II (cluster characteristics).
+fn main() {
+    print!("{}", rats_experiments::artifacts::table2());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table III (DAG generation parameter grid).
+fn main() {
+    let (quick, _) = rats_experiments::artifacts::cli_opts();
+    print!("{}", rats_experiments::artifacts::table3(quick));
+}

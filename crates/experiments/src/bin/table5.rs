@@ -1,0 +1,6 @@
+//! Regenerates Table V (pairwise comparison of the tuned algorithms).
+fn main() {
+    let (quick, threads) = rats_experiments::artifacts::cli_opts();
+    let (t5, _) = rats_experiments::artifacts::table5_6(quick, threads);
+    print!("{t5}");
+}

@@ -1,0 +1,158 @@
+//! Campaign execution: schedule + simulate every scenario under every
+//! mapping strategy, sharing the HCPA allocation (step one) per scenario.
+
+use rats_daggen::suite::{AppFamily, Scenario};
+use rats_platform::Platform;
+use rats_sched::{allocate, AllocParams, Allocation, MappingStrategy, Scheduler};
+use rats_sim::simulate;
+
+use crate::runner::parallel_map;
+
+/// The base seed of the reproduction campaign (any change regenerates a new
+/// random population with the same statistics).
+pub const BASE_SEED: u64 = 20080929; // CLUSTER 2008 opened Sept 29, Tsukuba
+
+/// One (scenario, strategy) evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct RunResult {
+    /// Scenario id within its suite.
+    pub scenario_id: usize,
+    /// Application family (for Table IV-style grouping).
+    pub family: AppFamily,
+    /// Simulated makespan in seconds (lower is better).
+    pub makespan: f64,
+    /// Total work in processor-seconds (lower is cheaper).
+    pub work: f64,
+}
+
+/// All results of one strategy over a suite, aligned by scenario index.
+#[derive(Debug, Clone)]
+pub struct AlgoResults {
+    /// Strategy display name (`"HCPA"`, `"delta"`, `"time-cost"`).
+    pub name: String,
+    /// One result per scenario, in suite order.
+    pub runs: Vec<RunResult>,
+}
+
+impl AlgoResults {
+    /// The makespans, in suite order.
+    pub fn makespans(&self) -> Vec<f64> {
+        self.runs.iter().map(|r| r.makespan).collect()
+    }
+
+    /// The works, in suite order.
+    pub fn works(&self) -> Vec<f64> {
+        self.runs.iter().map(|r| r.work).collect()
+    }
+}
+
+/// A scenario with its step-one output precomputed for a given platform.
+///
+/// The allocation depends only on the DAG and the platform, so tuning
+/// sweeps that evaluate dozens of mapping-parameter combinations reuse it —
+/// exactly mirroring the paper's design where every strategy "relies on the
+/// allocation procedure of HCPA".
+#[derive(Debug, Clone)]
+pub struct PreparedScenario {
+    /// The underlying scenario.
+    pub scenario: Scenario,
+    /// HCPA allocation on the target platform.
+    pub alloc: Allocation,
+}
+
+impl PreparedScenario {
+    /// Allocates (step one) every scenario of a suite in parallel.
+    pub fn prepare(suite: Vec<Scenario>, platform: &Platform, threads: usize) -> Vec<Self> {
+        let allocs = parallel_map(&suite, threads, |_, s| {
+            allocate(&s.dag, platform, AllocParams::default())
+        });
+        suite
+            .into_iter()
+            .zip(allocs)
+            .map(|(scenario, alloc)| Self { scenario, alloc })
+            .collect()
+    }
+
+    /// Maps (step two) with `strategy` and simulates; returns the result.
+    pub fn evaluate(&self, platform: &Platform, strategy: MappingStrategy) -> RunResult {
+        let schedule = Scheduler::new(platform)
+            .strategy(strategy)
+            .schedule_with_allocation(&self.scenario.dag, &self.alloc);
+        let outcome = simulate(&self.scenario.dag, &schedule, platform);
+        RunResult {
+            scenario_id: self.scenario.id,
+            family: self.scenario.family,
+            makespan: outcome.makespan,
+            work: outcome.total_work,
+        }
+    }
+}
+
+/// Runs every strategy over every prepared scenario; returns one
+/// [`AlgoResults`] per strategy, scenario-aligned.
+pub fn run_campaign(
+    prepared: &[PreparedScenario],
+    platform: &Platform,
+    strategies: &[MappingStrategy],
+    threads: usize,
+) -> Vec<AlgoResults> {
+    strategies
+        .iter()
+        .map(|&strategy| AlgoResults {
+            name: strategy.name().to_string(),
+            runs: parallel_map(prepared, threads, |_, p| p.evaluate(platform, strategy)),
+        })
+        .collect()
+}
+
+/// The paper's three compared algorithms with *naive* RATS parameters
+/// (section IV-B): `mindelta = maxdelta = 0.5`, `minrho = 0.5`,
+/// packing allowed.
+pub fn naive_strategies() -> Vec<MappingStrategy> {
+    vec![
+        MappingStrategy::Hcpa,
+        MappingStrategy::rats_delta(0.5, 0.5),
+        MappingStrategy::rats_time_cost(0.5, true),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rats_daggen::suite::mini_suite;
+    use rats_model::CostParams;
+    use rats_platform::ClusterSpec;
+
+    #[test]
+    fn campaign_runs_all_strategies_aligned() {
+        let platform = Platform::from_spec(&ClusterSpec::chti());
+        let prepared =
+            PreparedScenario::prepare(mini_suite(&CostParams::tiny(), 1), &platform, 2);
+        let results = run_campaign(&prepared, &platform, &naive_strategies(), 2);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].name, "HCPA");
+        for algo in &results {
+            assert_eq!(algo.runs.len(), prepared.len());
+            for (i, r) in algo.runs.iter().enumerate() {
+                assert_eq!(r.scenario_id, prepared[i].scenario.id);
+                assert!(r.makespan > 0.0);
+                assert!(r.work > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let platform = Platform::from_spec(&ClusterSpec::chti());
+        let prepared =
+            PreparedScenario::prepare(mini_suite(&CostParams::tiny(), 2), &platform, 2);
+        let a = run_campaign(&prepared, &platform, &naive_strategies(), 2);
+        let b = run_campaign(&prepared, &platform, &naive_strategies(), 1);
+        for (x, y) in a.iter().zip(&b) {
+            for (rx, ry) in x.runs.iter().zip(&y.runs) {
+                assert_eq!(rx.makespan, ry.makespan);
+                assert_eq!(rx.work, ry.work);
+            }
+        }
+    }
+}

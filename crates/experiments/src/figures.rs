@@ -1,0 +1,210 @@
+//! Plain-text renderers for the paper's tables and figures.
+
+use std::fmt::Write as _;
+
+use crate::stats::{Degradation, PairwiseCount, RelativeSummary};
+use crate::tuning::{MAXDELTA_GRID, MINDELTA_GRID, MINRHO_GRID};
+
+/// Renders independently-sorted relative series side by side, down-sampled
+/// to at most `rows` rows (Figures 2/3/6/7: x = DAGs sorted by value,
+/// y = value relative to HCPA).
+pub fn render_relative_series(
+    title: &str,
+    labels: &[&str],
+    sorted_series: &[Vec<f64>],
+    rows: usize,
+) -> String {
+    assert_eq!(labels.len(), sorted_series.len());
+    let n = sorted_series.first().map_or(0, Vec::len);
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}");
+    let _ = write!(out, "{:>8}", "rank");
+    for l in labels {
+        let _ = write!(out, "{l:>12}");
+    }
+    out.push('\n');
+    let rows = rows.min(n).max(1);
+    for r in 0..rows {
+        // Sample evenly, always including the first and last rank.
+        let i = if rows == 1 { 0 } else { r * (n - 1) / (rows - 1) };
+        let _ = write!(out, "{i:>8}");
+        for s in sorted_series {
+            let _ = write!(out, "{:>12.4}", s[i]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// One-line summary of a relative series ("x% shorter in y% of scenarios").
+pub fn render_summary(label: &str, s: RelativeSummary) -> String {
+    format!(
+        "{label}: mean relative = {:.4} ({:+.1}% vs baseline), better in {:.1}%, \
+         equal in {:.1}% of {} scenarios",
+        s.mean_ratio,
+        (s.mean_ratio - 1.0) * 100.0,
+        s.wins * 100.0,
+        s.ties * 100.0,
+        s.n
+    )
+}
+
+/// Renders the Figure 4 surface: average relative makespan over the
+/// `(mindelta, maxdelta)` grid.
+pub fn render_delta_grid(title: &str, grid: &[Vec<f64>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}");
+    let _ = write!(out, "{:>10}", "mindelta");
+    for maxd in MAXDELTA_GRID {
+        let _ = write!(out, "  maxd={maxd:<5}");
+    }
+    out.push('\n');
+    for (i, row) in grid.iter().enumerate() {
+        let _ = write!(out, "{:>10}", format!("-{}", MINDELTA_GRID[i]));
+        for v in row {
+            let _ = write!(out, "{v:>11.4}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the Figure 5 curves: relative makespan vs `minrho`, with and
+/// without packing.
+pub fn render_rho_curves(title: &str, with_packing: &[f64], without_packing: &[f64]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>16} {:>16}",
+        "minrho", "packing", "no packing"
+    );
+    for (i, &rho) in MINRHO_GRID.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{rho:>8} {:>16.4} {:>16.4}",
+            with_packing[i], without_packing[i]
+        );
+    }
+    out
+}
+
+/// Renders one Table V block: `algo` vs each column algorithm on the three
+/// clusters (`counts[col][cluster]`), plus the combined percentages.
+pub fn render_pairwise_block(
+    algo: &str,
+    columns: &[&str],
+    counts: &[[PairwiseCount; 3]],
+    combined: &[PairwiseCount; 3],
+) -> String {
+    let total: [usize; 3] =
+        std::array::from_fn(|c| combined[c].better + combined[c].equal + combined[c].worse);
+    let mut out = String::new();
+    let _ = writeln!(out, "{algo}  (cells: chti / grillon / grelon)");
+    for (what, pick) in [
+        ("better", 0usize),
+        ("equal", 1),
+        ("worse", 2),
+    ] {
+        let _ = write!(out, "  {what:>7}");
+        for (ci, col) in columns.iter().enumerate() {
+            let v: Vec<String> = (0..3)
+                .map(|cl| {
+                    let c = counts[ci][cl];
+                    let x = [c.better, c.equal, c.worse][pick];
+                    x.to_string()
+                })
+                .collect();
+            let _ = write!(out, "  vs {col}: {:>17}", v.join(" / "));
+        }
+        let pct: Vec<String> = (0..3)
+            .map(|cl| {
+                let c = combined[cl];
+                let x = [c.better, c.equal, c.worse][pick];
+                format!("{:.1}", 100.0 * x as f64 / total[cl] as f64)
+            })
+            .collect();
+        let _ = writeln!(out, "  combined%: {}", pct.join(" / "));
+    }
+    out
+}
+
+/// Renders one cluster's rows of Table VI.
+pub fn render_degradation(cluster: &str, algos: &[&str], deg: &[Degradation]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{cluster}:");
+    let _ = write!(out, "  {:>22}", "avg over all exp.");
+    for d in deg {
+        let _ = write!(out, "{:>13.2}%", d.avg_over_all_pct);
+    }
+    out.push('\n');
+    let _ = write!(out, "  {:>22}", "# not best");
+    for d in deg {
+        let _ = write!(out, "{:>14}", d.not_best);
+    }
+    out.push('\n');
+    let _ = write!(out, "  {:>22}", "avg over # not best");
+    for d in deg {
+        let _ = write!(out, "{:>13.2}%", d.avg_over_not_best_pct);
+    }
+    out.push('\n');
+    let header: Vec<&str> = algos.to_vec();
+    format!("  algorithms: {}\n{out}", header.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::summarize;
+
+    #[test]
+    fn series_rendering_samples_rows() {
+        let s = render_relative_series(
+            "fig",
+            &["delta", "time-cost"],
+            &[vec![0.5, 0.8, 1.0, 1.2], vec![0.4, 0.7, 0.9, 1.1]],
+            3,
+        );
+        assert!(s.contains("# fig"));
+        assert!(s.contains("delta"));
+        // first and last ranks always present
+        assert!(s.contains("\n       0"));
+        assert!(s.contains("\n       3"));
+    }
+
+    #[test]
+    fn summary_line_mentions_percentages() {
+        let line = render_summary("delta", summarize(&[0.8, 0.9, 1.0, 1.1]));
+        assert!(line.contains("delta"));
+        assert!(line.contains("-5.0%"));
+    }
+
+    #[test]
+    fn grid_rendering_has_all_rows() {
+        let grid = vec![vec![1.0; MAXDELTA_GRID.len()]; MINDELTA_GRID.len()];
+        let s = render_delta_grid("fig4", &grid);
+        assert_eq!(s.lines().count(), 2 + MINDELTA_GRID.len());
+        assert!(s.contains("-0.75"));
+    }
+
+    #[test]
+    fn rho_rendering_lists_all_rhos() {
+        let v = vec![1.0; MINRHO_GRID.len()];
+        let s = render_rho_curves("fig5", &v, &v);
+        for rho in MINRHO_GRID {
+            assert!(s.contains(&format!("{rho}")));
+        }
+    }
+
+    #[test]
+    fn degradation_rendering() {
+        let deg = vec![Degradation {
+            avg_over_all_pct: 26.19,
+            not_best: 453,
+            avg_over_not_best_pct: 61.03,
+        }];
+        let s = render_degradation("chti", &["HCPA"], &deg);
+        assert!(s.contains("26.19%"));
+        assert!(s.contains("453"));
+    }
+}

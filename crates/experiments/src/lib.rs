@@ -1,0 +1,34 @@
+//! The paper's evaluation campaign (section IV), as a library plus one
+//! binary per table/figure.
+//!
+//! * [`campaign`] — run HCPA and both RATS variants over scenario suites on
+//!   the three Grid'5000 clusters, with per-scenario allocation sharing
+//!   (all mapping strategies consume the *same* HCPA step-one output, as in
+//!   the paper) and simulated-makespan evaluation;
+//! * [`stats`] — relative makespan/work series (Figures 2/3/6/7), pairwise
+//!   better/equal/worse counts (Table V) and degradation-from-best
+//!   (Table VI);
+//! * [`tuning`] — the `mindelta × maxdelta` grid (Figure 4), the `minrho`
+//!   curve (Figure 5) and the per-family/per-cluster tuning (Table IV);
+//! * [`figures`] — plain-text renderers that print each artifact in the
+//!   paper's layout;
+//! * [`runner`] — a deterministic scoped-thread parallel map.
+//!
+//! Binaries (`cargo run --release -p rats-experiments --bin <name>`):
+//! `table2`, `table3`, `fig2_3`, `fig4`, `fig5`, `table4`, `fig6_7`,
+//! `table5`, `table6`, `table5_6`, `all`, plus the beyond-paper quality
+//! [`ablation`]s. Every binary accepts `--quick` to run on a reduced suite
+//! (for smoke tests); full runs reproduce the paper's 557-configuration
+//! campaign. `table4` and `ablation` also accept `--thin N`.
+
+pub mod ablation;
+pub mod artifacts;
+pub mod campaign;
+pub mod figures;
+pub mod runner;
+pub mod stats;
+pub mod tuning;
+
+pub use campaign::{run_campaign, AlgoResults, PreparedScenario, RunResult, BASE_SEED};
+pub use stats::{degradation_from_best, pairwise, summarize, Degradation, PairwiseCount};
+pub use tuning::{paper_tuned, tune_family, TunedParams};

@@ -1,0 +1,78 @@
+//! Deterministic scoped-thread parallel map.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Applies `f` to every item on `threads` worker threads and returns the
+/// results **in input order** (work is handed out by an atomic cursor, so
+/// scheduling is dynamic but the output is deterministic).
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                tx.send((i, f(i, &items[i]))).expect("receiver alive");
+            });
+        }
+        drop(tx);
+    });
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in rx {
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        .map(|r| r.expect("every index visited exactly once"))
+        .collect()
+}
+
+/// Number of worker threads to use by default.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(&items, 4, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_single_threaded() {
+        let items = vec![1, 2, 3];
+        assert_eq!(parallel_map(&items, 1, |_, &x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: Vec<u32> = vec![];
+        assert!(parallel_map(&items, 8, |_, &x| x).is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let items = vec![5];
+        assert_eq!(parallel_map(&items, 64, |_, &x| x), vec![5]);
+    }
+}

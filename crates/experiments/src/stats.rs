@@ -1,0 +1,311 @@
+//! Statistics over campaign results: relative series, pairwise counts,
+//! degradation from best.
+
+/// Relative tolerance under which two makespans are considered *equal*
+/// (strategies that take no adoption decision produce bit-identical
+/// schedules, so the tolerance only needs to absorb floating-point noise).
+pub const EQUAL_TOL: f64 = 1e-6;
+
+/// Per-scenario ratios `candidate / baseline` (e.g. RATS makespan relative
+/// to HCPA — the y-axis of Figures 2/3/6/7).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or a baseline value is ≤ 0.
+pub fn relative(candidate: &[f64], baseline: &[f64]) -> Vec<f64> {
+    assert_eq!(candidate.len(), baseline.len(), "misaligned campaigns");
+    candidate
+        .iter()
+        .zip(baseline)
+        .map(|(&c, &b)| {
+            assert!(b > 0.0, "baseline values must be positive");
+            c / b
+        })
+        .collect()
+}
+
+/// Sorts a series ascending (the paper sorts each data set independently
+/// before plotting).
+pub fn sorted_ascending(mut v: Vec<f64>) -> Vec<f64> {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+    v
+}
+
+/// Summary of a relative series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelativeSummary {
+    /// Mean of the ratios (1.0 = parity with the baseline).
+    pub mean_ratio: f64,
+    /// Fraction of scenarios strictly better than the baseline.
+    pub wins: f64,
+    /// Fraction of scenarios equal to the baseline (within [`EQUAL_TOL`]).
+    pub ties: f64,
+    /// Number of scenarios.
+    pub n: usize,
+}
+
+/// Summarizes a relative series (mean, win/tie fractions).
+pub fn summarize(ratios: &[f64]) -> RelativeSummary {
+    let n = ratios.len();
+    assert!(n > 0, "empty series");
+    let mean_ratio = ratios.iter().sum::<f64>() / n as f64;
+    let wins = ratios.iter().filter(|&&r| r < 1.0 - EQUAL_TOL).count() as f64 / n as f64;
+    let ties = ratios
+        .iter()
+        .filter(|&&r| (r - 1.0).abs() <= EQUAL_TOL)
+        .count() as f64
+        / n as f64;
+    RelativeSummary {
+        mean_ratio,
+        wins,
+        ties,
+        n,
+    }
+}
+
+/// Better/equal/worse counts of algorithm A against algorithm B
+/// (one cell group of the paper's Table V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PairwiseCount {
+    /// Scenarios where A's makespan is strictly smaller.
+    pub better: usize,
+    /// Scenarios within tolerance of each other.
+    pub equal: usize,
+    /// Scenarios where A's makespan is strictly larger.
+    pub worse: usize,
+}
+
+/// Counts how often `a` beats/ties/loses to `b`, scenario by scenario.
+pub fn pairwise(a: &[f64], b: &[f64]) -> PairwiseCount {
+    assert_eq!(a.len(), b.len(), "misaligned campaigns");
+    let mut out = PairwiseCount::default();
+    for (&x, &y) in a.iter().zip(b) {
+        let scale = x.max(y).max(f64::MIN_POSITIVE);
+        if (x - y).abs() <= EQUAL_TOL * scale {
+            out.equal += 1;
+        } else if x < y {
+            out.better += 1;
+        } else {
+            out.worse += 1;
+        }
+    }
+    out
+}
+
+/// "Combined" comparison of one algorithm against all others at once
+/// (the percentage columns of Table V): better = strictly better than the
+/// *best* of the others, equal = ties the best of the others, worse
+/// otherwise.
+pub fn pairwise_combined(own: &[f64], others: &[&[f64]]) -> PairwiseCount {
+    let n = own.len();
+    for o in others {
+        assert_eq!(o.len(), n, "misaligned campaigns");
+    }
+    let mut out = PairwiseCount::default();
+    for i in 0..n {
+        let best_other = others
+            .iter()
+            .map(|o| o[i])
+            .fold(f64::INFINITY, f64::min);
+        let scale = own[i].max(best_other).max(f64::MIN_POSITIVE);
+        if (own[i] - best_other).abs() <= EQUAL_TOL * scale {
+            out.equal += 1;
+        } else if own[i] < best_other {
+            out.better += 1;
+        } else {
+            out.worse += 1;
+        }
+    }
+    out
+}
+
+/// Degradation-from-best of one algorithm, computed with the paper's two
+/// averaging methods (Table VI).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Degradation {
+    /// Mean over **all** experiments of `(makespan − best)/best`, in
+    /// percent (best-scoring experiments contribute 0).
+    pub avg_over_all_pct: f64,
+    /// Number of experiments in which this algorithm was not the best.
+    pub not_best: usize,
+    /// Mean restricted to those not-best experiments, in percent.
+    pub avg_over_not_best_pct: f64,
+}
+
+/// Computes the degradation-from-best of every algorithm; `makespans[k][i]`
+/// is algorithm `k`'s makespan on scenario `i`.
+pub fn degradation_from_best(makespans: &[Vec<f64>]) -> Vec<Degradation> {
+    assert!(!makespans.is_empty(), "no algorithms");
+    let n = makespans[0].len();
+    for m in makespans {
+        assert_eq!(m.len(), n, "misaligned campaigns");
+    }
+    let best: Vec<f64> = (0..n)
+        .map(|i| makespans.iter().map(|m| m[i]).fold(f64::INFINITY, f64::min))
+        .collect();
+    makespans
+        .iter()
+        .map(|m| {
+            let mut sum = 0.0;
+            let mut not_best = 0usize;
+            let mut sum_not_best = 0.0;
+            for i in 0..n {
+                let d = (m[i] - best[i]) / best[i];
+                sum += d;
+                if d > EQUAL_TOL {
+                    not_best += 1;
+                    sum_not_best += d;
+                }
+            }
+            Degradation {
+                avg_over_all_pct: 100.0 * sum / n as f64,
+                not_best,
+                avg_over_not_best_pct: if not_best == 0 {
+                    0.0
+                } else {
+                    100.0 * sum_not_best / not_best as f64
+                },
+            }
+        })
+        .collect()
+}
+
+/// Per-family summary of a relative series (the grouping behind the
+/// paper's Table IV columns and our EXPERIMENTS.md family breakdowns).
+pub fn summarize_by_family(
+    runs: &[crate::campaign::RunResult],
+    baseline: &[crate::campaign::RunResult],
+) -> Vec<(rats_daggen::suite::AppFamily, RelativeSummary)> {
+    assert_eq!(runs.len(), baseline.len(), "misaligned campaigns");
+    rats_daggen::suite::AppFamily::ALL
+        .into_iter()
+        .filter_map(|family| {
+            let ratios: Vec<f64> = runs
+                .iter()
+                .zip(baseline)
+                .filter(|(r, _)| r.family == family)
+                .map(|(r, b)| {
+                    assert!(b.makespan > 0.0, "baseline makespans must be positive");
+                    r.makespan / b.makespan
+                })
+                .collect();
+            (!ratios.is_empty()).then(|| (family, summarize(&ratios)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_breakdown_groups_correctly() {
+        use crate::campaign::RunResult;
+        use rats_daggen::suite::AppFamily;
+        let mk = |family, makespan| RunResult {
+            scenario_id: 0,
+            family,
+            makespan,
+            work: 1.0,
+        };
+        let base = vec![
+            mk(AppFamily::Fft, 10.0),
+            mk(AppFamily::Fft, 10.0),
+            mk(AppFamily::Strassen, 10.0),
+        ];
+        let runs = vec![
+            mk(AppFamily::Fft, 5.0),
+            mk(AppFamily::Fft, 15.0),
+            mk(AppFamily::Strassen, 10.0),
+        ];
+        let by = summarize_by_family(&runs, &base);
+        assert_eq!(by.len(), 2);
+        let (fam, s) = by[0];
+        assert_eq!(fam, AppFamily::Fft);
+        assert_eq!(s.n, 2);
+        assert!((s.mean_ratio - 1.0).abs() < 1e-12);
+        let (fam, s) = by[1];
+        assert_eq!(fam, AppFamily::Strassen);
+        assert!((s.ties - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_and_sort() {
+        let r = relative(&[2.0, 1.0, 3.0], &[4.0, 1.0, 2.0]);
+        assert_eq!(r, vec![0.5, 1.0, 1.5]);
+        assert_eq!(sorted_ascending(r), vec![0.5, 1.0, 1.5]);
+    }
+
+    #[test]
+    fn summary_counts_wins_and_ties() {
+        let s = summarize(&[0.5, 1.0, 1.5, 0.9]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean_ratio - 0.975).abs() < 1e-12);
+        assert!((s.wins - 0.5).abs() < 1e-12);
+        assert!((s.ties - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pairwise_counts() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 2.0, 2.0, 5.0];
+        let c = pairwise(&a, &b);
+        assert_eq!(
+            c,
+            PairwiseCount {
+                better: 2,
+                equal: 1,
+                worse: 1
+            }
+        );
+        // Antisymmetry.
+        let c2 = pairwise(&b, &a);
+        assert_eq!(c2.better, c.worse);
+        assert_eq!(c2.worse, c.better);
+        assert_eq!(c2.equal, c.equal);
+    }
+
+    #[test]
+    fn combined_compares_to_best_of_others() {
+        let own = [1.0, 3.0, 2.0];
+        let o1 = [2.0, 2.0, 2.0];
+        let o2 = [3.0, 4.0, 9.0];
+        let c = pairwise_combined(&own, &[&o1, &o2]);
+        assert_eq!(
+            c,
+            PairwiseCount {
+                better: 1,
+                equal: 1,
+                worse: 1
+            }
+        );
+    }
+
+    #[test]
+    fn degradation_two_algorithms() {
+        let a = vec![1.0, 2.0, 4.0]; // best, best, 100% worse
+        let b = vec![2.0, 2.0, 2.0]; // 100% worse, tie-best, best
+        let d = degradation_from_best(&[a, b]);
+        assert!((d[0].avg_over_all_pct - 100.0 / 3.0).abs() < 1e-9);
+        assert_eq!(d[0].not_best, 1);
+        assert!((d[0].avg_over_not_best_pct - 100.0).abs() < 1e-9);
+        assert_eq!(d[1].not_best, 1);
+        assert!((d[1].avg_over_all_pct - 100.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degradation_of_identical_algorithms_is_zero() {
+        let a = vec![1.0, 2.0];
+        let d = degradation_from_best(&[a.clone(), a]);
+        for x in d {
+            assert_eq!(x.avg_over_all_pct, 0.0);
+            assert_eq!(x.not_best, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn rejects_misaligned_series() {
+        pairwise(&[1.0], &[1.0, 2.0]);
+    }
+}

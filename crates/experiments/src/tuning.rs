@@ -1,0 +1,245 @@
+//! Parameter tuning: the paper's section IV-C.
+
+use rats_daggen::suite::AppFamily;
+use rats_platform::Platform;
+use rats_sched::MappingStrategy;
+
+use crate::campaign::PreparedScenario;
+use crate::runner::parallel_map;
+
+/// The `mindelta` grid of Figure 4 (magnitudes of the paper's negative
+/// values −0.75 … 0).
+pub const MINDELTA_GRID: [f64; 4] = [0.0, 0.25, 0.5, 0.75];
+/// The `maxdelta` grid of Figure 4 (1 is tested for stretching only — "
+/// allowing to remove all the processors of an allocation … does not make
+/// sense").
+pub const MAXDELTA_GRID: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+/// The `minrho` grid of Figure 5.
+pub const MINRHO_GRID: [f64; 6] = [0.2, 0.4, 0.5, 0.6, 0.8, 1.0];
+
+/// A tuned RATS parameter triple, as listed per (application type, cluster)
+/// in the paper's Table IV.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TunedParams {
+    /// Packing bound magnitude (paper writes it negative).
+    pub mindelta: f64,
+    /// Stretching bound.
+    pub maxdelta: f64,
+    /// Time-cost efficiency threshold.
+    pub minrho: f64,
+}
+
+/// Average of `rats_makespan / base_makespan` over a scenario set.
+fn avg_relative_makespan(
+    prepared: &[PreparedScenario],
+    base: &[f64],
+    platform: &Platform,
+    strategy: MappingStrategy,
+    threads: usize,
+) -> f64 {
+    let runs = parallel_map(prepared, threads, |_, p| p.evaluate(platform, strategy));
+    runs.iter()
+        .zip(base)
+        .map(|(r, &b)| r.makespan / b)
+        .sum::<f64>()
+        / prepared.len() as f64
+}
+
+/// Baseline (HCPA) makespans for a prepared set.
+pub fn hcpa_baseline(prepared: &[PreparedScenario], platform: &Platform, threads: usize) -> Vec<f64> {
+    parallel_map(prepared, threads, |_, p| {
+        p.evaluate(platform, MappingStrategy::Hcpa).makespan
+    })
+}
+
+/// Figure 4: the average relative makespan of the delta strategy for every
+/// `(mindelta, maxdelta)` grid point. Returns `grid[i][j]` for
+/// `MINDELTA_GRID[i]` × `MAXDELTA_GRID[j]`.
+pub fn delta_grid(
+    prepared: &[PreparedScenario],
+    platform: &Platform,
+    threads: usize,
+) -> Vec<Vec<f64>> {
+    let base = hcpa_baseline(prepared, platform, threads);
+    MINDELTA_GRID
+        .iter()
+        .map(|&mind| {
+            MAXDELTA_GRID
+                .iter()
+                .map(|&maxd| {
+                    let strategy = MappingStrategy::rats_delta(mind, maxd);
+                    avg_relative_makespan(prepared, &base, platform, strategy, threads)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Figure 5: the average relative makespan of the time-cost strategy as
+/// `minrho` varies, with and without packing. Returns
+/// `(with_packing, without_packing)`, one value per [`MINRHO_GRID`] entry.
+pub fn rho_curves(
+    prepared: &[PreparedScenario],
+    platform: &Platform,
+    threads: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    let base = hcpa_baseline(prepared, platform, threads);
+    let curve = |packing: bool| -> Vec<f64> {
+        MINRHO_GRID
+            .iter()
+            .map(|&rho| {
+                let strategy = MappingStrategy::rats_time_cost(rho, packing);
+                avg_relative_makespan(prepared, &base, platform, strategy, threads)
+            })
+            .collect()
+    };
+    (curve(true), curve(false))
+}
+
+/// Table IV for one application family on one platform: the
+/// `(mindelta, maxdelta)` pair minimizing the delta strategy's average
+/// relative makespan, and the `minrho` minimizing the time-cost strategy's
+/// (packing enabled, which the paper found always preferable).
+pub fn tune_family(
+    prepared: &[PreparedScenario],
+    platform: &Platform,
+    threads: usize,
+) -> TunedParams {
+    let base = hcpa_baseline(prepared, platform, threads);
+    let mut best_delta = (f64::INFINITY, 0.0, 0.0);
+    for &mind in &MINDELTA_GRID {
+        for &maxd in &MAXDELTA_GRID {
+            let avg = avg_relative_makespan(
+                prepared,
+                &base,
+                platform,
+                MappingStrategy::rats_delta(mind, maxd),
+                threads,
+            );
+            if avg < best_delta.0 {
+                best_delta = (avg, mind, maxd);
+            }
+        }
+    }
+    let mut best_rho = (f64::INFINITY, MINRHO_GRID[0]);
+    for &rho in &MINRHO_GRID {
+        let avg = avg_relative_makespan(
+            prepared,
+            &base,
+            platform,
+            MappingStrategy::rats_time_cost(rho, true),
+            threads,
+        );
+        if avg < best_rho.0 {
+            best_rho = (avg, rho);
+        }
+    }
+    TunedParams {
+        mindelta: best_delta.1,
+        maxdelta: best_delta.2,
+        minrho: best_rho.1,
+    }
+}
+
+/// The tuned values the **paper** reports in Table IV, used by the
+/// tuned-comparison binaries (`fig6_7`, `table5`, `table6`) so they can run
+/// without first re-tuning. (`mindelta` is stored as a magnitude.)
+pub fn paper_tuned(family: AppFamily, cluster: &str) -> TunedParams {
+    let (mindelta, maxdelta, minrho) = match (cluster, family) {
+        ("chti", AppFamily::Fft) => (0.5, 1.0, 0.2),
+        ("chti", AppFamily::Strassen) => (0.25, 0.5, 0.5),
+        ("chti", AppFamily::Layered) => (0.5, 1.0, 0.2),
+        ("chti", AppFamily::Irregular) => (0.75, 1.0, 0.5),
+        ("grillon", AppFamily::Fft) => (0.5, 1.0, 0.2),
+        ("grillon", AppFamily::Strassen) => (0.0, 1.0, 0.4),
+        ("grillon", AppFamily::Layered) => (0.25, 1.0, 0.2),
+        ("grillon", AppFamily::Irregular) => (0.75, 1.0, 0.5),
+        ("grelon", AppFamily::Fft) => (0.25, 0.75, 0.4),
+        ("grelon", AppFamily::Strassen) => (0.25, 1.0, 0.5),
+        ("grelon", AppFamily::Layered) => (0.5, 1.0, 0.2),
+        ("grelon", AppFamily::Irregular) => (0.75, 1.0, 0.4),
+        (c, f) => panic!("no paper-tuned parameters for cluster {c:?}, family {f:?}"),
+    };
+    TunedParams {
+        mindelta,
+        maxdelta,
+        minrho,
+    }
+}
+
+/// Evaluates one scenario under family/cluster-specific tuned parameters,
+/// returning `(hcpa, delta, time_cost)` makespans and works.
+pub fn evaluate_tuned(
+    p: &PreparedScenario,
+    platform: &Platform,
+    params: TunedParams,
+) -> [crate::campaign::RunResult; 3] {
+    [
+        p.evaluate(platform, MappingStrategy::Hcpa),
+        p.evaluate(
+            platform,
+            MappingStrategy::rats_delta(params.mindelta, params.maxdelta),
+        ),
+        p.evaluate(
+            platform,
+            MappingStrategy::rats_time_cost(params.minrho, true),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rats_daggen::suite::mini_suite;
+    use rats_model::CostParams;
+    use rats_platform::ClusterSpec;
+
+    #[test]
+    fn grids_match_paper_sizes() {
+        assert_eq!(MINDELTA_GRID.len(), 4);
+        assert_eq!(MAXDELTA_GRID.len(), 5);
+        assert_eq!(MINRHO_GRID.len(), 6);
+    }
+
+    #[test]
+    fn paper_tuned_covers_all_combinations() {
+        for cluster in ["chti", "grillon", "grelon"] {
+            for family in AppFamily::ALL {
+                let t = paper_tuned(family, cluster);
+                assert!(t.maxdelta <= 1.0 && t.minrho > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn tune_family_returns_grid_values() {
+        let platform = Platform::from_spec(&ClusterSpec::chti());
+        let prepared: Vec<PreparedScenario> =
+            PreparedScenario::prepare(mini_suite(&CostParams::tiny(), 4), &platform, 2)
+                .into_iter()
+                .take(3)
+                .collect();
+        let t = tune_family(&prepared, &platform, 2);
+        assert!(MINDELTA_GRID.contains(&t.mindelta));
+        assert!(MAXDELTA_GRID.contains(&t.maxdelta));
+        assert!(MINRHO_GRID.contains(&t.minrho));
+    }
+
+    #[test]
+    fn delta_grid_has_expected_shape() {
+        let platform = Platform::from_spec(&ClusterSpec::chti());
+        let prepared: Vec<PreparedScenario> =
+            PreparedScenario::prepare(mini_suite(&CostParams::tiny(), 5), &platform, 2)
+                .into_iter()
+                .take(2)
+                .collect();
+        let grid = delta_grid(&prepared, &platform, 2);
+        assert_eq!(grid.len(), MINDELTA_GRID.len());
+        for row in &grid {
+            assert_eq!(row.len(), MAXDELTA_GRID.len());
+            for &v in row {
+                assert!(v.is_finite() && v > 0.0);
+            }
+        }
+    }
+}

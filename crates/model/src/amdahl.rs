@@ -1,0 +1,172 @@
+//! Amdahl's-law speedup model for moldable tasks.
+
+/// Amdahl's-law performance model with a non-parallelizable fraction `α`.
+///
+/// The model specifies that a fraction `α` of a task's sequential execution
+/// time cannot be parallelized, so running on `p` processors takes
+///
+/// ```text
+/// T(p) = T(1) · (α + (1 − α) / p)
+/// ```
+///
+/// This model is *monotonically decreasing*: more processors never slow a
+/// task down (for `0 ≤ α ≤ 1`). It is the speedup model used by the paper
+/// ("used extensively in the literature, thus allowing our results to be
+/// compared with previously published results consistently").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AmdahlLaw {
+    alpha: f64,
+}
+
+impl AmdahlLaw {
+    /// Creates a model with non-parallelizable fraction `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not in `[0, 1]` or is not finite.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha.is_finite() && (0.0..=1.0).contains(&alpha),
+            "alpha must be a finite value in [0, 1], got {alpha}"
+        );
+        Self { alpha }
+    }
+
+    /// The non-parallelizable fraction `α`.
+    #[inline]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Parallel fraction `1 − α`.
+    #[inline]
+    pub fn parallel_fraction(&self) -> f64 {
+        1.0 - self.alpha
+    }
+
+    /// Speedup achieved on `p` processors: `S(p) = 1 / (α + (1 − α)/p)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    #[inline]
+    pub fn speedup(&self, p: u32) -> f64 {
+        assert!(p > 0, "a task must run on at least one processor");
+        1.0 / self.time_fraction(p)
+    }
+
+    /// The fraction of the sequential time that remains when running on `p`
+    /// processors: `α + (1 − α)/p`.
+    #[inline]
+    pub fn time_fraction(&self, p: u32) -> f64 {
+        assert!(p > 0, "a task must run on at least one processor");
+        self.alpha + (1.0 - self.alpha) / f64::from(p)
+    }
+
+    /// Parallel efficiency `S(p)/p ∈ (0, 1]`.
+    #[inline]
+    pub fn efficiency(&self, p: u32) -> f64 {
+        self.speedup(p) / f64::from(p)
+    }
+
+    /// Asymptotic speedup `lim_{p→∞} S(p) = 1/α` (infinite for `α = 0`).
+    #[inline]
+    pub fn max_speedup(&self) -> f64 {
+        if self.alpha == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / self.alpha
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfectly_parallel_scales_linearly() {
+        let m = AmdahlLaw::new(0.0);
+        for p in 1..=128 {
+            let s = m.speedup(p);
+            assert!((s - f64::from(p)).abs() < 1e-9, "p={p}: speedup {s}");
+        }
+    }
+
+    #[test]
+    fn fully_sequential_never_speeds_up() {
+        let m = AmdahlLaw::new(1.0);
+        for p in [1u32, 2, 16, 1024] {
+            assert!((m.speedup(p) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_processor_is_identity() {
+        for alpha in [0.0, 0.1, 0.25, 0.5, 1.0] {
+            assert!((AmdahlLaw::new(alpha).speedup(1) - 1.0).abs() < 1e-12);
+            assert!((AmdahlLaw::new(alpha).time_fraction(1) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn max_speedup_limits() {
+        assert_eq!(AmdahlLaw::new(0.0).max_speedup(), f64::INFINITY);
+        assert!((AmdahlLaw::new(0.25).max_speedup() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn textbook_value() {
+        // α = 0.05, p = 20 → S = 1/(0.05 + 0.95/20) = 1/0.0975 ≈ 10.256
+        let s = AmdahlLaw::new(0.05).speedup(20);
+        assert!((s - 10.256410).abs() < 1e-5, "got {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be")]
+    fn rejects_negative_alpha() {
+        AmdahlLaw::new(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn rejects_zero_processors() {
+        AmdahlLaw::new(0.1).speedup(0);
+    }
+
+    proptest! {
+        /// The model is monotonically decreasing in time (increasing speedup).
+        #[test]
+        fn monotonically_decreasing(alpha in 0.0f64..=1.0, p in 1u32..512) {
+            let m = AmdahlLaw::new(alpha);
+            prop_assert!(m.time_fraction(p + 1) <= m.time_fraction(p) + 1e-15);
+        }
+
+        /// Speedup is bounded by both p and 1/α.
+        #[test]
+        fn speedup_bounds(alpha in 1e-6f64..=1.0, p in 1u32..512) {
+            let m = AmdahlLaw::new(alpha);
+            let s = m.speedup(p);
+            prop_assert!(s <= f64::from(p) + 1e-9);
+            prop_assert!(s <= m.max_speedup() + 1e-9);
+            prop_assert!(s >= 1.0 - 1e-12);
+        }
+
+        /// Efficiency never exceeds 1 and decreases with p.
+        #[test]
+        fn efficiency_decreasing(alpha in 0.0f64..=1.0, p in 1u32..256) {
+            let m = AmdahlLaw::new(alpha);
+            prop_assert!(m.efficiency(p) <= 1.0 + 1e-12);
+            prop_assert!(m.efficiency(p + 1) <= m.efficiency(p) + 1e-12);
+        }
+
+        /// Work (p · time_fraction) is monotonically increasing in p.
+        #[test]
+        fn work_increasing(alpha in 0.0f64..=1.0, p in 1u32..256) {
+            let m = AmdahlLaw::new(alpha);
+            let w = |p: u32| f64::from(p) * m.time_fraction(p);
+            prop_assert!(w(p + 1) >= w(p) - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Per-task cost description: dataset size, flop density, Amdahl fraction.
+
+use crate::amdahl::AmdahlLaw;
+use crate::params::BYTES_PER_ELEMENT;
+
+/// The computational cost of a single moldable data-parallel task.
+///
+/// A task operates on a dataset of `m` double-precision elements and performs
+/// `a · m` floating point operations sequentially (`a` captures "multiple
+/// iterations" over the dataset, e.g. sweeps of a stencil computation on a
+/// `√m × √m` domain). Parallel execution follows [`AmdahlLaw`] with
+/// non-parallelizable fraction `α`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskCost {
+    /// Dataset size in double-precision elements (`m`).
+    m_elements: u64,
+    /// Operations per element (`a`).
+    ops_per_element: f64,
+    /// Amdahl model with the task's non-parallelizable fraction.
+    law: AmdahlLaw,
+}
+
+impl TaskCost {
+    /// Creates a task cost from dataset size `m` (elements), flop density `a`
+    /// (operations per element) and non-parallelizable fraction `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops_per_element` is negative/non-finite or `alpha ∉ [0,1]`.
+    pub fn new(m_elements: u64, ops_per_element: f64, alpha: f64) -> Self {
+        assert!(
+            ops_per_element.is_finite() && ops_per_element >= 0.0,
+            "ops_per_element must be finite and non-negative, got {ops_per_element}"
+        );
+        Self {
+            m_elements,
+            ops_per_element,
+            law: AmdahlLaw::new(alpha),
+        }
+    }
+
+    /// A zero-cost task (used for virtual entry/exit nodes).
+    pub fn zero() -> Self {
+        Self::new(0, 0.0, 0.0)
+    }
+
+    /// Whether this task performs no computation at all.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.m_elements == 0 || self.ops_per_element == 0.0
+    }
+
+    /// Dataset size in elements (`m`).
+    #[inline]
+    pub fn m_elements(&self) -> u64 {
+        self.m_elements
+    }
+
+    /// Flop density `a` (operations per element).
+    #[inline]
+    pub fn ops_per_element(&self) -> f64 {
+        self.ops_per_element
+    }
+
+    /// Non-parallelizable fraction `α`.
+    #[inline]
+    pub fn alpha(&self) -> f64 {
+        self.law.alpha()
+    }
+
+    /// The Amdahl model of this task.
+    #[inline]
+    pub fn law(&self) -> AmdahlLaw {
+        self.law
+    }
+
+    /// Total sequential cost in floating point operations: `a · m`.
+    #[inline]
+    pub fn seq_flops(&self) -> f64 {
+        self.ops_per_element * self.m_elements as f64
+    }
+
+    /// Size of the task's dataset in bytes (`8 · m`): the volume of data the
+    /// task communicates to each of its successors.
+    #[inline]
+    pub fn data_bytes(&self) -> f64 {
+        (self.m_elements * BYTES_PER_ELEMENT) as f64
+    }
+
+    /// Sequential execution time in seconds on a processor delivering
+    /// `gflops` GFlop/s: `T(t, 1) = a·m / (gflops · 10⁹)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gflops` is not strictly positive.
+    #[inline]
+    pub fn seq_time(&self, gflops: f64) -> f64 {
+        assert!(
+            gflops.is_finite() && gflops > 0.0,
+            "processor speed must be positive, got {gflops} GFlop/s"
+        );
+        self.seq_flops() / (gflops * 1e9)
+    }
+
+    /// Execution time `T(t, p)` in seconds on `p` processors of `gflops`
+    /// GFlop/s each, following Amdahl's law.
+    #[inline]
+    pub fn time(&self, p: u32, gflops: f64) -> f64 {
+        self.seq_time(gflops) * self.law.time_fraction(p)
+    }
+
+    /// The *work* `ω = T(t, p) · p` in processor-seconds: the paper's measure
+    /// of resource consumption.
+    #[inline]
+    pub fn work(&self, p: u32, gflops: f64) -> f64 {
+        self.time(p, gflops) * f64::from(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const GFLOPS: f64 = 3.379; // grillon processors
+
+    #[test]
+    fn zero_cost_task() {
+        let z = TaskCost::zero();
+        assert!(z.is_zero());
+        assert_eq!(z.seq_flops(), 0.0);
+        assert_eq!(z.time(7, GFLOPS), 0.0);
+        assert_eq!(z.work(7, GFLOPS), 0.0);
+        assert_eq!(z.data_bytes(), 0.0);
+    }
+
+    #[test]
+    fn sequential_time_matches_hand_computation() {
+        // 10M elements × 100 ops = 1e9 flop on a 2 GFlop/s node → 0.5 s.
+        let c = TaskCost::new(10_000_000, 100.0, 0.0);
+        assert!((c.seq_time(2.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn data_volume_is_eight_bytes_per_element() {
+        let c = TaskCost::new(4_000_000, 64.0, 0.1);
+        assert_eq!(c.data_bytes(), 32_000_000.0);
+    }
+
+    #[test]
+    fn time_on_p_uses_amdahl() {
+        let c = TaskCost::new(1_000_000, 1000.0, 0.2);
+        let t1 = c.time(1, 1.0);
+        let t10 = c.time(10, 1.0);
+        // fraction at p=10: 0.2 + 0.8/10 = 0.28
+        assert!((t10 / t1 - 0.28).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed must be positive")]
+    fn rejects_zero_speed() {
+        TaskCost::new(1, 1.0, 0.0).seq_time(0.0);
+    }
+
+    proptest! {
+        /// Execution time decreases and work increases with p, for any task.
+        #[test]
+        fn moldable_monotonicity(
+            m in 1u64..200_000_000,
+            a in 1.0f64..1024.0,
+            alpha in 0.0f64..=0.25,
+            p in 1u32..256,
+        ) {
+            let c = TaskCost::new(m, a, alpha);
+            prop_assert!(c.time(p + 1, GFLOPS) <= c.time(p, GFLOPS) * (1.0 + 1e-12));
+            prop_assert!(c.work(p + 1, GFLOPS) >= c.work(p, GFLOPS) * (1.0 - 1e-12));
+        }
+
+        /// Work on one processor equals sequential time.
+        #[test]
+        fn work_base_case(m in 1u64..200_000_000, a in 1.0f64..1024.0, alpha in 0.0f64..=0.25) {
+            let c = TaskCost::new(m, a, alpha);
+            prop_assert!((c.work(1, GFLOPS) - c.seq_time(GFLOPS)).abs() < 1e-12);
+        }
+    }
+}

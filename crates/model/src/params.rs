@@ -1,0 +1,151 @@
+//! Random cost-parameter generation following the paper's section II-A.
+
+use rand::{Rng, RngExt};
+
+use crate::cost::TaskCost;
+
+/// Bytes per dataset element (double precision).
+pub const BYTES_PER_ELEMENT: u64 = 8;
+
+/// Sampling ranges for random task costs.
+///
+/// The paper (section II-A) fixes:
+///
+/// * `m ∈ [4·10⁶, 121·10⁶]` double-precision elements — below 4M a
+///   data-parallel task "should most likely be aggregated with its
+///   predecessor or successor"; above 121M it would not fit in the assumed
+///   1 GB of node memory;
+/// * `a ∈ [2⁶, 2⁹] = [64, 512]` operations per element;
+/// * `α ∈ [0, 0.25]` non-parallelizable fraction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostParams {
+    /// Minimum dataset size in elements.
+    pub m_min: u64,
+    /// Maximum dataset size in elements (inclusive).
+    pub m_max: u64,
+    /// Minimum flop density `a`.
+    pub a_min: f64,
+    /// Maximum flop density `a`.
+    pub a_max: f64,
+    /// Minimum non-parallelizable fraction.
+    pub alpha_min: f64,
+    /// Maximum non-parallelizable fraction.
+    pub alpha_max: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl CostParams {
+    /// The exact ranges used by the paper.
+    pub const fn paper() -> Self {
+        Self {
+            m_min: 4_000_000,
+            m_max: 121_000_000,
+            a_min: 64.0,  // 2^6
+            a_max: 512.0, // 2^9
+            alpha_min: 0.0,
+            alpha_max: 0.25,
+        }
+    }
+
+    /// A scaled-down variant (≈1000× smaller datasets) for fast unit tests
+    /// and Criterion benches; preserves all ratios of the paper's ranges.
+    pub const fn tiny() -> Self {
+        Self {
+            m_min: 4_000,
+            m_max: 121_000,
+            a_min: 64.0,
+            a_max: 512.0,
+            alpha_min: 0.0,
+            alpha_max: 0.25,
+        }
+    }
+
+    /// Draws one random task cost (uniform `m`, `a`, `α`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any range is empty or inverted.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> TaskCost {
+        self.validate();
+        let m = rng.random_range(self.m_min..=self.m_max);
+        let a = rng.random_range(self.a_min..=self.a_max);
+        let alpha = rng.random_range(self.alpha_min..=self.alpha_max);
+        TaskCost::new(m, a, alpha)
+    }
+
+    fn validate(&self) {
+        assert!(self.m_min <= self.m_max, "empty m range");
+        assert!(
+            self.a_min <= self.a_max && self.a_min >= 0.0,
+            "invalid a range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.alpha_min)
+                && (0.0..=1.0).contains(&self.alpha_max)
+                && self.alpha_min <= self.alpha_max,
+            "invalid alpha range"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn paper_ranges() {
+        let p = CostParams::paper();
+        assert_eq!(p.m_min, 4_000_000);
+        assert_eq!(p.m_max, 121_000_000);
+        assert_eq!(p.a_min, 64.0);
+        assert_eq!(p.a_max, 512.0);
+        assert_eq!(p.alpha_max, 0.25);
+    }
+
+    #[test]
+    fn samples_respect_ranges() {
+        let p = CostParams::paper();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let c = p.sample(&mut rng);
+            assert!((p.m_min..=p.m_max).contains(&c.m_elements()));
+            assert!(c.ops_per_element() >= p.a_min && c.ops_per_element() <= p.a_max);
+            assert!(c.alpha() >= p.alpha_min && c.alpha() <= p.alpha_max);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let p = CostParams::paper();
+        let a: Vec<TaskCost> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..16).map(|_| p.sample(&mut rng)).collect()
+        };
+        let b: Vec<TaskCost> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..16).map(|_| p.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn max_dataset_fits_in_1gb() {
+        let p = CostParams::paper();
+        assert!(p.m_max * BYTES_PER_ELEMENT <= 1_000_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty m range")]
+    fn rejects_inverted_range() {
+        let mut p = CostParams::paper();
+        p.m_min = p.m_max + 1;
+        p.sample(&mut StdRng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,216 @@
+//! Ordered processor sets.
+
+use std::fmt;
+
+/// An *ordered* list of distinct processors.
+///
+/// The order is semantically meaningful: a task mapped on a `ProcSet`
+/// distributes its 1-D block data over the processors **in rank order**
+/// (rank `r` owns the `r`-th block). Two tasks mapped on the same *members*
+/// in the same *order* need no data movement at all; the same members in a
+/// different order still avoid network transfers only for the ranks that
+/// coincide.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ProcSet {
+    procs: Vec<u32>,
+}
+
+impl ProcSet {
+    /// Creates a set from an ordered processor list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list contains duplicates.
+    pub fn new(procs: Vec<u32>) -> Self {
+        let mut seen = procs.clone();
+        seen.sort_unstable();
+        assert!(
+            seen.windows(2).all(|w| w[0] != w[1]),
+            "processor set contains duplicates: {procs:?}"
+        );
+        Self { procs }
+    }
+
+    /// An empty set.
+    pub fn empty() -> Self {
+        Self { procs: Vec::new() }
+    }
+
+    /// The contiguous range `start..start + len`.
+    pub fn from_range(start: u32, len: u32) -> Self {
+        Self {
+            procs: (start..start + len).collect(),
+        }
+    }
+
+    /// Number of processors in the set.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.procs.len() as u32
+    }
+
+    /// `true` if the set has no processors.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+
+    /// The processors in rank order.
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.procs
+    }
+
+    /// Iterates over processors in rank order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = u32> + '_ {
+        self.procs.iter().copied()
+    }
+
+    /// The processor holding block `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    #[inline]
+    pub fn proc_at(&self, rank: usize) -> u32 {
+        self.procs[rank]
+    }
+
+    /// The rank of processor `p` in this set, if present.
+    pub fn rank_of(&self, p: u32) -> Option<usize> {
+        self.procs.iter().position(|&q| q == p)
+    }
+
+    /// `true` if processor `p` belongs to the set.
+    pub fn contains(&self, p: u32) -> bool {
+        self.procs.contains(&p)
+    }
+
+    /// `true` if both sets have the same members, regardless of order.
+    /// This is the paper's "same set of processors" condition under which a
+    /// redistribution is free — combined with rank alignment (see
+    /// `rats-redist`), identical ordered sets move zero bytes.
+    pub fn same_members(&self, other: &Self) -> bool {
+        if self.procs.len() != other.procs.len() {
+            return false;
+        }
+        let mut a = self.procs.clone();
+        let mut b = other.procs.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        a == b
+    }
+
+    /// Number of processors present in both sets.
+    pub fn overlap_count(&self, other: &Self) -> u32 {
+        self.procs.iter().filter(|p| other.contains(**p)).count() as u32
+    }
+
+    /// The members present in both sets, in `self`'s rank order.
+    pub fn common_procs(&self, other: &Self) -> Vec<u32> {
+        self.procs
+            .iter()
+            .copied()
+            .filter(|p| other.contains(*p))
+            .collect()
+    }
+
+    /// The first `k` processors of the set (in rank order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds the set size.
+    pub fn first_k(&self, k: u32) -> Self {
+        assert!(k <= self.len(), "cannot take {k} of {}", self.len());
+        Self {
+            procs: self.procs[..k as usize].to_vec(),
+        }
+    }
+
+    /// A copy with members sorted ascending (canonical order).
+    pub fn sorted(&self) -> Self {
+        let mut procs = self.procs.clone();
+        procs.sort_unstable();
+        Self { procs }
+    }
+}
+
+impl fmt::Display for ProcSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.procs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<u32> for ProcSet {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_ranks() {
+        let s = ProcSet::new(vec![5, 2, 9]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.proc_at(0), 5);
+        assert_eq!(s.rank_of(9), Some(2));
+        assert_eq!(s.rank_of(7), None);
+        assert!(s.contains(2));
+        assert!(!s.contains(4));
+    }
+
+    #[test]
+    fn same_members_ignores_order() {
+        let a = ProcSet::new(vec![1, 2, 3]);
+        let b = ProcSet::new(vec![3, 1, 2]);
+        let c = ProcSet::new(vec![1, 2, 4]);
+        assert!(a.same_members(&b));
+        assert!(!a.same_members(&c));
+        assert_ne!(a, b, "ordered equality distinguishes rank order");
+        assert_eq!(a, b.sorted());
+    }
+
+    #[test]
+    fn overlap_and_common() {
+        let a = ProcSet::new(vec![1, 2, 3, 4]);
+        let b = ProcSet::new(vec![3, 4, 5]);
+        assert_eq!(a.overlap_count(&b), 2);
+        assert_eq!(a.common_procs(&b), vec![3, 4]);
+        assert_eq!(b.common_procs(&a), vec![3, 4]);
+    }
+
+    #[test]
+    fn range_and_first_k() {
+        let s = ProcSet::from_range(10, 5);
+        assert_eq!(s.as_slice(), &[10, 11, 12, 13, 14]);
+        assert_eq!(s.first_k(2).as_slice(), &[10, 11]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(ProcSet::new(vec![3, 1]).to_string(), "{3,1}");
+        assert_eq!(ProcSet::empty().to_string(), "{}");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicates")]
+    fn rejects_duplicates() {
+        ProcSet::new(vec![1, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot take")]
+    fn first_k_bounds() {
+        ProcSet::from_range(0, 2).first_k(3);
+    }
+}

@@ -1,0 +1,98 @@
+//! Link identifiers and fixed-capacity route descriptions.
+
+use std::fmt;
+
+/// Maximum number of links a route can cross (node, uplink, uplink, node).
+pub(crate) const MAX_ROUTE_LINKS: usize = 4;
+
+/// Identifier of a network link inside a [`Platform`](crate::Platform).
+///
+/// Ids `0..P` are the processors' private links; cabinet uplinks follow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(u32);
+
+impl LinkId {
+    /// Creates a `LinkId` from a raw index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        Self(u32::try_from(i).expect("more than u32::MAX links"))
+    }
+
+    /// The dense index of this link.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// The ordered set of links a flow crosses, with the total one-way latency.
+///
+/// Stored inline (no allocation): routes are computed in the simulator's hot
+/// loop for every flow.
+#[derive(Debug, Clone, Copy)]
+pub struct Route {
+    links: [LinkId; MAX_ROUTE_LINKS],
+    len: u8,
+    /// Sum of the one-way latencies of all crossed links, in seconds.
+    pub latency_s: f64,
+}
+
+impl Route {
+    pub(crate) fn new(links: [LinkId; MAX_ROUTE_LINKS], len: usize, latency_s: f64) -> Self {
+        debug_assert!(len <= MAX_ROUTE_LINKS);
+        Self {
+            links,
+            len: len as u8,
+            latency_s,
+        }
+    }
+
+    /// The crossed links, in order from sender to receiver.
+    #[inline]
+    pub fn links(&self) -> &[LinkId] {
+        &self.links[..self.len as usize]
+    }
+
+    /// `true` for self-routes (no link crossed).
+    #[inline]
+    pub fn is_local(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_id_round_trip() {
+        assert_eq!(LinkId::from_index(9).index(), 9);
+        assert_eq!(LinkId::from_index(9).to_string(), "l9");
+    }
+
+    #[test]
+    fn empty_route_is_local() {
+        let r = Route::new([LinkId::from_index(0); MAX_ROUTE_LINKS], 0, 0.0);
+        assert!(r.is_local());
+        assert!(r.links().is_empty());
+    }
+
+    #[test]
+    fn route_slices_expose_only_len() {
+        let ids = [
+            LinkId::from_index(1),
+            LinkId::from_index(2),
+            LinkId::from_index(0),
+            LinkId::from_index(0),
+        ];
+        let r = Route::new(ids, 2, 2e-4);
+        assert_eq!(r.links(), &[LinkId::from_index(1), LinkId::from_index(2)]);
+        assert!(!r.is_local());
+    }
+}

@@ -1,0 +1,184 @@
+//! Declarative cluster descriptions and the paper's Grid'5000 presets.
+
+/// Latency/bandwidth pair describing one kind of network link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// One-way latency in seconds.
+    pub latency_s: f64,
+    /// Bandwidth in **bytes** per second.
+    pub bandwidth_bps: f64,
+}
+
+impl LinkSpec {
+    /// The paper's gigabit switched interconnect: 100 µs latency, 1 Gb/s
+    /// (= 125 MB/s) bandwidth.
+    pub const fn gigabit() -> Self {
+        Self {
+            latency_s: 100e-6,
+            bandwidth_bps: 125e6,
+        }
+    }
+}
+
+/// Interconnect layout.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologySpec {
+    /// All nodes connected to a single switch.
+    Flat,
+    /// Nodes grouped in cabinets; each cabinet switch is connected to a
+    /// top-level switch through an `uplink`.
+    Hierarchical {
+        /// Number of cabinets.
+        cabinets: u32,
+        /// Nodes per cabinet (the last cabinet absorbs any remainder).
+        nodes_per_cabinet: u32,
+        /// Cabinet-to-top-switch link.
+        uplink: LinkSpec,
+    },
+}
+
+/// A complete homogeneous-cluster description (paper, Table II).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    /// Cluster name.
+    pub name: String,
+    /// Number of single-core compute nodes.
+    pub num_procs: u32,
+    /// Node speed in GFlop/s (HP Linpack over ACML, per the paper).
+    pub gflops: f64,
+    /// Private link of every node.
+    pub node_link: LinkSpec,
+    /// Interconnect layout.
+    pub topology: TopologySpec,
+    /// Maximal TCP window size in bytes, for `β' = min(β, Wmax/RTT)`.
+    pub wmax_bytes: f64,
+}
+
+/// Default maximal TCP window size (64 KiB — the Linux default of the
+/// SimGrid v3.3 era the paper simulated with).
+pub const DEFAULT_WMAX_BYTES: f64 = 65536.0;
+
+impl ClusterSpec {
+    /// A flat gigabit cluster with `num_procs` nodes of `gflops` GFlop/s.
+    pub fn flat(name: impl Into<String>, num_procs: u32, gflops: f64) -> Self {
+        Self {
+            name: name.into(),
+            num_procs,
+            gflops,
+            node_link: LinkSpec::gigabit(),
+            topology: TopologySpec::Flat,
+            wmax_bytes: DEFAULT_WMAX_BYTES,
+        }
+    }
+
+    /// The `chti` cluster (Lille): 20 processors at 4.311 GFlop/s, flat.
+    pub fn chti() -> Self {
+        Self::flat("chti", 20, 4.311)
+    }
+
+    /// The `grillon` cluster (Nancy): 47 processors at 3.379 GFlop/s, flat.
+    pub fn grillon() -> Self {
+        Self::flat("grillon", 47, 3.379)
+    }
+
+    /// The `grelon` cluster (Nancy): 120 processors at 3.185 GFlop/s,
+    /// divided into five cabinets of 24 nodes each (hierarchical network).
+    pub fn grelon() -> Self {
+        Self {
+            name: "grelon".into(),
+            num_procs: 120,
+            gflops: 3.185,
+            node_link: LinkSpec::gigabit(),
+            topology: TopologySpec::Hierarchical {
+                cabinets: 5,
+                nodes_per_cabinet: 24,
+                uplink: LinkSpec::gigabit(),
+            },
+            wmax_bytes: DEFAULT_WMAX_BYTES,
+        }
+    }
+
+    /// The three clusters of the paper's evaluation, in publication order.
+    pub fn paper_clusters() -> Vec<Self> {
+        vec![Self::chti(), Self::grillon(), Self::grelon()]
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any quantity is non-positive or the hierarchical layout
+    /// cannot hold `num_procs` nodes.
+    pub fn validate(&self) {
+        assert!(self.num_procs > 0, "cluster must have at least one node");
+        assert!(self.gflops > 0.0, "node speed must be positive");
+        assert!(
+            self.node_link.bandwidth_bps > 0.0 && self.node_link.latency_s >= 0.0,
+            "node link must have positive bandwidth and non-negative latency"
+        );
+        assert!(self.wmax_bytes > 0.0, "TCP window must be positive");
+        if let TopologySpec::Hierarchical {
+            cabinets,
+            nodes_per_cabinet,
+            uplink,
+        } = &self.topology
+        {
+            assert!(*cabinets > 0 && *nodes_per_cabinet > 0, "empty cabinets");
+            assert!(
+                cabinets * nodes_per_cabinet >= self.num_procs,
+                "cabinets ({cabinets} × {nodes_per_cabinet}) cannot hold {} nodes",
+                self.num_procs
+            );
+            assert!(
+                uplink.bandwidth_bps > 0.0 && uplink.latency_s >= 0.0,
+                "uplink must have positive bandwidth and non-negative latency"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_clusters_are_three() {
+        let cs = ClusterSpec::paper_clusters();
+        assert_eq!(cs.len(), 3);
+        assert_eq!(cs[0].name, "chti");
+        assert_eq!(cs[1].name, "grillon");
+        assert_eq!(cs[2].name, "grelon");
+        for c in &cs {
+            c.validate();
+        }
+    }
+
+    #[test]
+    fn grelon_cabinets_hold_all_nodes() {
+        let g = ClusterSpec::grelon();
+        if let TopologySpec::Hierarchical {
+            cabinets,
+            nodes_per_cabinet,
+            ..
+        } = g.topology
+        {
+            assert_eq!(cabinets * nodes_per_cabinet, 120);
+        } else {
+            panic!("grelon must be hierarchical");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn rejects_empty_cluster() {
+        ClusterSpec::flat("x", 0, 1.0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn rejects_overfull_cabinets() {
+        let mut s = ClusterSpec::grelon();
+        s.num_procs = 200;
+        s.validate();
+    }
+}

@@ -1,0 +1,172 @@
+//! Receiver-set reordering to maximize self communication.
+
+use rats_platform::ProcSet;
+
+use crate::block::block_interval;
+
+/// Reorders the members of `dst` so that processors shared with `src` keep
+/// as much of their data as possible ("our redistribution algorithm tries to
+/// maximize the amount of self communications").
+///
+/// Shared processors are considered in source-rank order and greedily
+/// assigned the still-free destination rank whose block interval overlaps
+/// their sending interval the most; the remaining processors fill the free
+/// ranks in their original relative order. When the two sets have identical
+/// members and sizes this produces exactly the source order, making the
+/// redistribution completely free.
+///
+/// Returns the reordered destination set (same members as `dst`).
+pub fn align_for_self_comm(src: &ProcSet, dst: &ProcSet) -> ProcSet {
+    let q = dst.len();
+    if q == 0 || src.is_empty() {
+        return dst.clone();
+    }
+    // Work on a normalized dataset of 1.0 bytes — only ratios matter.
+    let m = 1.0;
+    let mut assigned: Vec<Option<u32>> = vec![None; q as usize];
+    let mut placed: Vec<bool> = vec![false; q as usize]; // per dst member (by dst rank)
+
+    // Shared processors in source-rank order.
+    for (i, proc) in src.iter().enumerate() {
+        let Some(orig_rank) = dst.rank_of(proc) else {
+            continue;
+        };
+        let (slo, shi) = block_interval(m, src.len(), i as u32);
+        // Best free destination rank by overlap with the sending interval;
+        // ties broken toward the lowest rank for determinism.
+        let mut best: Option<(f64, u32)> = None;
+        for j in 0..q {
+            if assigned[j as usize].is_some() {
+                continue;
+            }
+            let (dlo, dhi) = block_interval(m, q, j);
+            let overlap = (shi.min(dhi) - slo.max(dlo)).max(0.0);
+            let better = match best {
+                None => true,
+                Some((b, _)) => overlap > b + 1e-15,
+            };
+            if better {
+                best = Some((overlap, j));
+            }
+        }
+        if let Some((overlap, j)) = best {
+            if overlap > 0.0 {
+                assigned[j as usize] = Some(proc);
+                placed[orig_rank] = true;
+            }
+        }
+    }
+
+    // Fill the remaining ranks with the unplaced members, original order.
+    let mut rest = dst
+        .iter()
+        .enumerate()
+        .filter(|(r, _)| !placed[*r])
+        .map(|(_, p)| p);
+    let members: Vec<u32> = assigned
+        .into_iter()
+        .map(|slot| slot.unwrap_or_else(|| rest.next().expect("rank count matches")))
+        .collect();
+    let candidate = ProcSet::new(members);
+
+    // The greedy placement is a heuristic; guarantee it never does worse
+    // than the order the caller already had.
+    let self_bytes =
+        |d: &ProcSet| crate::matrix::redistribute(m, src, d).self_bytes;
+    if self_bytes(&candidate) >= self_bytes(dst) {
+        candidate
+    } else {
+        dst.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::redistribute;
+    use proptest::prelude::*;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identical_members_align_to_identity() {
+        let src = ProcSet::new(vec![4, 2, 9]);
+        let dst = ProcSet::new(vec![9, 4, 2]);
+        let aligned = align_for_self_comm(&src, &dst);
+        assert_eq!(aligned.as_slice(), src.as_slice());
+        assert!(redistribute(1e6, &src, &aligned).is_free());
+    }
+
+    #[test]
+    fn disjoint_sets_are_untouched() {
+        let src = ProcSet::from_range(0, 4);
+        let dst = ProcSet::from_range(10, 5);
+        let aligned = align_for_self_comm(&src, &dst);
+        assert_eq!(aligned.as_slice(), dst.as_slice());
+    }
+
+    #[test]
+    fn growing_allocation_keeps_shared_prefix() {
+        // src = {5, 6} (2 procs), dst members {6, 5, 7} (3 procs).
+        // Proc 5 sends [0, .5), proc 6 sends [.5, 1). Receiver blocks are
+        // thirds. Best: 5 → rank 0 ([0,1/3)), 6 → rank 2 ([2/3,1)).
+        let src = ProcSet::new(vec![5, 6]);
+        let dst = ProcSet::new(vec![6, 5, 7]);
+        let aligned = align_for_self_comm(&src, &dst);
+        assert_eq!(aligned.as_slice(), &[5, 7, 6]);
+        let r = redistribute(9.0, &src, &aligned);
+        // Self: proc 5 keeps [0,3) of its [0,4.5) → 3; proc 6 keeps [6,9)
+        // of its [4.5,9) → 3.
+        assert!((r.self_bytes - 6.0).abs() < 1e-9, "self = {}", r.self_bytes);
+    }
+
+    #[test]
+    fn alignment_never_loses_members() {
+        let src = ProcSet::new(vec![1, 3, 5, 7]);
+        let dst = ProcSet::new(vec![2, 3, 5, 8, 9]);
+        let aligned = align_for_self_comm(&src, &dst);
+        assert!(aligned.same_members(&dst));
+    }
+
+    proptest! {
+        /// Aligned destination never does worse (in self bytes) than the
+        /// original order, and keeps exactly the same members.
+        #[test]
+        fn alignment_is_monotone_improvement(
+            p in 1u32..24,
+            q in 1u32..24,
+            seed in 0u64..500,
+        ) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut all: Vec<u32> = (0..32).collect();
+            all.shuffle(&mut rng);
+            let src = ProcSet::new(all[..p as usize].to_vec());
+            let mut pool: Vec<u32> = (0..32).collect();
+            pool.shuffle(&mut rng);
+            let dst = ProcSet::new(pool[..q as usize].to_vec());
+
+            let aligned = align_for_self_comm(&src, &dst);
+            prop_assert!(aligned.same_members(&dst));
+
+            let before = redistribute(1e6, &src, &dst).self_bytes;
+            let after = redistribute(1e6, &src, &aligned).self_bytes;
+            prop_assert!(after >= before - 1.0,
+                "alignment regressed: {before} -> {after}");
+        }
+
+        /// Same members (any order, any size) ⇒ alignment achieves a free
+        /// redistribution when sizes match.
+        #[test]
+        fn same_members_zero_network(n in 1u32..24, seed in 0u64..200) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut all: Vec<u32> = (0..32).collect();
+            all.shuffle(&mut rng);
+            let src = ProcSet::new(all[..n as usize].to_vec());
+            let mut shuffled = src.as_slice().to_vec();
+            shuffled.shuffle(&mut rng);
+            let dst = ProcSet::new(shuffled);
+            let aligned = align_for_self_comm(&src, &dst);
+            prop_assert!(redistribute(1e6, &src, &aligned).is_free());
+        }
+    }
+}

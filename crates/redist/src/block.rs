@@ -1,0 +1,105 @@
+//! Block-interval arithmetic for 1-D block distributions.
+
+/// The half-open byte interval `[r·m/p, (r+1)·m/p)` owned by rank `r` when
+/// `m` bytes are block-distributed over `p` processors.
+///
+/// # Panics
+///
+/// Panics if `p == 0` or `r >= p`.
+#[inline]
+pub fn block_interval(m: f64, p: u32, r: u32) -> (f64, f64) {
+    assert!(p > 0, "cannot distribute over zero processors");
+    assert!(r < p, "rank {r} out of range for {p} processors");
+    let width = m / f64::from(p);
+    (f64::from(r) * width, f64::from(r + 1) * width)
+}
+
+/// The inclusive range of ranks (out of `q`) whose blocks intersect the byte
+/// interval `[lo, hi)` of an `m`-byte dataset distributed over `q`
+/// processors. Returns `None` for empty intervals.
+#[inline]
+pub fn block_owner_range(m: f64, q: u32, lo: f64, hi: f64) -> Option<(u32, u32)> {
+    assert!(q > 0, "cannot distribute over zero processors");
+    if hi <= lo || m <= 0.0 {
+        return None;
+    }
+    let width = m / f64::from(q);
+    let first = (lo / width).floor() as i64;
+    // hi is exclusive: the owner of byte hi−ε is rank floor((hi−ε)/width).
+    let mut last = (hi / width).ceil() as i64 - 1;
+    let first = first.clamp(0, i64::from(q) - 1) as u32;
+    if last < i64::from(first) {
+        last = i64::from(first);
+    }
+    let last = last.clamp(0, i64::from(q) - 1) as u32;
+    Some((first, last))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn intervals_partition_the_data() {
+        let (m, p) = (10.0, 4);
+        let mut end = 0.0;
+        for r in 0..p {
+            let (lo, hi) = block_interval(m, p, r);
+            assert!((lo - end).abs() < 1e-12, "blocks must tile contiguously");
+            assert!(hi > lo);
+            end = hi;
+        }
+        assert!((end - m).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_example_block_widths() {
+        // 10 units over 4 processors → 2.5 units each; over 5 → 2 units.
+        assert_eq!(block_interval(10.0, 4, 0), (0.0, 2.5));
+        assert_eq!(block_interval(10.0, 4, 3), (7.5, 10.0));
+        assert_eq!(block_interval(10.0, 5, 2), (4.0, 6.0));
+    }
+
+    #[test]
+    fn owner_range_basic() {
+        // Sender rank 1 of 4 owns [2.5, 5.0); receivers of 5 own 2.0 each:
+        // ranks 1 ([2,4)) and 2 ([4,6)) intersect.
+        assert_eq!(block_owner_range(10.0, 5, 2.5, 5.0), Some((1, 2)));
+        // Degenerate empty interval.
+        assert_eq!(block_owner_range(10.0, 5, 3.0, 3.0), None);
+    }
+
+    #[test]
+    fn exact_boundary_is_exclusive() {
+        // [0, 2) over 5 ranks of width 2: only rank 0.
+        assert_eq!(block_owner_range(10.0, 5, 0.0, 2.0), Some((0, 0)));
+    }
+
+    proptest! {
+        /// Every sender interval maps to a valid, non-empty receiver range
+        /// whose blocks jointly cover it.
+        #[test]
+        fn owner_range_covers_interval(
+            m in 1.0f64..1e9,
+            p in 1u32..128,
+            q in 1u32..128,
+            r_seed in 0u32..128,
+        ) {
+            let r = r_seed % p;
+            let (lo, hi) = block_interval(m, p, r);
+            let (first, last) = block_owner_range(m, q, lo, hi).expect("non-empty");
+            prop_assert!(first <= last && last < q);
+            let (flo, _) = block_interval(m, q, first);
+            let (_, lhi) = block_interval(m, q, last);
+            // The union [flo, lhi) must cover [lo, hi).
+            prop_assert!(flo <= lo + 1e-9 * m);
+            prop_assert!(lhi >= hi - 1e-9 * m);
+            // And not be wastefully wide: first/last blocks really intersect.
+            let (_, fhi) = block_interval(m, q, first);
+            let (llo, _) = block_interval(m, q, last);
+            prop_assert!(fhi > lo - 1e-9 * m);
+            prop_assert!(llo < hi + 1e-9 * m);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Contention-free redistribution time estimation.
+
+use rats_platform::Platform;
+
+use crate::matrix::Redistribution;
+
+/// Estimates the duration of a redistribution on `platform`, assuming all
+/// transfers proceed in parallel with **no cross-redistribution contention**
+/// (the estimate the scheduling heuristics work with; the evaluation
+/// simulator models contention).
+///
+/// The estimate is the bounded-multi-port completion bound:
+///
+/// * every network link ships the sum of the bytes of the transfers routed
+///   through it at its full bandwidth — `max_l bytes(l)/β(l)` captures both
+///   port saturation (a node sending to or receiving from many peers) and
+///   cabinet-uplink saturation;
+/// * no single transfer can beat its TCP-window rate cap
+///   (`bytes/min(β', β)`);
+/// * one path latency is paid up front (flows start concurrently).
+///
+/// Self communications cost nothing; an empty redistribution returns `0`.
+pub fn estimate_time(r: &Redistribution, platform: &Platform) -> f64 {
+    if r.transfers.is_empty() {
+        return 0.0;
+    }
+    let mut per_link = vec![0.0f64; platform.num_links()];
+    let mut max_latency = 0.0f64;
+    let mut max_flow_time = 0.0f64;
+    for t in &r.transfers {
+        let route = platform.route(t.src, t.dst);
+        max_latency = max_latency.max(route.latency_s);
+        let mut min_bw = f64::INFINITY;
+        for &l in route.links() {
+            per_link[l.index()] += t.bytes;
+            min_bw = min_bw.min(platform.link(l).bandwidth_bps);
+        }
+        let cap = min_bw.min(platform.flow_rate_cap(t.src, t.dst));
+        max_flow_time = max_flow_time.max(t.bytes / cap);
+    }
+    let link_time = per_link
+        .iter()
+        .enumerate()
+        .map(|(l, &bytes)| bytes / platform.link(rats_platform::LinkId::from_index(l)).bandwidth_bps)
+        .fold(0.0, f64::max);
+    max_latency + link_time.max(max_flow_time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::redistribute;
+    use rats_platform::{ClusterSpec, ProcSet};
+
+    fn grillon() -> Platform {
+        Platform::from_spec(&ClusterSpec::grillon())
+    }
+
+    #[test]
+    fn empty_redistribution_is_instant() {
+        let p = grillon();
+        let s = ProcSet::from_range(0, 4);
+        let r = redistribute(1e6, &s, &s.clone());
+        assert_eq!(estimate_time(&r, &p), 0.0);
+    }
+
+    #[test]
+    fn single_transfer_matches_closed_form() {
+        let p = grillon();
+        let src = ProcSet::new(vec![0]);
+        let dst = ProcSet::new(vec![1]);
+        let bytes = 125e6; // exactly one second at link rate
+        let r = redistribute(bytes, &src, &dst);
+        let t = estimate_time(&r, &p);
+        // one link-saturated second + 200 µs path latency
+        assert!((t - (1.0 + 2e-4)).abs() < 1e-9, "t = {t}");
+    }
+
+    #[test]
+    fn fan_in_is_bottlenecked_by_receiver_port() {
+        let p = grillon();
+        // 4 senders, 1 receiver: receiver's private link carries everything.
+        let src = ProcSet::from_range(0, 4);
+        let dst = ProcSet::new(vec![10]);
+        let bytes = 125e6;
+        let r = redistribute(bytes, &src, &dst);
+        let t = estimate_time(&r, &p);
+        assert!(t >= 1.0, "receiver port must serialize: t = {t}");
+        assert!(t < 1.1, "but senders are parallel: t = {t}");
+    }
+
+    #[test]
+    fn scatter_is_bottlenecked_by_sender_port() {
+        let p = grillon();
+        let src = ProcSet::new(vec![0]);
+        let dst = ProcSet::from_range(1, 8);
+        let bytes = 125e6;
+        let r = redistribute(bytes, &src, &dst);
+        let t = estimate_time(&r, &p);
+        assert!((1.0..1.1).contains(&t), "t = {t}");
+    }
+
+    #[test]
+    fn balanced_shift_uses_parallelism() {
+        let p = grillon();
+        // {0..4} → {4..8}: each port moves ~1/4 of the data.
+        let src = ProcSet::from_range(0, 4);
+        let dst = ProcSet::from_range(4, 4);
+        let bytes = 125e6;
+        let r = redistribute(bytes, &src, &dst);
+        let t = estimate_time(&r, &p);
+        assert!(t < 0.5, "parallel ports should beat serial time: t = {t}");
+    }
+
+    #[test]
+    fn window_cap_binds_on_hierarchical_paths() {
+        let p = Platform::from_spec(&ClusterSpec::grelon());
+        let src = ProcSet::new(vec![0]); // cabinet 0
+        let dst = ProcSet::new(vec![24]); // cabinet 1
+        let bytes = 81.92e6; // one second at the capped rate
+        let r = redistribute(bytes, &src, &dst);
+        let t = estimate_time(&r, &p);
+        assert!(
+            (t - (1.0 + 4e-4)).abs() < 1e-6,
+            "inter-cabinet flow must run at Wmax/RTT: t = {t}"
+        );
+    }
+
+    #[test]
+    fn uplink_contention_shows_in_estimate() {
+        let p = Platform::from_spec(&ClusterSpec::grelon());
+        // 8 senders in cabinet 0 → 8 receivers in cabinet 1: all transfers
+        // share the two uplinks.
+        let src = ProcSet::from_range(0, 8);
+        let dst = ProcSet::from_range(24, 8);
+        let bytes = 125e6;
+        let r = redistribute(bytes, &src, &dst);
+        let t = estimate_time(&r, &p);
+        // The uplink carries all 125 MB → ≥ 1 s even though ports would
+        // finish in 1/8 s.
+        assert!(t >= 1.0, "uplink must bottleneck: t = {t}");
+    }
+}

@@ -1,0 +1,49 @@
+//! Two-step scheduling of mixed-parallel applications: CPA/HCPA allocation
+//! plus the paper's **Redistribution Aware Two-Step (RATS)** mapping.
+//!
+//! Two-step schedulers first decide *how many* processors each moldable task
+//! gets (**allocation**, [`allocate`]) and then *which* processors each task
+//! runs on (**mapping**, [`Scheduler::schedule`]). The paper's contribution
+//! is to let the mapping step *reconsider* the allocation of a ready task so
+//! it can reuse a predecessor's exact processor set — eliminating the data
+//! redistribution on that edge entirely:
+//!
+//! * **pack** — shrink the allocation to a smaller predecessor's set; the
+//!   task runs longer but may start earlier and leaves room for concurrent
+//!   tasks;
+//! * **stretch** — grow the allocation to a larger predecessor's set; the
+//!   task runs faster *and* avoids a redistribution, at the price of more
+//!   work.
+//!
+//! Two tunable strategies decide when to do either
+//! ([`MappingStrategy::RatsDelta`] and [`MappingStrategy::RatsTimeCost`]),
+//! and matching secondary sorts order the ready list (section III-C).
+//! [`MappingStrategy::Hcpa`] keeps allocations untouched, which is the
+//! baseline the paper compares against.
+//!
+//! ```
+//! use rats_daggen::{fft_dag, suite};
+//! use rats_model::CostParams;
+//! use rats_platform::{ClusterSpec, Platform};
+//! use rats_sched::{MappingStrategy, Scheduler};
+//!
+//! let platform = Platform::from_spec(&ClusterSpec::grillon());
+//! let dag = fft_dag(8, &CostParams::paper(), 42);
+//! let schedule = Scheduler::new(&platform)
+//!     .strategy(MappingStrategy::rats_time_cost(0.5, true))
+//!     .schedule(&dag);
+//! assert!(schedule.makespan_estimate() > 0.0);
+//! schedule.validate(&dag, &platform).unwrap();
+//! ```
+
+mod allocation;
+mod mapping;
+mod schedule;
+mod strategy;
+
+pub use allocation::{allocate, AllocParams, Allocation, AreaPolicy};
+pub use mapping::Scheduler;
+pub use schedule::{Schedule, ScheduleEntry, ScheduleError};
+pub use strategy::{
+    CandidatePolicy, CombinedParams, DeltaParams, MappingStrategy, SecondarySort, TimeCostParams,
+};

@@ -1,0 +1,293 @@
+//! Schedule representation, validation and derived metrics.
+
+use std::fmt;
+
+use rats_dag::{TaskGraph, TaskId};
+use rats_platform::{Platform, ProcSet};
+
+/// The placement of one task: its processor set and the mapper's estimated
+/// start/finish times (the *estimates* assume contention-free
+/// redistributions; `rats-sim` replays the schedule with contention).
+#[derive(Debug, Clone)]
+pub struct ScheduleEntry {
+    /// The placed task.
+    pub task: TaskId,
+    /// The ordered processor set the task runs on (rank order = block
+    /// distribution order).
+    pub procs: ProcSet,
+    /// Estimated start time (s).
+    pub est_start: f64,
+    /// Estimated finish time (s).
+    pub est_finish: f64,
+}
+
+/// Problems detected by [`Schedule::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleError {
+    /// A task has an empty processor set.
+    EmptyAllocation(TaskId),
+    /// A task references a processor outside the platform.
+    UnknownProcessor(TaskId, u32),
+    /// A task is estimated to start before a predecessor finishes.
+    StartsBeforePredecessor {
+        /// The offending task.
+        task: TaskId,
+        /// The predecessor it overtakes.
+        pred: TaskId,
+    },
+    /// Two tasks overlap in time on a shared processor.
+    ProcessorOverlap {
+        /// First task.
+        a: TaskId,
+        /// Second task.
+        b: TaskId,
+        /// The doubly-booked processor.
+        proc: u32,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::EmptyAllocation(t) => write!(f, "task {t} has no processors"),
+            ScheduleError::UnknownProcessor(t, p) => {
+                write!(f, "task {t} uses unknown processor {p}")
+            }
+            ScheduleError::StartsBeforePredecessor { task, pred } => {
+                write!(f, "task {task} starts before predecessor {pred} finishes")
+            }
+            ScheduleError::ProcessorOverlap { a, b, proc } => {
+                write!(f, "tasks {a} and {b} overlap on processor {proc}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// A complete mapping of a task graph onto a platform.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// One entry per task, indexed by [`TaskId::index`].
+    pub entries: Vec<ScheduleEntry>,
+    /// The order in which the mapper placed tasks (per-processor execution
+    /// follows this order in the simulator).
+    pub order: Vec<TaskId>,
+}
+
+impl Schedule {
+    /// The entry of task `t`.
+    #[inline]
+    pub fn entry(&self, t: TaskId) -> &ScheduleEntry {
+        &self.entries[t.index()]
+    }
+
+    /// The mapper's estimated makespan: the latest estimated finish time.
+    pub fn makespan_estimate(&self) -> f64 {
+        self.entries.iter().map(|e| e.est_finish).fold(0.0, f64::max)
+    }
+
+    /// The schedule's total *work* `Σ T(t, Np(t)) · Np(t)` in
+    /// processor-seconds — the paper's resource-consumption metric
+    /// (independent of contention, so it is exact, not an estimate).
+    pub fn total_work(&self, dag: &TaskGraph, platform: &Platform) -> f64 {
+        self.entries
+            .iter()
+            .map(|e| {
+                dag.task(e.task)
+                    .cost
+                    .work(e.procs.len(), platform.gflops())
+            })
+            .sum()
+    }
+
+    /// Checks structural sanity: every allocation non-empty and on-platform,
+    /// estimated precedences respected, no processor double-booked.
+    pub fn validate(&self, dag: &TaskGraph, platform: &Platform) -> Result<(), ScheduleError> {
+        for e in &self.entries {
+            if e.procs.is_empty() {
+                return Err(ScheduleError::EmptyAllocation(e.task));
+            }
+            for p in e.procs.iter() {
+                if p >= platform.num_procs() {
+                    return Err(ScheduleError::UnknownProcessor(e.task, p));
+                }
+            }
+        }
+        let tol = 1e-9 * self.makespan_estimate().max(1.0);
+        for t in dag.task_ids() {
+            let e = &self.entries[t.index()];
+            for (pred, _) in dag.predecessors(t) {
+                if e.est_start + tol < self.entries[pred.index()].est_finish {
+                    return Err(ScheduleError::StartsBeforePredecessor { task: t, pred });
+                }
+            }
+        }
+        // Processor booking intervals must not overlap.
+        let mut per_proc: Vec<Vec<(f64, f64, TaskId)>> =
+            vec![Vec::new(); platform.num_procs() as usize];
+        for e in &self.entries {
+            for p in e.procs.iter() {
+                per_proc[p as usize].push((e.est_start, e.est_finish, e.task));
+            }
+        }
+        for (p, intervals) in per_proc.iter_mut().enumerate() {
+            intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+            for w in intervals.windows(2) {
+                let (_, end_a, task_a) = w[0];
+                let (start_b, _, task_b) = w[1];
+                if start_b + tol < end_a {
+                    return Err(ScheduleError::ProcessorOverlap {
+                        a: task_a,
+                        b: task_b,
+                        proc: p as u32,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders an ASCII Gantt chart of the estimated schedule (one row per
+    /// processor, `width` columns spanning the makespan).
+    pub fn gantt_ascii(&self, platform: &Platform, width: usize) -> String {
+        use std::fmt::Write as _;
+        let makespan = self.makespan_estimate().max(1e-12);
+        let mut rows = vec![vec![b'.'; width]; platform.num_procs() as usize];
+        for (i, e) in self.entries.iter().enumerate() {
+            let c = b"0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+                [i % 62];
+            let from = ((e.est_start / makespan) * width as f64).floor() as usize;
+            let to = ((e.est_finish / makespan) * width as f64).ceil() as usize;
+            for p in e.procs.iter() {
+                let row = &mut rows[p as usize];
+                for cell in row
+                    .iter_mut()
+                    .take(to.clamp(from + 1, width))
+                    .skip(from.min(width - 1))
+                {
+                    *cell = c;
+                }
+            }
+        }
+        let mut out = String::new();
+        for (p, row) in rows.iter().enumerate() {
+            let _ = writeln!(out, "p{p:03} |{}|", String::from_utf8_lossy(row));
+        }
+        let _ = writeln!(out, "      0 {:>width$.3}s", makespan, width = width - 2);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rats_model::TaskCost;
+    use rats_platform::ClusterSpec;
+
+    fn tiny_platform() -> Platform {
+        Platform::from_spec(&ClusterSpec::flat("t", 4, 1.0))
+    }
+
+    fn two_task_dag() -> (TaskGraph, [TaskId; 2]) {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", TaskCost::new(1000, 1.0, 0.0));
+        let b = g.add_task("b", TaskCost::new(1000, 1.0, 0.0));
+        g.add_edge(a, b, 8000.0);
+        (g, [a, b])
+    }
+
+    fn entry(t: TaskId, procs: Vec<u32>, s: f64, f: f64) -> ScheduleEntry {
+        ScheduleEntry {
+            task: t,
+            procs: ProcSet::new(procs),
+            est_start: s,
+            est_finish: f,
+        }
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        let (g, [a, b]) = two_task_dag();
+        let p = tiny_platform();
+        let s = Schedule {
+            entries: vec![entry(a, vec![0, 1], 0.0, 1.0), entry(b, vec![0, 1], 1.5, 2.5)],
+            order: vec![a, b],
+        };
+        s.validate(&g, &p).unwrap();
+        assert_eq!(s.makespan_estimate(), 2.5);
+    }
+
+    #[test]
+    fn precedence_violation_detected() {
+        let (g, [a, b]) = two_task_dag();
+        let p = tiny_platform();
+        let s = Schedule {
+            entries: vec![entry(a, vec![0], 0.0, 2.0), entry(b, vec![1], 1.0, 3.0)],
+            order: vec![a, b],
+        };
+        assert!(matches!(
+            s.validate(&g, &p),
+            Err(ScheduleError::StartsBeforePredecessor { .. })
+        ));
+    }
+
+    #[test]
+    fn overlap_detected() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", TaskCost::new(1000, 1.0, 0.0));
+        let b = g.add_task("b", TaskCost::new(1000, 1.0, 0.0));
+        let p = tiny_platform();
+        let s = Schedule {
+            entries: vec![entry(a, vec![2], 0.0, 2.0), entry(b, vec![2], 1.0, 3.0)],
+            order: vec![a, b],
+        };
+        assert!(matches!(
+            s.validate(&g, &p),
+            Err(ScheduleError::ProcessorOverlap { proc: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_processor_detected() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", TaskCost::new(1000, 1.0, 0.0));
+        let p = tiny_platform();
+        let s = Schedule {
+            entries: vec![entry(a, vec![9], 0.0, 1.0)],
+            order: vec![a],
+        };
+        assert_eq!(
+            s.validate(&g, &p),
+            Err(ScheduleError::UnknownProcessor(a, 9))
+        );
+    }
+
+    #[test]
+    fn work_accounts_processor_seconds() {
+        let (g, [a, b]) = two_task_dag();
+        let p = tiny_platform();
+        let s = Schedule {
+            entries: vec![entry(a, vec![0, 1], 0.0, 1.0), entry(b, vec![2], 1.0, 2.0)],
+            order: vec![a, b],
+        };
+        // a: T(2 procs) · 2; b: T(1 proc) · 1. α = 0 → T(2) = T(1)/2.
+        let t1 = g.task(a).cost.time(1, 1.0);
+        let expected = t1 / 2.0 * 2.0 + t1;
+        assert!((s.total_work(&g, &p) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gantt_renders_every_processor_row() {
+        let (g, [a, b]) = two_task_dag();
+        let _ = g;
+        let p = tiny_platform();
+        let s = Schedule {
+            entries: vec![entry(a, vec![0, 1], 0.0, 1.0), entry(b, vec![0], 1.0, 2.0)],
+            order: vec![a, b],
+        };
+        let gantt = s.gantt_ascii(&p, 40);
+        assert_eq!(gantt.lines().count(), 5, "4 procs + time axis");
+        assert!(gantt.contains("p000"));
+    }
+}

@@ -1,0 +1,296 @@
+//! Mapping strategies and their tunable parameters (paper, section III).
+
+/// Parameters of the **delta** strategy: purely structural bounds on how far
+/// an allocation may move to adopt a predecessor's processor set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeltaParams {
+    /// Fraction of the original allocation that may be *removed* when
+    /// packing (the paper's `mindelta`, given here as a magnitude: `0.5`
+    /// means the packed allocation has at least `⌈0.5·Np(t)⌉` processors;
+    /// `0` disables packing).
+    pub mindelta: f64,
+    /// Fraction of the original allocation that may be *added* when
+    /// stretching (`maxdelta`; `0` disables stretching beyond equal-size
+    /// predecessors).
+    pub maxdelta: f64,
+}
+
+impl DeltaParams {
+    /// The paper's naive starting point: `mindelta = maxdelta = 0.5`.
+    pub fn naive() -> Self {
+        Self {
+            mindelta: 0.5,
+            maxdelta: 0.5,
+        }
+    }
+
+    /// Largest allowed stretch in processors for a task currently allocated
+    /// `np` processors: `δmax = ⌊maxdelta · np⌋`.
+    pub fn delta_max(&self, np: u32) -> u32 {
+        (self.maxdelta * f64::from(np)).floor() as u32
+    }
+
+    /// Largest allowed shrink in processors: `|δmin| = ⌊mindelta · np⌋`
+    /// (the paper writes `δmin` as a negative number; we keep magnitudes).
+    pub fn delta_min_magnitude(&self, np: u32) -> u32 {
+        let m = (self.mindelta * f64::from(np)).floor() as u32;
+        // Packing may never remove *all* processors.
+        m.min(np.saturating_sub(1))
+    }
+
+    fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.mindelta),
+            "mindelta magnitude must be in [0, 1], got {}",
+            self.mindelta
+        );
+        assert!(
+            self.maxdelta >= 0.0 && self.maxdelta.is_finite(),
+            "maxdelta must be a finite non-negative fraction, got {}",
+            self.maxdelta
+        );
+    }
+}
+
+/// Parameters of the **time-cost** strategy: work-efficiency driven.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeCostParams {
+    /// Minimal acceptable work ratio `ρ = (T(t,n)·n)/(T(t,n')·n') ∈ (0, 1]`
+    /// for stretching onto a larger predecessor allocation. The closer to
+    /// 1, the stricter the efficiency requirement.
+    pub minrho: f64,
+    /// Whether packing (shrinking onto a smaller predecessor allocation) is
+    /// allowed; a packed mapping is only taken when it does not worsen the
+    /// task's estimated finish time.
+    pub allow_packing: bool,
+}
+
+impl TimeCostParams {
+    /// The paper's naive starting point: packing on, `minrho = 0.5`.
+    pub fn naive() -> Self {
+        Self {
+            minrho: 0.5,
+            allow_packing: true,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.minrho > 0.0 && self.minrho <= 1.0,
+            "minrho must be in (0, 1], got {}",
+            self.minrho
+        );
+    }
+}
+
+/// The secondary, *stable* sort applied to ready tasks of equal bottom-level
+/// priority (paper, section III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SecondarySort {
+    /// No secondary criterion (plain HCPA).
+    None,
+    /// Increasing `δ(t) = min(δ⁺, −δ⁻)`: tasks needing the smallest
+    /// allocation modification first.
+    DeltaAscending,
+    /// Decreasing `gain(t) = maxᵢ (T(t, Np(t)) − T(t, Np(predᵢ)))`: tasks
+    /// with the most to gain from a parent's allocation first.
+    GainDescending,
+}
+
+/// How the default (non-adopting) mapping chooses candidate processor
+/// sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CandidatePolicy {
+    /// Map onto the `k` earliest-available processors only — the CPA/HCPA
+    /// list-scheduling placement of the paper's era. Redistribution costs
+    /// are *accounted for* in the finish-time estimate, but the placement
+    /// does not search for redistribution-avoiding alternatives: that gap
+    /// is precisely what RATS closes.
+    #[default]
+    EarliestK,
+    /// Additionally evaluate one candidate derived from each predecessor's
+    /// processor set (its prefix, or the set padded with the earliest free
+    /// processors) and keep the best estimated finish. A *stronger*
+    /// baseline than the paper's HCPA, provided for ablation studies.
+    ParentAware,
+}
+
+/// Parameters of the **combined** strategy (an extension beyond the paper,
+/// in the direction of its future-work "automatic tuning"): candidate
+/// predecessors are gated structurally like *delta*, but the adoption is
+/// validated with finish-time estimates like *time-cost*.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CombinedParams {
+    /// Structural bounds (pack/stretch fractions), as in the delta strategy.
+    pub delta: DeltaParams,
+    /// Minimal acceptable work ratio for stretching, as in time-cost.
+    pub minrho: f64,
+}
+
+impl CombinedParams {
+    fn validate(&self) {
+        assert!(
+            self.minrho > 0.0 && self.minrho <= 1.0,
+            "minrho must be in (0, 1], got {}",
+            self.minrho
+        );
+    }
+}
+
+/// Which mapping procedure step two runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MappingStrategy {
+    /// Baseline list scheduling with untouched allocations (HCPA's mapping,
+    /// redistribution costs included in the finish-time estimates).
+    Hcpa,
+    /// RATS with the delta strategy.
+    RatsDelta(DeltaParams),
+    /// RATS with the time-cost strategy.
+    RatsTimeCost(TimeCostParams),
+    /// RATS with the combined strategy (extension; see [`CombinedParams`]).
+    RatsCombined(CombinedParams),
+}
+
+impl MappingStrategy {
+    /// Delta strategy; `mindelta` may be given as the paper's negative value
+    /// or as a magnitude — the sign is dropped.
+    pub fn rats_delta(mindelta: f64, maxdelta: f64) -> Self {
+        let p = DeltaParams {
+            mindelta: mindelta.abs(),
+            maxdelta,
+        };
+        p.validate();
+        Self::RatsDelta(p)
+    }
+
+    /// Time-cost strategy.
+    pub fn rats_time_cost(minrho: f64, allow_packing: bool) -> Self {
+        let p = TimeCostParams {
+            minrho,
+            allow_packing,
+        };
+        p.validate();
+        Self::RatsTimeCost(p)
+    }
+
+    /// Combined strategy: delta bounds + time-cost estimate validation
+    /// (`mindelta` sign is dropped, as in [`Self::rats_delta`]).
+    pub fn rats_combined(mindelta: f64, maxdelta: f64, minrho: f64) -> Self {
+        let p = CombinedParams {
+            delta: DeltaParams {
+                mindelta: mindelta.abs(),
+                maxdelta,
+            },
+            minrho,
+        };
+        p.delta.validate();
+        p.validate();
+        Self::RatsCombined(p)
+    }
+
+    /// The ready-list secondary sort this strategy uses.
+    pub fn secondary_sort(&self) -> SecondarySort {
+        match self {
+            MappingStrategy::Hcpa => SecondarySort::None,
+            MappingStrategy::RatsDelta(_) => SecondarySort::DeltaAscending,
+            MappingStrategy::RatsTimeCost(_) => SecondarySort::GainDescending,
+            MappingStrategy::RatsCombined(_) => SecondarySort::DeltaAscending,
+        }
+    }
+
+    /// Short display name used by the experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MappingStrategy::Hcpa => "HCPA",
+            MappingStrategy::RatsDelta(_) => "delta",
+            MappingStrategy::RatsTimeCost(_) => "time-cost",
+            MappingStrategy::RatsCombined(_) => "combined",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_bounds_follow_paper_example() {
+        // Np(t) = 6, maxdelta = 0.5 → at most 9 processors, δmax = 3.
+        let p = DeltaParams {
+            mindelta: 0.5,
+            maxdelta: 0.5,
+        };
+        assert_eq!(p.delta_max(6), 3);
+        // mindelta = 0.5 → at least 3 processors, |δmin| = 3.
+        assert_eq!(p.delta_min_magnitude(6), 3);
+    }
+
+    #[test]
+    fn packing_never_empties_an_allocation() {
+        let p = DeltaParams {
+            mindelta: 1.0,
+            maxdelta: 0.0,
+        };
+        assert_eq!(p.delta_min_magnitude(1), 0);
+        assert_eq!(p.delta_min_magnitude(4), 3);
+    }
+
+    #[test]
+    fn negative_mindelta_is_normalized() {
+        let s = MappingStrategy::rats_delta(-0.75, 1.0);
+        match s {
+            MappingStrategy::RatsDelta(p) => assert_eq!(p.mindelta, 0.75),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn secondary_sorts_match_strategies() {
+        assert_eq!(MappingStrategy::Hcpa.secondary_sort(), SecondarySort::None);
+        assert_eq!(
+            MappingStrategy::rats_delta(0.5, 0.5).secondary_sort(),
+            SecondarySort::DeltaAscending
+        );
+        assert_eq!(
+            MappingStrategy::rats_time_cost(0.5, true).secondary_sort(),
+            SecondarySort::GainDescending
+        );
+    }
+
+    #[test]
+    fn combined_strategy_construction() {
+        let s = MappingStrategy::rats_combined(-0.5, 1.0, 0.4);
+        assert_eq!(s.name(), "combined");
+        assert_eq!(s.secondary_sort(), SecondarySort::DeltaAscending);
+        match s {
+            MappingStrategy::RatsCombined(p) => {
+                assert_eq!(p.delta.mindelta, 0.5);
+                assert_eq!(p.delta.maxdelta, 1.0);
+                assert_eq!(p.minrho, 0.4);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "minrho")]
+    fn combined_rejects_bad_rho() {
+        MappingStrategy::rats_combined(0.5, 1.0, 0.0);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(MappingStrategy::Hcpa.name(), "HCPA");
+        assert_eq!(MappingStrategy::rats_delta(0.5, 0.5).name(), "delta");
+        assert_eq!(
+            MappingStrategy::rats_time_cost(0.2, false).name(),
+            "time-cost"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "minrho")]
+    fn rejects_zero_rho() {
+        MappingStrategy::rats_time_cost(0.0, true);
+    }
+}

@@ -1,0 +1,464 @@
+//! The discrete-event replay engine.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rats_dag::{EdgeId, TaskGraph, TaskId};
+use rats_platform::Platform;
+use rats_redist::redistribute;
+use rats_sched::Schedule;
+use rats_simnet::{NetSim, StartOutcome};
+
+use crate::outcome::{EdgeRedistStats, SimOutcome};
+
+/// Total-ordered f64 for the event heap (all times are finite).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("event times are finite")
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum TaskState {
+    /// Waiting for input redistributions and/or processors.
+    Waiting,
+    Running,
+    Done,
+}
+
+/// Simulates the execution of `schedule` on `platform`.
+///
+/// See the crate docs for the model; the short version: redistribution
+/// flows contend under max-min fairness, a task starts once its inputs
+/// have arrived and all its processors are idle (waiting tasks are scanned
+/// in mapping-priority order, without head-of-line blocking), and the
+/// makespan is the completion time of the last task.
+///
+/// # Panics
+///
+/// Panics if the schedule does not cover exactly the tasks of `dag`.
+pub fn simulate(dag: &TaskGraph, schedule: &Schedule, platform: &Platform) -> SimOutcome {
+    let n = dag.num_tasks();
+    assert_eq!(
+        schedule.entries.len(),
+        n,
+        "schedule must map every task of the graph"
+    );
+    let gflops = platform.gflops();
+
+    // Processor occupancy: a task atomically grabs all its processors when
+    // it starts and releases them when it finishes. Waiting tasks are
+    // scanned in mapping order (the list scheduler's priority), but a task
+    // whose data has not arrived does not block later tasks mapped on the
+    // same processors — execution order emerges from data availability, as
+    // in the paper's runtime where ready tasks are launched as they appear.
+    let mut proc_busy = vec![false; platform.num_procs() as usize];
+
+    let mut state = vec![TaskState::Waiting; n];
+    // Incomplete input redistributions per task.
+    let mut pending_inputs: Vec<u32> = dag.task_ids().map(|t| dag.in_degree(t) as u32).collect();
+    // Remaining network flows per edge.
+    let mut edge_flows: Vec<u32> = vec![0; dag.num_edges()];
+
+    let mut task_start = vec![0.0f64; n];
+    let mut task_finish = vec![0.0f64; n];
+    let mut network_bytes = 0.0f64;
+    let mut self_bytes = 0.0f64;
+    let mut edge_stats = vec![
+        EdgeRedistStats {
+            start: 0.0,
+            finish: 0.0,
+            network_bytes: 0.0,
+        };
+        dag.num_edges()
+    ];
+
+    let mut net = NetSim::new(platform);
+    // (finish time, task) events for running tasks.
+    let mut finish_events: BinaryHeap<Reverse<(OrdF64, TaskId)>> = BinaryHeap::new();
+    let mut done = 0usize;
+    let mut now = 0.0f64;
+
+    // Starts the redistribution of edge `e` at the current time; returns the
+    // tasks whose last input just completed (all-local redistributions).
+    let start_edge = |e: EdgeId,
+                      now: f64,
+                      net: &mut NetSim,
+                      edge_flows: &mut Vec<u32>,
+                      pending_inputs: &mut Vec<u32>,
+                      network_bytes: &mut f64,
+                      self_bytes: &mut f64,
+                      edge_stats: &mut Vec<EdgeRedistStats>|
+     -> Option<TaskId> {
+        let edge = dag.edge(e);
+        let src_procs = &schedule.entries[edge.src.index()].procs;
+        let dst_procs = &schedule.entries[edge.dst.index()].procs;
+        let r = redistribute(edge.bytes, src_procs, dst_procs);
+        *network_bytes += r.network_bytes();
+        *self_bytes += r.self_bytes;
+        edge_stats[e.index()] = EdgeRedistStats {
+            start: now,
+            finish: now,
+            network_bytes: r.network_bytes(),
+        };
+        let mut flows = 0u32;
+        for t in &r.transfers {
+            match net.start_flow(t.src, t.dst, t.bytes, e.index() as u64) {
+                StartOutcome::Started(_) => flows += 1,
+                StartOutcome::Instant => {}
+            }
+        }
+        edge_flows[e.index()] = flows;
+        if flows == 0 {
+            pending_inputs[edge.dst.index()] -= 1;
+            (pending_inputs[edge.dst.index()] == 0).then_some(edge.dst)
+        } else {
+            None
+        }
+    };
+
+    // Entry tasks have no inputs pending from the start.
+    // Start every startable task at the current time.
+    macro_rules! try_start_tasks {
+        () => {
+            loop {
+                let mut started_any = false;
+                for &t in &schedule.order {
+                    if state[t.index()] != TaskState::Waiting || pending_inputs[t.index()] > 0 {
+                        continue;
+                    }
+                    let entry = &schedule.entries[t.index()];
+                    if entry.procs.iter().any(|p| proc_busy[p as usize]) {
+                        continue;
+                    }
+                    // Start the task: grab all its processors atomically.
+                    for p in entry.procs.iter() {
+                        proc_busy[p as usize] = true;
+                    }
+                    let dur = dag.task(t).cost.time(entry.procs.len(), gflops);
+                    state[t.index()] = TaskState::Running;
+                    task_start[t.index()] = now;
+                    finish_events.push(Reverse((OrdF64(now + dur), t)));
+                    started_any = true;
+                }
+                if !started_any {
+                    break;
+                }
+            }
+        };
+    }
+
+    try_start_tasks!();
+
+    while done < n {
+        let next_task = finish_events.peek().map(|Reverse((t, _))| t.0);
+        let next_net = net.next_event();
+        let t_next = match (next_task, next_net) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => panic!(
+                "simulation deadlock: {done}/{n} tasks done and no pending events"
+            ),
+        };
+        now = t_next;
+
+        // 1. Network completions at `now`.
+        if next_net.is_some_and(|b| b <= now + 1e-15) {
+            for key in net.advance_to(now) {
+                let e = EdgeId::from_index(net.tag(key) as usize);
+                edge_flows[e.index()] -= 1;
+                if edge_flows[e.index()] == 0 {
+                    let dst = dag.edge(e).dst;
+                    pending_inputs[dst.index()] -= 1;
+                    edge_stats[e.index()].finish = now;
+                }
+            }
+        } else {
+            // Keep the network clock in lock-step (no events crossed).
+            let _ = net.advance_to(now);
+        }
+
+        // 2. Task completions at `now`.
+        while let Some(Reverse((OrdF64(tf), t))) = finish_events.peek().copied() {
+            if tf > now + 1e-15 {
+                break;
+            }
+            finish_events.pop();
+            state[t.index()] = TaskState::Done;
+            task_finish[t.index()] = tf;
+            done += 1;
+            for p in schedule.entries[t.index()].procs.iter() {
+                proc_busy[p as usize] = false;
+            }
+            // Launch outgoing redistributions.
+            for &e in dag.out_edges(t) {
+                let _ = start_edge(
+                    e,
+                    now,
+                    &mut net,
+                    &mut edge_flows,
+                    &mut pending_inputs,
+                    &mut network_bytes,
+                    &mut self_bytes,
+                    &mut edge_stats,
+                );
+            }
+        }
+
+        // 3. Start whatever became startable.
+        try_start_tasks!();
+    }
+
+    let total_work: f64 = dag
+        .task_ids()
+        .map(|t| {
+            dag.task(t)
+                .cost
+                .work(schedule.entries[t.index()].procs.len(), gflops)
+        })
+        .sum();
+
+    SimOutcome {
+        makespan: task_finish.iter().copied().fold(0.0, f64::max),
+        task_start,
+        task_finish,
+        total_work,
+        network_bytes,
+        self_bytes,
+        edge_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rats_daggen::{fft_dag, strassen_dag, suite};
+    use rats_model::{CostParams, TaskCost};
+    use rats_platform::{ClusterSpec, ProcSet};
+    use rats_sched::{MappingStrategy, Scheduler};
+
+    fn grillon() -> Platform {
+        Platform::from_spec(&ClusterSpec::grillon())
+    }
+
+    fn hand_schedule(entries: Vec<(TaskId, Vec<u32>)>) -> Schedule {
+        let order: Vec<TaskId> = entries.iter().map(|(t, _)| *t).collect();
+        Schedule {
+            entries: entries
+                .into_iter()
+                .map(|(task, procs)| rats_sched::ScheduleEntry {
+                    task,
+                    procs: ProcSet::new(procs),
+                    est_start: 0.0,
+                    est_finish: 0.0,
+                })
+                .collect(),
+            order,
+        }
+    }
+
+    #[test]
+    fn single_task_runs_for_its_execution_time() {
+        let mut g = TaskGraph::new();
+        let t = g.add_task("t", TaskCost::new(10_000_000, 128.0, 0.1));
+        let p = grillon();
+        let s = hand_schedule(vec![(t, vec![0, 1, 2, 3])]);
+        let out = simulate(&g, &s, &p);
+        let expected = g.task(t).cost.time(4, p.gflops());
+        assert!((out.makespan - expected).abs() < 1e-12);
+        assert_eq!(out.network_bytes, 0.0);
+    }
+
+    #[test]
+    fn same_set_chain_has_no_communication() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", TaskCost::new(10_000_000, 128.0, 0.1));
+        let b = g.add_task("b", TaskCost::new(10_000_000, 128.0, 0.1));
+        g.add_edge(a, b, 8e7);
+        let p = grillon();
+        let s = hand_schedule(vec![(a, vec![0, 1]), (b, vec![0, 1])]);
+        let out = simulate(&g, &s, &p);
+        let expected = g.task(a).cost.time(2, p.gflops()) + g.task(b).cost.time(2, p.gflops());
+        assert!((out.makespan - expected).abs() < 1e-9, "{}", out.makespan);
+        assert_eq!(out.network_bytes, 0.0);
+        assert!(out.self_bytes > 0.0);
+    }
+
+    #[test]
+    fn disjoint_chain_pays_the_transfer() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", TaskCost::new(10_000_000, 128.0, 0.1));
+        let b = g.add_task("b", TaskCost::new(10_000_000, 128.0, 0.1));
+        let bytes = 125e6; // 1 s on one link
+        g.add_edge(a, b, bytes);
+        let p = grillon();
+        let s = hand_schedule(vec![(a, vec![0]), (b, vec![1])]);
+        let out = simulate(&g, &s, &p);
+        let t = |task: TaskId| g.task(task).cost.time(1, p.gflops());
+        // latency 2e-4 + 1 s transfer between the two tasks.
+        let expected = t(a) + 2e-4 + 1.0 + t(b);
+        assert!(
+            (out.makespan - expected).abs() < 1e-6,
+            "makespan {} vs {expected}",
+            out.makespan
+        );
+        assert!((out.network_bytes - bytes).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fan_in_contention_slows_arrivals() {
+        // Two producers send simultaneously to one consumer on one
+        // processor: its link is shared, halving throughput.
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", TaskCost::zero());
+        let b = g.add_task("b", TaskCost::zero());
+        let c = g.add_task("c", TaskCost::zero());
+        let bytes = 125e6;
+        g.add_edge(a, c, bytes);
+        g.add_edge(b, c, bytes);
+        let p = grillon();
+        let s = hand_schedule(vec![(a, vec![0]), (b, vec![1]), (c, vec![2])]);
+        let out = simulate(&g, &s, &p);
+        // Both flows share c's 125 MB/s link → 2 s, plus latency.
+        assert!(
+            out.makespan > 2.0 && out.makespan < 2.01,
+            "makespan {}",
+            out.makespan
+        );
+    }
+
+    #[test]
+    fn processor_fifo_is_respected() {
+        // Two independent tasks mapped on the same processor run serially
+        // in mapping order.
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", TaskCost::new(10_000_000, 128.0, 0.0));
+        let b = g.add_task("b", TaskCost::new(10_000_000, 128.0, 0.0));
+        let p = grillon();
+        let s = hand_schedule(vec![(a, vec![5]), (b, vec![5])]);
+        let out = simulate(&g, &s, &p);
+        let t = g.task(a).cost.time(1, p.gflops());
+        assert!((out.start(b) - t).abs() < 1e-12);
+        assert!((out.makespan - 2.0 * t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simulated_times_respect_all_invariants() {
+        let p = grillon();
+        for scenario in suite::mini_suite(&CostParams::paper(), 21) {
+            for strat in [
+                MappingStrategy::Hcpa,
+                MappingStrategy::rats_delta(0.5, 0.5),
+                MappingStrategy::rats_time_cost(0.5, true),
+            ] {
+                let sched = Scheduler::new(&p).strategy(strat).schedule(&scenario.dag);
+                let out = simulate(&scenario.dag, &sched, &p);
+                out.validate(&scenario.dag, &sched, &p)
+                    .unwrap_or_else(|e| panic!("{} / {}: {e}", scenario.name, strat.name()));
+                assert!(out.makespan > 0.0);
+                // Tasks never start before every predecessor's data exists.
+                for t in scenario.dag.task_ids() {
+                    for (pred, _) in scenario.dag.predecessors(t) {
+                        assert!(out.start(t) >= out.finish(pred) - 1e-9);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let p = grillon();
+        let dag = fft_dag(8, &CostParams::paper(), 13);
+        let sched = Scheduler::new(&p)
+            .strategy(MappingStrategy::rats_time_cost(0.5, true))
+            .schedule(&dag);
+        let a = simulate(&dag, &sched, &p);
+        let b = simulate(&dag, &sched, &p);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.task_start, b.task_start);
+    }
+
+    #[test]
+    fn contention_makes_simulation_slower_than_estimate() {
+        // On graphs with parallel transfers, the simulated makespan should
+        // be at least the contention-free estimated makespan (up to noise).
+        let p = grillon();
+        let dag = strassen_dag(&CostParams::paper(), 3);
+        let sched = Scheduler::new(&p).schedule(&dag);
+        let out = simulate(&dag, &sched, &p);
+        assert!(
+            out.makespan >= sched.makespan_estimate() * 0.95,
+            "sim {} vs est {}",
+            out.makespan,
+            sched.makespan_estimate()
+        );
+    }
+
+    #[test]
+    fn work_matches_schedule_work() {
+        let p = grillon();
+        let dag = fft_dag(4, &CostParams::paper(), 2);
+        let sched = Scheduler::new(&p).schedule(&dag);
+        let out = simulate(&dag, &sched, &p);
+        assert!((out.total_work - sched.total_work(&dag, &p)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stall_accounts_for_communication() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", TaskCost::new(10_000_000, 128.0, 0.1));
+        let b = g.add_task("b", TaskCost::new(10_000_000, 128.0, 0.1));
+        g.add_edge(a, b, 125e6);
+        let p = grillon();
+        let s = hand_schedule(vec![(a, vec![0]), (b, vec![1])]);
+        let out = simulate(&g, &s, &p);
+        assert!(out.total_stall(&g) > 1.0, "stall = {}", out.total_stall(&g));
+    }
+
+    #[test]
+    fn edge_stats_track_redistribution_windows() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", TaskCost::new(10_000_000, 128.0, 0.1));
+        let b = g.add_task("b", TaskCost::new(10_000_000, 128.0, 0.1));
+        let e = g.add_edge(a, b, 125e6);
+        let p = grillon();
+        let s = hand_schedule(vec![(a, vec![0]), (b, vec![1])]);
+        let out = simulate(&g, &s, &p);
+        let stats = out.edge(e);
+        assert!((stats.start - out.finish(a)).abs() < 1e-12);
+        assert!((stats.finish - out.start(b)).abs() < 1e-9);
+        assert!(stats.duration() > 1.0, "1 s of data + latency");
+        assert!(!stats.was_free());
+        assert!((out.total_redistribution_time() - stats.duration()).abs() < 1e-12);
+        assert_eq!(out.free_edge_fraction(), 0.0);
+    }
+
+    #[test]
+    fn free_edges_have_zero_duration() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", TaskCost::new(10_000_000, 128.0, 0.1));
+        let b = g.add_task("b", TaskCost::new(10_000_000, 128.0, 0.1));
+        let e = g.add_edge(a, b, 8e7);
+        let p = grillon();
+        let s = hand_schedule(vec![(a, vec![0, 1]), (b, vec![0, 1])]);
+        let out = simulate(&g, &s, &p);
+        assert!(out.edge(e).was_free());
+        assert_eq!(out.edge(e).duration(), 0.0);
+        assert_eq!(out.free_edge_fraction(), 1.0);
+    }
+
+    use rats_dag::TaskGraph;
+}

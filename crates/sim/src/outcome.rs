@@ -1,0 +1,122 @@
+//! Simulation results and derived metrics.
+
+use rats_dag::{EdgeId, TaskGraph, TaskId};
+use rats_platform::Platform;
+use rats_sched::Schedule;
+
+/// Timing of one edge's redistribution, as observed by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeRedistStats {
+    /// When the producer finished and the transfer started.
+    pub start: f64,
+    /// When the last flow of the redistribution completed (equals `start`
+    /// for free, all-local redistributions).
+    pub finish: f64,
+    /// Bytes that crossed the network for this edge.
+    pub network_bytes: f64,
+}
+
+impl EdgeRedistStats {
+    /// Wall-clock duration of the redistribution.
+    #[inline]
+    pub fn duration(&self) -> f64 {
+        self.finish - self.start
+    }
+
+    /// `true` if no data crossed the network.
+    #[inline]
+    pub fn was_free(&self) -> bool {
+        self.network_bytes == 0.0
+    }
+}
+
+/// The result of simulating a schedule.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Application completion time in seconds (the paper's makespan).
+    pub makespan: f64,
+    /// Actual start time of every task, indexed by [`TaskId::index`].
+    pub task_start: Vec<f64>,
+    /// Actual finish time of every task.
+    pub task_finish: Vec<f64>,
+    /// Total work `Σ T(t, Np(t)) · Np(t)` in processor-seconds (identical
+    /// to the schedule's, since allocations do not change at run time).
+    pub total_work: f64,
+    /// Bytes that crossed the network during redistributions.
+    pub network_bytes: f64,
+    /// Bytes that stayed on their processor (free self-communications).
+    pub self_bytes: f64,
+    /// Per-edge redistribution timing, indexed by [`EdgeId::index`].
+    pub edge_stats: Vec<EdgeRedistStats>,
+}
+
+impl SimOutcome {
+    /// Actual start of task `t`.
+    #[inline]
+    pub fn start(&self, t: TaskId) -> f64 {
+        self.task_start[t.index()]
+    }
+
+    /// Actual finish of task `t`.
+    #[inline]
+    pub fn finish(&self, t: TaskId) -> f64 {
+        self.task_finish[t.index()]
+    }
+
+    /// The observed redistribution timing of edge `e`.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> EdgeRedistStats {
+        self.edge_stats[e.index()]
+    }
+
+    /// Total wall-clock seconds spent in (possibly overlapping)
+    /// redistributions.
+    pub fn total_redistribution_time(&self) -> f64 {
+        self.edge_stats.iter().map(EdgeRedistStats::duration).sum()
+    }
+
+    /// Fraction of edges whose redistribution was completely free.
+    pub fn free_edge_fraction(&self) -> f64 {
+        if self.edge_stats.is_empty() {
+            return 1.0;
+        }
+        self.edge_stats.iter().filter(|e| e.was_free()).count() as f64
+            / self.edge_stats.len() as f64
+    }
+
+    /// Total time tasks spent waiting past their predecessors' completion
+    /// (redistribution + processor contention delay), summed over tasks.
+    pub fn total_stall(&self, dag: &TaskGraph) -> f64 {
+        dag.task_ids()
+            .map(|t| {
+                let data_base = dag
+                    .predecessors(t)
+                    .map(|(p, _)| self.task_finish[p.index()])
+                    .fold(0.0f64, f64::max);
+                (self.task_start[t.index()] - data_base).max(0.0)
+            })
+            .sum()
+    }
+
+    /// A copy of `schedule` whose entry times are the *simulated* times —
+    /// handy for rendering an as-executed Gantt chart or re-validating.
+    pub fn as_executed(&self, schedule: &Schedule) -> Schedule {
+        let mut s = schedule.clone();
+        for e in &mut s.entries {
+            e.est_start = self.task_start[e.task.index()];
+            e.est_finish = self.task_finish[e.task.index()];
+        }
+        s
+    }
+
+    /// Checks the fundamental execution invariants against the DAG and the
+    /// platform (precedences, processor exclusivity).
+    pub fn validate(
+        &self,
+        dag: &TaskGraph,
+        schedule: &Schedule,
+        platform: &Platform,
+    ) -> Result<(), rats_sched::ScheduleError> {
+        self.as_executed(schedule).validate(dag, platform)
+    }
+}

@@ -1,0 +1,471 @@
+//! Event-driven fluid simulation of network flows.
+
+use rats_platform::Platform;
+
+use crate::maxmin::{FlowSpec, Problem};
+
+/// Handle to a flow inside a [`NetSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey(u32);
+
+impl FlowKey {
+    fn from_index(i: usize) -> Self {
+        Self(u32::try_from(i).expect("more than u32::MAX flows"))
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Result of [`NetSim::start_flow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartOutcome {
+    /// The transfer was local (same processor) or empty: it completed
+    /// instantly and never existed as a network flow.
+    Instant,
+    /// A network flow was created.
+    Started(FlowKey),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    /// Connection establishment: no data moves until `until`.
+    Latency { until: f64 },
+    /// Fluid transfer at the current max-min fair rate.
+    Transfer,
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct Flow {
+    links: Vec<usize>,
+    rate_cap: f64,
+    remaining: f64,
+    size: f64,
+    rate: f64,
+    phase: Phase,
+    tag: u64,
+}
+
+/// An event-driven fluid network simulator over a [`Platform`].
+///
+/// Flows started with [`start_flow`](Self::start_flow) first traverse a
+/// *latency phase* equal to their one-way path latency, then transfer their
+/// payload at the **max-min fair** rate over the links they cross, capped by
+/// the empirical TCP bandwidth `Wmax/RTT`. Rates are recomputed whenever the
+/// set of transferring flows changes — exactly SimGrid's fluid model.
+///
+/// The embedding discrete-event simulation drives it with:
+///
+/// ```text
+/// loop {
+///     t = min(own events, net.next_event());
+///     completed = net.advance_to(t);
+///     …                    // start new flows at the current time
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetSim<'p> {
+    platform: &'p Platform,
+    flows: Vec<Flow>,
+    active: Vec<FlowKey>,
+    time: f64,
+    dirty: bool,
+    /// Cumulative bytes shipped over each link (utilization accounting).
+    link_bytes: Vec<f64>,
+}
+
+impl<'p> NetSim<'p> {
+    /// Creates an idle network at time 0.
+    pub fn new(platform: &'p Platform) -> Self {
+        Self {
+            platform,
+            flows: Vec::new(),
+            active: Vec::new(),
+            time: 0.0,
+            dirty: false,
+            link_bytes: vec![0.0; platform.num_links()],
+        }
+    }
+
+    /// Cumulative bytes shipped over each link so far, indexed by
+    /// [`rats_platform::LinkId::index`].
+    pub fn link_bytes(&self) -> &[f64] {
+        &self.link_bytes
+    }
+
+    /// The busiest link so far and its byte count, if any traffic flowed.
+    pub fn busiest_link(&self) -> Option<(rats_platform::LinkId, f64)> {
+        let (i, &b) = self
+            .link_bytes
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("byte counts are finite"))?;
+        (b > 0.0).then(|| (rats_platform::LinkId::from_index(i), b))
+    }
+
+    /// Current simulated time in seconds.
+    #[inline]
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Number of flows still in latency or transfer phase.
+    #[inline]
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// The caller-supplied tag of a flow.
+    #[inline]
+    pub fn tag(&self, k: FlowKey) -> u64 {
+        self.flows[k.index()].tag
+    }
+
+    /// Starts a transfer of `bytes` bytes from `src` to `dst` **at the
+    /// current simulation time**; `tag` is an opaque caller identifier.
+    ///
+    /// Local transfers (`src == dst`) and empty payloads complete instantly
+    /// (the paper's zero-cost same-processor rule) and return
+    /// [`StartOutcome::Instant`].
+    pub fn start_flow(&mut self, src: u32, dst: u32, bytes: f64, tag: u64) -> StartOutcome {
+        assert!(
+            bytes.is_finite() && bytes >= 0.0,
+            "flow size must be finite and non-negative, got {bytes}"
+        );
+        if src == dst || bytes == 0.0 {
+            return StartOutcome::Instant;
+        }
+        let route = self.platform.route(src, dst);
+        let links: Vec<usize> = route.links().iter().map(|l| l.index()).collect();
+        let rate_cap = self.platform.flow_rate_cap(src, dst);
+        let key = FlowKey::from_index(self.flows.len());
+        let phase = if route.latency_s > 0.0 {
+            Phase::Latency {
+                until: self.time + route.latency_s,
+            }
+        } else {
+            self.dirty = true;
+            Phase::Transfer
+        };
+        self.flows.push(Flow {
+            links,
+            rate_cap,
+            remaining: bytes,
+            size: bytes,
+            rate: 0.0,
+            phase,
+            tag,
+        });
+        self.active.push(key);
+        StartOutcome::Started(key)
+    }
+
+    /// The next time anything happens inside the network (a latency phase
+    /// ends or a transfer completes), or `None` if the network is idle.
+    pub fn next_event(&mut self) -> Option<f64> {
+        self.refresh_rates();
+        let mut next = f64::INFINITY;
+        for &k in &self.active {
+            let f = &self.flows[k.index()];
+            let t = match f.phase {
+                Phase::Latency { until } => until,
+                Phase::Transfer => {
+                    if f.rate > 0.0 {
+                        self.time + f.remaining / f.rate
+                    } else {
+                        f64::INFINITY
+                    }
+                }
+                Phase::Done => unreachable!("done flows are not active"),
+            };
+            next = next.min(t);
+        }
+        next.is_finite().then_some(next)
+    }
+
+    /// Advances the simulation to time `t` (which must not skip past the
+    /// next event) and returns the flows that completed at `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the past or beyond the next event.
+    pub fn advance_to(&mut self, t: f64) -> Vec<FlowKey> {
+        assert!(t.is_finite() && t >= self.time - 1e-12, "time went backwards");
+        if let Some(next) = self.next_event() {
+            assert!(
+                t <= next + next.abs().max(1.0) * 1e-9,
+                "advance_to({t}) skips the next event at {next}"
+            );
+        }
+        let dt = (t - self.time).max(0.0);
+        self.time = t;
+        if dt > 0.0 {
+            for &k in &self.active {
+                let f = &mut self.flows[k.index()];
+                if f.phase == Phase::Transfer {
+                    let moved = f.rate * dt;
+                    f.remaining -= moved;
+                    for &l in &f.links {
+                        self.link_bytes[l] += moved;
+                    }
+                }
+            }
+        }
+        // Phase transitions due at t.
+        let mut completed = Vec::new();
+        let eps_t = 1e-12 + t.abs() * 1e-12;
+        self.active.retain(|&k| {
+            let f = &mut self.flows[k.index()];
+            match f.phase {
+                Phase::Latency { until } if until <= t + eps_t => {
+                    f.phase = Phase::Transfer;
+                    self.dirty = true;
+                    true
+                }
+                Phase::Transfer if f.remaining <= f.size * 1e-9 => {
+                    f.phase = Phase::Done;
+                    f.remaining = 0.0;
+                    self.dirty = true;
+                    completed.push(k);
+                    false
+                }
+                _ => true,
+            }
+        });
+        completed
+    }
+
+    /// Runs the network until every flow completed; returns the final time
+    /// and all completions in chronological order.
+    pub fn run_to_completion(&mut self) -> (f64, Vec<FlowKey>) {
+        let mut all = Vec::new();
+        while let Some(t) = self.next_event() {
+            all.extend(self.advance_to(t));
+        }
+        (self.time, all)
+    }
+
+    /// Recomputes max-min fair rates if the transferring set changed.
+    fn refresh_rates(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        self.dirty = false;
+        let transferring: Vec<FlowKey> = self
+            .active
+            .iter()
+            .copied()
+            .filter(|&k| self.flows[k.index()].phase == Phase::Transfer)
+            .collect();
+        let problem = Problem {
+            capacity: (0..self.platform.num_links())
+                .map(|l| {
+                    self.platform
+                        .link(rats_platform::LinkId::from_index(l))
+                        .bandwidth_bps
+                })
+                .collect(),
+            flows: transferring
+                .iter()
+                .map(|&k| {
+                    let f = &self.flows[k.index()];
+                    FlowSpec {
+                        links: f.links.clone(),
+                        rate_cap: f.rate_cap,
+                    }
+                })
+                .collect(),
+        };
+        let rates = problem.solve();
+        for (&k, r) in transferring.iter().zip(rates) {
+            self.flows[k.index()].rate = r;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rats_platform::{ClusterSpec, LinkSpec, TopologySpec};
+
+    fn zero_latency_cluster(n: u32) -> ClusterSpec {
+        ClusterSpec {
+            name: "test".into(),
+            num_procs: n,
+            gflops: 1.0,
+            node_link: LinkSpec {
+                latency_s: 0.0,
+                bandwidth_bps: 100.0, // bytes/s, easy numbers
+            },
+            topology: TopologySpec::Flat,
+            wmax_bytes: 1e18, // effectively uncapped
+        }
+    }
+
+    #[test]
+    fn local_transfer_is_instant() {
+        let spec = zero_latency_cluster(2);
+        let p = Platform::from_spec(&spec);
+        let mut net = NetSim::new(&p);
+        assert_eq!(net.start_flow(0, 0, 1e9, 0), StartOutcome::Instant);
+        assert_eq!(net.start_flow(0, 1, 0.0, 0), StartOutcome::Instant);
+        assert_eq!(net.next_event(), None);
+    }
+
+    #[test]
+    fn single_flow_completes_at_size_over_bandwidth() {
+        let spec = zero_latency_cluster(2);
+        let p = Platform::from_spec(&spec);
+        let mut net = NetSim::new(&p);
+        net.start_flow(0, 1, 200.0, 7);
+        let t = net.next_event().unwrap();
+        assert!((t - 2.0).abs() < 1e-9, "200 B at 100 B/s: t = {t}");
+        let done = net.advance_to(t);
+        assert_eq!(done.len(), 1);
+        assert_eq!(net.tag(done[0]), 7);
+        assert_eq!(net.active_count(), 0);
+    }
+
+    #[test]
+    fn latency_delays_completion() {
+        let mut spec = zero_latency_cluster(2);
+        spec.node_link.latency_s = 0.25; // path latency 0.5
+        let p = Platform::from_spec(&spec);
+        let mut net = NetSim::new(&p);
+        net.start_flow(0, 1, 100.0, 0);
+        // First event: latency phase end at 0.5.
+        let t1 = net.next_event().unwrap();
+        assert!((t1 - 0.5).abs() < 1e-9);
+        assert!(net.advance_to(t1).is_empty());
+        // Then 1 s of transfer.
+        let t2 = net.next_event().unwrap();
+        assert!((t2 - 1.5).abs() < 1e-9, "t2 = {t2}");
+        assert_eq!(net.advance_to(t2).len(), 1);
+    }
+
+    #[test]
+    fn sharing_halves_throughput() {
+        let spec = zero_latency_cluster(3);
+        let p = Platform::from_spec(&spec);
+        let mut net = NetSim::new(&p);
+        // Two flows into the same receiver: its link (100 B/s) is shared.
+        net.start_flow(0, 2, 100.0, 1);
+        net.start_flow(1, 2, 100.0, 2);
+        let (t, done) = net.run_to_completion();
+        assert!((t - 2.0).abs() < 1e-9, "t = {t}");
+        assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn staggered_flows_fair_share() {
+        let spec = zero_latency_cluster(3);
+        let p = Platform::from_spec(&spec);
+        let mut net = NetSim::new(&p);
+        // f1: 200 B alone from t=0 (100 B/s). At t=1 f2 (100 B) joins on the
+        // shared receiver link; both run at 50 B/s.
+        // f1: 100 B left at t=1 → done at t=3. f2: done at t=3 too.
+        net.start_flow(0, 2, 200.0, 1);
+        net.advance_to(1.0);
+        net.start_flow(1, 2, 100.0, 2);
+        let (t, done) = net.run_to_completion();
+        assert!((t - 3.0).abs() < 1e-9, "t = {t}");
+        assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn release_speeds_up_survivors() {
+        let spec = zero_latency_cluster(3);
+        let p = Platform::from_spec(&spec);
+        let mut net = NetSim::new(&p);
+        // f1: 100 B, f2: 300 B, same receiver. Shared at 50 B/s until f1
+        // finishes at t=2 (f2 has 200 left), then f2 at 100 B/s → t=4.
+        net.start_flow(0, 2, 100.0, 1);
+        net.start_flow(1, 2, 300.0, 2);
+        let t1 = net.next_event().unwrap();
+        assert!((t1 - 2.0).abs() < 1e-9);
+        let done = net.advance_to(t1);
+        assert_eq!(done.len(), 1);
+        assert_eq!(net.tag(done[0]), 1);
+        let t2 = net.next_event().unwrap();
+        assert!((t2 - 4.0).abs() < 1e-9, "t2 = {t2}");
+    }
+
+    #[test]
+    fn window_cap_limits_rate() {
+        let mut spec = zero_latency_cluster(2);
+        spec.node_link.latency_s = 0.5; // RTT = 2 s
+        spec.wmax_bytes = 50.0; // cap = 25 B/s < 100 B/s
+        let p = Platform::from_spec(&spec);
+        let mut net = NetSim::new(&p);
+        net.start_flow(0, 1, 100.0, 0);
+        let (t, _) = net.run_to_completion();
+        // 1 s latency + 100 B at 25 B/s = 5 s.
+        assert!((t - 5.0).abs() < 1e-9, "t = {t}");
+    }
+
+    #[test]
+    fn many_flows_conserve_bytes() {
+        let spec = zero_latency_cluster(8);
+        let p = Platform::from_spec(&spec);
+        let mut net = NetSim::new(&p);
+        let mut started = 0;
+        for i in 0..8u32 {
+            for j in 0..8u32 {
+                if i != j {
+                    net.start_flow(i, j, 100.0 + f64::from(i * 8 + j), i as u64);
+                    started += 1;
+                }
+            }
+        }
+        let (t, done) = net.run_to_completion();
+        assert_eq!(done.len(), started);
+        assert!(t > 0.0);
+        assert_eq!(net.active_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "skips the next event")]
+    fn cannot_skip_events() {
+        let spec = zero_latency_cluster(2);
+        let p = Platform::from_spec(&spec);
+        let mut net = NetSim::new(&p);
+        net.start_flow(0, 1, 100.0, 0);
+        net.advance_to(100.0);
+    }
+
+    #[test]
+    fn link_bytes_account_for_all_traffic() {
+        let spec = zero_latency_cluster(3);
+        let p = Platform::from_spec(&spec);
+        let mut net = NetSim::new(&p);
+        net.start_flow(0, 2, 100.0, 1);
+        net.start_flow(1, 2, 50.0, 2);
+        net.run_to_completion();
+        let lb = net.link_bytes();
+        assert!((lb[0] - 100.0).abs() < 1e-6, "sender 0 link: {}", lb[0]);
+        assert!((lb[1] - 50.0).abs() < 1e-6, "sender 1 link: {}", lb[1]);
+        assert!((lb[2] - 150.0).abs() < 1e-6, "receiver link: {}", lb[2]);
+        let (busiest, bytes) = net.busiest_link().unwrap();
+        assert_eq!(busiest.index(), 2);
+        assert!((bytes - 150.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn idle_network_has_no_busiest_link() {
+        let spec = zero_latency_cluster(2);
+        let p = Platform::from_spec(&spec);
+        let net = NetSim::new(&p);
+        assert!(net.busiest_link().is_none());
+    }
+
+    #[test]
+    fn idle_network_can_jump_time() {
+        let spec = zero_latency_cluster(2);
+        let p = Platform::from_spec(&spec);
+        let mut net = NetSim::new(&p);
+        assert!(net.advance_to(42.0).is_empty());
+        assert_eq!(net.time(), 42.0);
+    }
+}

@@ -1,0 +1,329 @@
+//! Max-min fair rate allocation by progressive filling.
+//!
+//! Given a set of links with capacities and a set of flows, each crossing a
+//! subset of the links and optionally carrying an individual rate cap (the
+//! TCP-window empirical bandwidth), the **max-min fair** allocation is the
+//! unique rate vector in which no flow's rate can be increased without
+//! decreasing the rate of a flow that already has an equal or smaller rate.
+//!
+//! The classic *progressive filling* (water-filling) algorithm computes it:
+//! grow all rates uniformly; whenever a link saturates, freeze every flow
+//! crossing it (they are *bottlenecked* there); whenever a flow hits its own
+//! cap, freeze just that flow; repeat with the survivors.
+
+/// One flow of a [`Problem`]: the link indices it crosses and its rate cap
+/// (`f64::INFINITY` for uncapped flows).
+#[derive(Debug, Clone)]
+pub struct FlowSpec {
+    /// Indices into the problem's link-capacity array.
+    pub links: Vec<usize>,
+    /// Per-flow rate cap (`β' = Wmax/RTT`), or infinity.
+    pub rate_cap: f64,
+}
+
+/// A max-min fairness problem: link capacities plus flows.
+#[derive(Debug, Clone, Default)]
+pub struct Problem {
+    /// Capacity of each link (bytes/s). Index = link id.
+    pub capacity: Vec<f64>,
+    /// The competing flows.
+    pub flows: Vec<FlowSpec>,
+}
+
+impl Problem {
+    /// Solves for the max-min fair rate of every flow.
+    ///
+    /// Flows crossing no link are only limited by their cap (or unbounded).
+    /// Runs in `O(rounds · (L + Σ|links|))` with at most one round per flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flow references an out-of-range link, a capacity is
+    /// negative, or a cap is NaN.
+    pub fn solve(&self) -> Vec<f64> {
+        let nf = self.flows.len();
+        let nl = self.capacity.len();
+        for c in &self.capacity {
+            assert!(*c >= 0.0 && !c.is_nan(), "negative or NaN link capacity");
+        }
+        let mut residual = self.capacity.clone();
+        let mut flows_on_link = vec![0u32; nl];
+        for f in &self.flows {
+            assert!(!f.rate_cap.is_nan(), "NaN rate cap");
+            for &l in &f.links {
+                assert!(l < nl, "flow references unknown link {l}");
+                flows_on_link[l] += 1;
+            }
+        }
+
+        let mut rate = vec![0.0f64; nf];
+        let mut frozen = vec![false; nf];
+        let mut level = 0.0f64; // common rate of all unfrozen flows
+        let mut unfrozen = nf;
+
+        // Flows with no links and no cap would grow forever: freeze them at
+        // infinity straight away.
+        for (i, f) in self.flows.iter().enumerate() {
+            if f.links.is_empty() && f.rate_cap.is_infinite() {
+                rate[i] = f64::INFINITY;
+                frozen[i] = true;
+                unfrozen -= 1;
+            }
+        }
+
+        while unfrozen > 0 {
+            // Largest uniform increment before a link saturates or a flow
+            // hits its cap.
+            let mut d = f64::INFINITY;
+            for l in 0..nl {
+                if flows_on_link[l] > 0 {
+                    d = d.min(residual[l] / f64::from(flows_on_link[l]));
+                }
+            }
+            for (i, f) in self.flows.iter().enumerate() {
+                if !frozen[i] && f.rate_cap.is_finite() {
+                    d = d.min(f.rate_cap - level);
+                }
+            }
+            assert!(
+                d.is_finite(),
+                "unbounded max-min problem: an unfrozen flow crosses no \
+                 saturable link and has no cap"
+            );
+            let d = d.max(0.0);
+            level += d;
+            for l in 0..nl {
+                residual[l] -= d * f64::from(flows_on_link[l]);
+            }
+
+            // Freeze flows bottlenecked by a saturated link or their cap.
+            let mut froze_any = false;
+            for (i, f) in self.flows.iter().enumerate() {
+                if frozen[i] {
+                    continue;
+                }
+                let eps = 1e-9 * self.capacity.iter().fold(1.0f64, |a, &b| a.max(b));
+                let at_cap = f.rate_cap.is_finite() && level >= f.rate_cap - eps;
+                let at_link = f.links.iter().any(|&l| residual[l] <= eps);
+                if at_cap || at_link {
+                    rate[i] = level.min(f.rate_cap);
+                    frozen[i] = true;
+                    unfrozen -= 1;
+                    froze_any = true;
+                    for &l in &f.links {
+                        flows_on_link[l] -= 1;
+                    }
+                }
+            }
+            assert!(
+                froze_any,
+                "progressive filling stalled (d = {d}, level = {level})"
+            );
+        }
+        rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{RngExt, SeedableRng};
+
+    fn flow(links: &[usize]) -> FlowSpec {
+        FlowSpec {
+            links: links.to_vec(),
+            rate_cap: f64::INFINITY,
+        }
+    }
+
+    fn capped(links: &[usize], cap: f64) -> FlowSpec {
+        FlowSpec {
+            links: links.to_vec(),
+            rate_cap: cap,
+        }
+    }
+
+    #[test]
+    fn single_flow_takes_whole_link() {
+        let p = Problem {
+            capacity: vec![10.0],
+            flows: vec![flow(&[0])],
+        };
+        assert_eq!(p.solve(), vec![10.0]);
+    }
+
+    #[test]
+    fn equal_sharing_on_one_link() {
+        let p = Problem {
+            capacity: vec![9.0],
+            flows: vec![flow(&[0]), flow(&[0]), flow(&[0])],
+        };
+        for r in p.solve() {
+            assert!((r - 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn textbook_two_link_example() {
+        // Link A (cap 1): f0, f1. Link B (cap 10): f1, f2.
+        // Max-min: f0 = f1 = 0.5 (A saturates), f2 = 9.5.
+        let p = Problem {
+            capacity: vec![1.0, 10.0],
+            flows: vec![flow(&[0]), flow(&[0, 1]), flow(&[1])],
+        };
+        let r = p.solve();
+        assert!((r[0] - 0.5).abs() < 1e-9);
+        assert!((r[1] - 0.5).abs() < 1e-9);
+        assert!((r[2] - 9.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parking_lot_topology() {
+        // Chain of 3 links cap 1; one long flow over all, one short per link.
+        // Long flow and shorts all get 0.5.
+        let p = Problem {
+            capacity: vec![1.0, 1.0, 1.0],
+            flows: vec![flow(&[0, 1, 2]), flow(&[0]), flow(&[1]), flow(&[2])],
+        };
+        let r = p.solve();
+        for x in r {
+            assert!((x - 0.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cap_releases_bandwidth_to_others() {
+        // One link cap 1; f0 capped at 0.2 → f1 gets 0.8.
+        let p = Problem {
+            capacity: vec![1.0],
+            flows: vec![capped(&[0], 0.2), flow(&[0])],
+        };
+        let r = p.solve();
+        assert!((r[0] - 0.2).abs() < 1e-9);
+        assert!((r[1] - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cap_above_fair_share_is_inert() {
+        let p = Problem {
+            capacity: vec![1.0],
+            flows: vec![capped(&[0], 5.0), flow(&[0])],
+        };
+        let r = p.solve();
+        assert!((r[0] - 0.5).abs() < 1e-9);
+        assert!((r[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linkless_capped_flow_runs_at_cap() {
+        let p = Problem {
+            capacity: vec![],
+            flows: vec![capped(&[], 3.0)],
+        };
+        assert_eq!(p.solve(), vec![3.0]);
+    }
+
+    #[test]
+    fn linkless_uncapped_flow_is_infinite() {
+        let p = Problem {
+            capacity: vec![],
+            flows: vec![FlowSpec {
+                links: vec![],
+                rate_cap: f64::INFINITY,
+            }],
+        };
+        assert_eq!(p.solve(), vec![f64::INFINITY]);
+    }
+
+    #[test]
+    fn zero_capacity_link_stalls_its_flows() {
+        let p = Problem {
+            capacity: vec![0.0, 1.0],
+            flows: vec![flow(&[0]), flow(&[1])],
+        };
+        let r = p.solve();
+        assert_eq!(r[0], 0.0);
+        assert!((r[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_flows_is_fine() {
+        let p = Problem {
+            capacity: vec![1.0],
+            flows: vec![],
+        };
+        assert!(p.solve().is_empty());
+    }
+
+    /// Random problem generator for the property tests.
+    fn random_problem(seed: u64, nl: usize, nf: usize) -> Problem {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let capacity: Vec<f64> = (0..nl).map(|_| rng.random_range(0.1..100.0)).collect();
+        let flows = (0..nf)
+            .map(|_| {
+                let k = rng.random_range(1..=nl.min(4));
+                let mut links: Vec<usize> = (0..nl).collect();
+                for i in 0..k {
+                    let j = rng.random_range(i..nl);
+                    links.swap(i, j);
+                }
+                links.truncate(k);
+                let rate_cap = if rng.random_range(0.0..1.0) < 0.3 {
+                    rng.random_range(0.05..50.0)
+                } else {
+                    f64::INFINITY
+                };
+                FlowSpec { links, rate_cap }
+            })
+            .collect();
+        Problem { capacity, flows }
+    }
+
+    proptest! {
+        /// Feasibility: no link carries more than its capacity.
+        #[test]
+        fn rates_are_feasible(seed in 0u64..2000) {
+            let p = random_problem(seed, 6, 12);
+            let r = p.solve();
+            let mut used = vec![0.0; p.capacity.len()];
+            for (f, &rate) in p.flows.iter().zip(&r) {
+                prop_assert!(rate >= 0.0);
+                prop_assert!(rate <= f.rate_cap + 1e-6);
+                for &l in &f.links {
+                    used[l] += rate;
+                }
+            }
+            for (l, &u) in used.iter().enumerate() {
+                prop_assert!(u <= p.capacity[l] + 1e-6,
+                    "link {l} overloaded: {u} > {}", p.capacity[l]);
+            }
+        }
+
+        /// Max-min optimality: every flow is either at its cap or crosses a
+        /// saturated link on which it has a maximal rate (its bottleneck).
+        #[test]
+        fn every_flow_is_bottlenecked(seed in 0u64..2000) {
+            let p = random_problem(seed, 6, 12);
+            let r = p.solve();
+            let mut used = vec![0.0; p.capacity.len()];
+            for (f, &rate) in p.flows.iter().zip(&r) {
+                for &l in &f.links {
+                    used[l] += rate;
+                }
+            }
+            for (i, f) in p.flows.iter().enumerate() {
+                let at_cap = f.rate_cap.is_finite() && r[i] >= f.rate_cap - 1e-6;
+                let bottled = f.links.iter().any(|&l| {
+                    let saturated = used[l] >= p.capacity[l] - 1e-6;
+                    let is_max = p.flows.iter().enumerate().all(|(j, g)| {
+                        !g.links.contains(&l) || r[j] <= r[i] + 1e-6
+                    });
+                    saturated && is_max
+                });
+                prop_assert!(at_cap || bottled,
+                    "flow {i} (rate {}) has no bottleneck", r[i]);
+            }
+        }
+    }
+}

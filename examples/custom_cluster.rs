@@ -1,0 +1,94 @@
+//! Scheduling on a user-defined cluster: hierarchical cabinets, slow
+//! uplinks, and how the TCP-window empirical bandwidth throttles
+//! inter-cabinet redistributions.
+//!
+//! ```text
+//! cargo run --release --example custom_cluster
+//! ```
+
+use rats::platform::{LinkSpec, ProcSet, TopologySpec};
+use rats::prelude::*;
+use rats::redist::{estimate_time, redistribute};
+
+fn main() {
+    // A 64-node cluster split into 4 cabinets whose uplinks are 10× slower
+    // than the node links — a much harsher topology than the paper's
+    // grelon.
+    let spec = ClusterSpec {
+        name: "bladecenter".into(),
+        num_procs: 64,
+        gflops: 5.0,
+        node_link: LinkSpec::gigabit(),
+        topology: TopologySpec::Hierarchical {
+            cabinets: 4,
+            nodes_per_cabinet: 16,
+            uplink: LinkSpec {
+                latency_s: 300e-6,
+                bandwidth_bps: 12.5e6, // 100 Mb/s uplinks
+            },
+        },
+        wmax_bytes: 65536.0,
+    };
+    spec.validate();
+    let platform = Platform::from_spec(&spec);
+
+    println!("single-flow effective bandwidth (B/s):");
+    println!(
+        "  intra-cabinet (0 -> 1):   {:>12.3e}",
+        platform.effective_bandwidth(0, 1)
+    );
+    println!(
+        "  inter-cabinet (0 -> 16):  {:>12.3e}",
+        platform.effective_bandwidth(0, 16)
+    );
+
+    // An intra- vs inter-cabinet redistribution of 256 MB.
+    let bytes = 256e6;
+    let intra = redistribute(
+        bytes,
+        &ProcSet::from_range(0, 8),
+        &ProcSet::from_range(8, 8),
+    );
+    let inter = redistribute(
+        bytes,
+        &ProcSet::from_range(0, 8),
+        &ProcSet::from_range(16, 8),
+    );
+    println!("\n256 MB redistribution estimate (8 -> 8 procs):");
+    println!("  within cabinet 0:        {:>8.2} s", estimate_time(&intra, &platform));
+    println!("  cabinet 0 -> cabinet 1:  {:>8.2} s", estimate_time(&inter, &platform));
+
+    // Schedule an irregular workflow and see how much the topology hurts
+    // each strategy.
+    let dag = rats::daggen::irregular_dag(
+        &DagParams {
+            n: 60,
+            width: 0.5,
+            regularity: 0.8,
+            density: 0.4,
+            jump: 2,
+        },
+        &CostParams::paper(),
+        2024,
+    );
+    println!(
+        "\nirregular workflow ({} tasks, {} edges) on {}:",
+        dag.num_tasks(),
+        dag.num_edges(),
+        platform.name()
+    );
+    for strategy in [
+        MappingStrategy::Hcpa,
+        MappingStrategy::rats_delta(0.75, 1.0),
+        MappingStrategy::rats_time_cost(0.4, true),
+    ] {
+        let schedule = Scheduler::new(&platform).strategy(strategy).schedule(&dag);
+        let outcome = simulate(&dag, &schedule, &platform);
+        println!(
+            "  {:<10} makespan {:>8.2} s, {:>6.1} GB over the network",
+            strategy.name(),
+            outcome.makespan,
+            outcome.network_bytes / 1e9
+        );
+    }
+}

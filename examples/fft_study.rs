@@ -1,0 +1,60 @@
+//! FFT scaling study: the paper's FFT workload family across all three
+//! Grid'5000 clusters, comparing the three mapping strategies, plus an
+//! ASCII Gantt chart of the winning schedule.
+//!
+//! ```text
+//! cargo run --release --example fft_study
+//! ```
+
+use rats::prelude::*;
+use rats::sched::allocate;
+
+fn main() {
+    let strategies = [
+        MappingStrategy::Hcpa,
+        MappingStrategy::rats_delta(0.5, 1.0),
+        MappingStrategy::rats_time_cost(0.2, true),
+    ];
+
+    for spec in ClusterSpec::paper_clusters() {
+        let platform = Platform::from_spec(&spec);
+        println!(
+            "=== {} ({} procs @ {} GFlop/s) ===",
+            platform.name(),
+            platform.num_procs(),
+            platform.gflops()
+        );
+        println!(
+            "{:>4} {:>6} {:>12} {:>12} {:>12}",
+            "k", "tasks", "HCPA", "delta", "time-cost"
+        );
+        for k in [2u32, 4, 8, 16] {
+            let dag = fft_dag(k, &CostParams::paper(), 1234 + u64::from(k));
+            let alloc = allocate(&dag, &platform, Default::default());
+            let mut row = format!("{k:>4} {:>6}", dag.num_tasks());
+            for strategy in strategies {
+                let schedule = Scheduler::new(&platform)
+                    .strategy(strategy)
+                    .schedule_with_allocation(&dag, &alloc);
+                let outcome = simulate(&dag, &schedule, &platform);
+                row.push_str(&format!(" {:>10.2} s", outcome.makespan));
+            }
+            println!("{row}");
+        }
+        println!();
+    }
+
+    // Gantt of the time-cost schedule for k = 8 on chti (small enough to
+    // read in a terminal).
+    let platform = Platform::from_spec(&ClusterSpec::chti());
+    let dag = fft_dag(8, &CostParams::paper(), 42);
+    let schedule = Scheduler::new(&platform)
+        .strategy(MappingStrategy::rats_time_cost(0.2, true))
+        .schedule(&dag);
+    let outcome = simulate(&dag, &schedule, &platform);
+    println!(
+        "time-cost schedule of FFT(k=8) on chti — simulated makespan {:.2} s:",
+        outcome.makespan
+    );
+    print!("{}", outcome.as_executed(&schedule).gantt_ascii(&platform, 100));
+}

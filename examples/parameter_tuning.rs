@@ -1,0 +1,75 @@
+//! Tuning the RATS parameters for a custom workload — the paper's
+//! section IV-C methodology on a user-supplied scenario population.
+//!
+//! ```text
+//! cargo run --release --example parameter_tuning
+//! ```
+
+use rats::daggen::suite::{AppFamily, Scenario};
+use rats::experiments::campaign::PreparedScenario;
+use rats::experiments::tuning::{
+    delta_grid, rho_curves, tune_family, MAXDELTA_GRID, MINDELTA_GRID, MINRHO_GRID,
+};
+use rats::prelude::*;
+
+fn main() {
+    // The workload to tune for: 12 irregular pipelines of 40 tasks.
+    let cost = CostParams::paper();
+    let scenarios: Vec<Scenario> = (0..12)
+        .map(|i| Scenario {
+            id: i,
+            name: format!("pipeline-{i}"),
+            family: AppFamily::Irregular,
+            dag: rats::daggen::irregular_dag(
+                &DagParams {
+                    n: 40,
+                    width: 0.4,
+                    regularity: 0.7,
+                    density: 0.3,
+                    jump: 2,
+                },
+                &cost,
+                9000 + i as u64,
+            ),
+        })
+        .collect();
+
+    let platform = Platform::from_spec(&ClusterSpec::grillon());
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let prepared = PreparedScenario::prepare(scenarios, &platform, threads);
+
+    // Figure 4 methodology: the (mindelta, maxdelta) surface.
+    println!("delta surface (avg makespan relative to HCPA):");
+    print!("{:>10}", "mindelta");
+    for maxd in MAXDELTA_GRID {
+        print!("  maxd={maxd:<5}");
+    }
+    println!();
+    let grid = delta_grid(&prepared, &platform, threads);
+    for (i, row) in grid.iter().enumerate() {
+        print!("{:>10}", format!("-{}", MINDELTA_GRID[i]));
+        for v in row {
+            print!("{v:>11.3}");
+        }
+        println!();
+    }
+
+    // Figure 5 methodology: the minrho curve.
+    let (with_packing, without_packing) = rho_curves(&prepared, &platform, threads);
+    println!("\nminrho curve (avg makespan relative to HCPA):");
+    println!("{:>8} {:>10} {:>12}", "minrho", "packing", "no packing");
+    for (i, rho) in MINRHO_GRID.iter().enumerate() {
+        println!(
+            "{rho:>8} {:>10.3} {:>12.3}",
+            with_packing[i], without_packing[i]
+        );
+    }
+
+    // And the headline: the tuned triple for this workload.
+    let tuned = tune_family(&prepared, &platform, threads);
+    println!(
+        "\ntuned parameters for this workload: (mindelta, maxdelta, minrho) = \
+         (-{}, {}, {})",
+        tuned.mindelta, tuned.maxdelta, tuned.minrho
+    );
+}

@@ -1,0 +1,70 @@
+//! Quickstart: build a small mixed-parallel application by hand, schedule
+//! it with each strategy, and compare the simulated makespans.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rats::model::TaskCost;
+use rats::prelude::*;
+use rats::redist::redistribute;
+use rats::sched::allocate;
+
+fn main() {
+    // A six-task diamond pipeline: preprocessing fans out into three
+    // solvers whose results are merged and post-processed. Costs follow the
+    // paper's model (m elements, a ops/element, Amdahl fraction α).
+    let mut dag = TaskGraph::new();
+    let load = dag.add_task("load", TaskCost::new(40_000_000, 96.0, 0.02));
+    let solvers: Vec<TaskId> = (0..3)
+        .map(|i| dag.add_task(format!("solve{i}"), TaskCost::new(30_000_000, 400.0, 0.08)))
+        .collect();
+    let merge = dag.add_task("merge", TaskCost::new(35_000_000, 128.0, 0.05));
+    let report = dag.add_task("report", TaskCost::new(8_000_000, 64.0, 0.10));
+    for &s in &solvers {
+        dag.add_edge(load, s, dag.task(load).cost.data_bytes());
+        dag.add_edge(s, merge, dag.task(s).cost.data_bytes());
+    }
+    dag.add_edge(merge, report, dag.task(merge).cost.data_bytes());
+    dag.validate().expect("hand-built graph is a DAG");
+
+    // The paper's 47-node grillon cluster.
+    let platform = Platform::from_spec(&ClusterSpec::grillon());
+
+    // Step one (shared by all strategies): HCPA allocation.
+    let alloc = allocate(&dag, &platform, Default::default());
+    println!("HCPA allocation (processors per task):");
+    for t in dag.task_ids() {
+        println!("  {:<8} {:>3} procs", dag.task(t).name, alloc.of(t));
+    }
+
+    // Step two: one schedule per mapping strategy, evaluated by simulation.
+    println!("\n{:<12} {:>12} {:>14} {:>14}", "strategy", "makespan", "work (p·s)", "net bytes");
+    for strategy in [
+        MappingStrategy::Hcpa,
+        MappingStrategy::rats_delta(0.5, 0.5),
+        MappingStrategy::rats_time_cost(0.5, true),
+    ] {
+        let schedule = Scheduler::new(&platform)
+            .strategy(strategy)
+            .schedule_with_allocation(&dag, &alloc);
+        let outcome = simulate(&dag, &schedule, &platform);
+        println!(
+            "{:<12} {:>10.3} s {:>14.1} {:>14.3e}",
+            strategy.name(),
+            outcome.makespan,
+            outcome.total_work,
+            outcome.network_bytes,
+        );
+    }
+
+    // Bonus: the paper's Table I redistribution matrix.
+    println!("\nTable I — 10 units, 4 senders -> 5 receivers:");
+    let src = rats::platform::ProcSet::from_range(0, 4);
+    let dst = rats::platform::ProcSet::from_range(4, 5);
+    let r = redistribute(10.0, &src, &dst);
+    for row in r.dense_matrix(&src, &dst, 10.0) {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v:>4.1}")).collect();
+        println!("  [{}]", cells.join(" "));
+    }
+}

@@ -1,0 +1,56 @@
+//! # rats — Redistribution Aware Two-Step Scheduling
+//!
+//! A from-scratch Rust reproduction of Hunold, Rauber and Suter,
+//! *"Redistribution Aware Two-Step Scheduling for Mixed-Parallel
+//! Applications"* (IEEE CLUSTER 2008).
+//!
+//! This umbrella crate re-exports the public API of every subsystem:
+//!
+//! * [`model`] — Amdahl speedup and task cost model,
+//! * [`dag`] — mixed-parallel task graphs,
+//! * [`platform`] — homogeneous cluster and network topology model,
+//! * [`simnet`] — flow-level max-min fair network simulator,
+//! * [`redist`] — 1-D block data redistribution,
+//! * [`daggen`] — random / FFT / Strassen task-graph generators,
+//! * [`sched`] — CPA/HCPA allocation and the RATS mapping strategies,
+//! * [`sim`] — discrete-event schedule execution,
+//! * [`experiments`] — the paper's evaluation campaign.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rats::prelude::*;
+//!
+//! // A 3-cluster platform preset from the paper and a small FFT task graph.
+//! let platform = Platform::from_spec(&ClusterSpec::grillon());
+//! let dag = fft_dag(4, &CostParams::tiny(), 42);
+//!
+//! // Two-step scheduling: HCPA allocation + RATS time-cost mapping.
+//! let schedule = Scheduler::new(&platform)
+//!     .strategy(MappingStrategy::rats_time_cost(0.5, true))
+//!     .schedule(&dag);
+//!
+//! // Evaluate by discrete-event simulation with network contention.
+//! let outcome = simulate(&dag, &schedule, &platform);
+//! assert!(outcome.makespan > 0.0);
+//! ```
+
+pub use rats_dag as dag;
+pub use rats_daggen as daggen;
+pub use rats_experiments as experiments;
+pub use rats_model as model;
+pub use rats_platform as platform;
+pub use rats_redist as redist;
+pub use rats_sched as sched;
+pub use rats_sim as sim;
+pub use rats_simnet as simnet;
+
+/// Convenient single-import surface for the most common types.
+pub mod prelude {
+    pub use rats_dag::{EdgeId, TaskGraph, TaskId};
+    pub use rats_daggen::{fft_dag, irregular_dag, layered_dag, strassen_dag, DagParams};
+    pub use rats_model::{AmdahlLaw, CostParams, TaskCost};
+    pub use rats_platform::{ClusterSpec, Platform, ProcSet};
+    pub use rats_sched::{AreaPolicy, MappingStrategy, Schedule, Scheduler};
+    pub use rats_sim::{simulate, SimOutcome};
+}

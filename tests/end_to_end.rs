@@ -1,0 +1,103 @@
+//! Cross-crate integration: generators → allocation → mapping → simulation
+//! on all three paper clusters, for every strategy.
+
+use rats::daggen::suite::mini_suite;
+use rats::prelude::*;
+use rats::sched::allocate;
+
+fn strategies() -> Vec<MappingStrategy> {
+    vec![
+        MappingStrategy::Hcpa,
+        MappingStrategy::rats_delta(0.5, 0.5),
+        MappingStrategy::rats_time_cost(0.5, true),
+    ]
+}
+
+#[test]
+fn full_pipeline_on_all_clusters() {
+    for spec in rats::platform::ClusterSpec::paper_clusters() {
+        let platform = Platform::from_spec(&spec);
+        for scenario in mini_suite(&CostParams::tiny(), 99) {
+            let alloc = allocate(&scenario.dag, &platform, Default::default());
+            for strategy in strategies() {
+                let schedule = Scheduler::new(&platform)
+                    .strategy(strategy)
+                    .schedule_with_allocation(&scenario.dag, &alloc);
+                schedule
+                    .validate(&scenario.dag, &platform)
+                    .unwrap_or_else(|e| {
+                        panic!("{} / {} / {}: {e}", spec.name, scenario.name, strategy.name())
+                    });
+                let outcome = simulate(&scenario.dag, &schedule, &platform);
+                outcome
+                    .validate(&scenario.dag, &schedule, &platform)
+                    .unwrap_or_else(|e| {
+                        panic!("{} / {} / {}: {e}", spec.name, scenario.name, strategy.name())
+                    });
+                // Simulated precedence: no task starts before a predecessor
+                // finishes (redistribution can only add delay).
+                for t in scenario.dag.task_ids() {
+                    for (pred, _) in scenario.dag.predecessors(t) {
+                        assert!(outcome.start(t) >= outcome.finish(pred) - 1e-9);
+                    }
+                }
+                // Work is allocation-determined, identical in both views.
+                let w = schedule.total_work(&scenario.dag, &platform);
+                assert!((outcome.total_work - w).abs() <= 1e-9 * w.max(1.0));
+            }
+        }
+    }
+}
+
+#[test]
+fn makespan_dominated_by_critical_work() {
+    // The simulated makespan can never beat the sequential time of the
+    // fastest-possible execution of any single task (trivial lower bound).
+    let platform = Platform::from_spec(&ClusterSpec::grillon());
+    let dag = fft_dag(8, &CostParams::tiny(), 5);
+    let schedule = Scheduler::new(&platform)
+        .strategy(MappingStrategy::rats_time_cost(0.5, true))
+        .schedule(&dag);
+    let outcome = simulate(&dag, &schedule, &platform);
+    let min_task_time = dag
+        .task_ids()
+        .map(|t| dag.task(t).cost.time(platform.num_procs(), platform.gflops()))
+        .fold(f64::INFINITY, f64::min);
+    assert!(outcome.makespan >= min_task_time);
+}
+
+#[test]
+fn rats_never_violates_amdahl_work_monotonicity() {
+    // Stretching increases work, packing decreases it; either way the
+    // schedule's work must equal the sum over the realized allocations.
+    let platform = Platform::from_spec(&ClusterSpec::chti());
+    let dag = strassen_dag(&CostParams::tiny(), 8);
+    for strategy in strategies() {
+        let schedule = Scheduler::new(&platform).strategy(strategy).schedule(&dag);
+        let recomputed: f64 = dag
+            .task_ids()
+            .map(|t| {
+                dag.task(t)
+                    .cost
+                    .work(schedule.entry(t).procs.len(), platform.gflops())
+            })
+            .sum();
+        let reported = schedule.total_work(&dag, &platform);
+        assert!((recomputed - reported).abs() < 1e-9 * recomputed.max(1.0));
+    }
+}
+
+#[test]
+fn gantt_renders_for_every_strategy() {
+    let platform = Platform::from_spec(&ClusterSpec::chti());
+    let dag = fft_dag(4, &CostParams::tiny(), 3);
+    for strategy in strategies() {
+        let schedule = Scheduler::new(&platform).strategy(strategy).schedule(&dag);
+        let gantt = schedule.gantt_ascii(&platform, 60);
+        assert_eq!(
+            gantt.lines().count(),
+            platform.num_procs() as usize + 1,
+            "one row per processor plus the axis"
+        );
+    }
+}

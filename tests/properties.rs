@@ -1,0 +1,96 @@
+//! Property-based end-to-end tests: random DAG shapes, every strategy,
+//! schedule and simulation invariants.
+
+use proptest::prelude::*;
+use rats::daggen::{irregular_dag, DagParams};
+use rats::prelude::*;
+
+fn arb_strategy() -> impl Strategy<Value = MappingStrategy> {
+    prop_oneof![
+        Just(MappingStrategy::Hcpa),
+        (0.0f64..=1.0, 0.0f64..=1.0)
+            .prop_map(|(mind, maxd)| MappingStrategy::rats_delta(mind, maxd)),
+        (0.05f64..=1.0, proptest::bool::ANY)
+            .prop_map(|(rho, pack)| MappingStrategy::rats_time_cost(rho, pack)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any generated DAG, any strategy, any paper cluster: the schedule is
+    /// structurally valid and the simulation honours it.
+    #[test]
+    fn pipeline_invariants(
+        n in 2u32..40,
+        width in 0.15f64..0.95,
+        density in 0.0f64..1.0,
+        jump in 1u32..4,
+        seed in 0u64..500,
+        strategy in arb_strategy(),
+        cluster in 0usize..3,
+    ) {
+        let dag = irregular_dag(
+            &DagParams { n, width, regularity: 0.6, density, jump },
+            &CostParams::tiny(),
+            seed,
+        );
+        let spec = &ClusterSpec::paper_clusters()[cluster];
+        let platform = Platform::from_spec(spec);
+        let schedule = Scheduler::new(&platform).strategy(strategy).schedule(&dag);
+        prop_assert!(schedule.validate(&dag, &platform).is_ok());
+
+        let outcome = simulate(&dag, &schedule, &platform);
+        prop_assert!(outcome.validate(&dag, &schedule, &platform).is_ok());
+        prop_assert!(outcome.makespan.is_finite() && outcome.makespan > 0.0);
+
+        // Makespan is at least the heaviest simulated task duration.
+        for t in dag.task_ids() {
+            let dur = outcome.finish(t) - outcome.start(t);
+            prop_assert!(outcome.makespan >= dur - 1e-9);
+        }
+
+        // Data conservation: everything a task ships is either self or
+        // network bytes.
+        let shipped: f64 = dag.edge_ids().map(|e| dag.edge(e).bytes).sum();
+        let moved = outcome.network_bytes + outcome.self_bytes;
+        prop_assert!((moved - shipped).abs() <= 1e-6 * shipped.max(1.0),
+            "moved {moved} != shipped {shipped}");
+    }
+
+    /// Allocation sizes survive the HCPA mapping untouched, and RATS only
+    /// resizes to sizes that exist among the predecessors' placements.
+    #[test]
+    fn rats_resizes_only_to_predecessor_sizes(
+        n in 2u32..30,
+        seed in 0u64..200,
+    ) {
+        let dag = irregular_dag(
+            &DagParams { n, width: 0.5, regularity: 0.6, density: 0.6, jump: 2 },
+            &CostParams::tiny(),
+            seed,
+        );
+        let platform = Platform::from_spec(&ClusterSpec::grillon());
+        let alloc = rats::sched::allocate(&dag, &platform, Default::default());
+
+        let hcpa = Scheduler::new(&platform)
+            .schedule_with_allocation(&dag, &alloc);
+        for t in dag.task_ids() {
+            prop_assert_eq!(hcpa.entry(t).procs.len(), alloc.of(t));
+        }
+
+        let rats = Scheduler::new(&platform)
+            .strategy(MappingStrategy::rats_delta(1.0, 1.0))
+            .schedule_with_allocation(&dag, &alloc);
+        for t in dag.task_ids() {
+            let got = rats.entry(t).procs.len();
+            if got != alloc.of(t) {
+                let from_pred = dag
+                    .predecessors(t)
+                    .any(|(p, _)| rats.entry(p).procs.len() == got);
+                prop_assert!(from_pred,
+                    "task {t} resized to {got}, not a predecessor size");
+            }
+        }
+    }
+}
