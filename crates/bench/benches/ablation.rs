@@ -2,9 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rats_bench::{grillon, irregular50};
-use rats_sched::{
-    allocate, AllocParams, AreaPolicy, CandidatePolicy, MappingStrategy, Scheduler,
-};
+use rats_sched::{allocate, AllocParams, AreaPolicy, CandidatePolicy, MappingStrategy, Scheduler};
 use std::hint::black_box;
 
 fn bench_area_policies(c: &mut Criterion) {

@@ -5,11 +5,11 @@
 //! path so a performance regression in any stage is caught.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use rats_experiments::artifacts;
 use rats_platform::ProcSet;
 use rats_redist::redistribute;
 use std::hint::black_box;
+use std::time::Duration;
 
 fn bench_table1(c: &mut Criterion) {
     // Table I is a single redistribution matrix.

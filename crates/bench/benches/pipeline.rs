@@ -1,11 +1,12 @@
-//! Stage-by-stage throughput of the scheduling pipeline.
+//! Stage-by-stage throughput of the scheduling pipeline, plus the
+//! end-to-end `Pipeline` run every consumer goes through.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
-use rats_bench::{fft16, grillon, irregular50};
-use rats_sched::{allocate, AllocParams, MappingStrategy, Scheduler};
-use rats_sim::simulate;
+use rats::prelude::*;
+use rats_bench::{fft16, grillon, grillon_pipeline, irregular50};
+use rats_sched::{allocate, AllocParams, Scheduler};
 use std::hint::black_box;
+use std::time::Duration;
 
 fn bench_allocation(c: &mut Criterion) {
     let platform = grillon();
@@ -63,5 +64,30 @@ fn bench_simulation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_allocation, bench_mapping, bench_simulation);
+fn bench_end_to_end(c: &mut Criterion) {
+    // The whole chain behind the façade: allocate + map + simulate.
+    let dag = irregular50();
+    let mut g = c.benchmark_group("pipeline/irregular50");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    for strategy in [
+        MappingStrategy::Hcpa,
+        MappingStrategy::rats_time_cost(0.5, true),
+    ] {
+        let pipeline = grillon_pipeline().policy(strategy);
+        g.bench_function(strategy.name(), |b| {
+            b.iter(|| pipeline.run(black_box(&dag)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_allocation,
+    bench_mapping,
+    bench_simulation,
+    bench_end_to_end
+);
 criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! The benches are organized as:
 //!
 //! * `pipeline` — throughput of each pipeline stage (allocation, mapping
-//!   per strategy, simulation);
+//!   per strategy, simulation) plus the end-to-end [`rats::Pipeline`] run;
 //! * `maxmin` — the max-min fairness solver under growing flow counts;
 //! * `redistribution` — block-redistribution matrix construction,
 //!   alignment and estimation;
@@ -12,14 +12,20 @@
 //! * `ablation` — cost of the design alternatives called out in DESIGN.md
 //!   (candidate policies, area policies, comm-inclusive critical path).
 
-use rats_daggen::{fft_dag, irregular_dag, DagParams};
+use rats::Pipeline;
 use rats_dag::TaskGraph;
+use rats_daggen::{fft_dag, irregular_dag, DagParams};
 use rats_model::CostParams;
 use rats_platform::{ClusterSpec, Platform};
 
 /// The paper's mid-size cluster (47 processors), used by most benches.
 pub fn grillon() -> Platform {
     Platform::from_spec(&ClusterSpec::grillon())
+}
+
+/// A full pipeline on grillon with the paper's default policy chain.
+pub fn grillon_pipeline() -> Pipeline {
+    Pipeline::from_spec(&ClusterSpec::grillon())
 }
 
 /// A 95-task FFT graph with paper-scale costs.

@@ -27,7 +27,9 @@ where
         g.num_tasks(),
         "task_time must have one entry per task"
     );
-    let order = g.topo_order().expect("bottom_levels requires an acyclic graph");
+    let order = g
+        .topo_order()
+        .expect("bottom_levels requires an acyclic graph");
     let mut bl = vec![0.0; g.num_tasks()];
     for &t in order.iter().rev() {
         let mut tail: f64 = 0.0;
@@ -55,7 +57,9 @@ where
         g.num_tasks(),
         "task_time must have one entry per task"
     );
-    let order = g.topo_order().expect("top_levels requires an acyclic graph");
+    let order = g
+        .topo_order()
+        .expect("top_levels requires an acyclic graph");
     let mut tl = vec![0.0; g.num_tasks()];
     for &t in &order {
         for &e in g.out_edges(t) {
@@ -90,18 +94,14 @@ where
 {
     let bl = bottom_levels(g, task_time, &edge_cost);
     let mut path = Vec::new();
-    let Some(start) = g
-        .entries()
-        .into_iter()
-        .max_by(|a, b| {
-            bl[a.index()]
-                .partial_cmp(&bl[b.index()])
-                .expect("bottom levels are finite")
-                // prefer the lower id on ties (entries() is ascending, and
-                // max_by keeps the *last* maximum, so invert the id order)
-                .then(b.index().cmp(&a.index()))
-        })
-    else {
+    let Some(start) = g.entries().into_iter().max_by(|a, b| {
+        bl[a.index()]
+            .partial_cmp(&bl[b.index()])
+            .expect("bottom levels are finite")
+            // prefer the lower id on ties (entries() is ascending, and
+            // max_by keeps the *last* maximum, so invert the id order)
+            .then(b.index().cmp(&a.index()))
+    }) else {
         return path;
     };
     let mut cur = start;
@@ -222,7 +222,9 @@ mod tests {
     #[test]
     fn chain_critical_path_is_everything() {
         let mut g = TaskGraph::new();
-        let ids: Vec<TaskId> = (0..5).map(|i| g.add_task(format!("t{i}"), cost())).collect();
+        let ids: Vec<TaskId> = (0..5)
+            .map(|i| g.add_task(format!("t{i}"), cost()))
+            .collect();
         for w in ids.windows(2) {
             g.add_edge(w[0], w[1], 1.0);
         }

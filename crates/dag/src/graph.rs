@@ -185,12 +185,16 @@ impl TaskGraph {
 
     /// Successor tasks of `t` (with the connecting edge id).
     pub fn successors(&self, t: TaskId) -> impl Iterator<Item = (TaskId, EdgeId)> + '_ {
-        self.succ[t.index()].iter().map(|&e| (self.edges[e.index()].dst, e))
+        self.succ[t.index()]
+            .iter()
+            .map(|&e| (self.edges[e.index()].dst, e))
     }
 
     /// Predecessor tasks of `t` (with the connecting edge id).
     pub fn predecessors(&self, t: TaskId) -> impl Iterator<Item = (TaskId, EdgeId)> + '_ {
-        self.pred[t.index()].iter().map(|&e| (self.edges[e.index()].src, e))
+        self.pred[t.index()]
+            .iter()
+            .map(|&e| (self.edges[e.index()].src, e))
     }
 
     /// In-degree of `t`.
@@ -207,12 +211,16 @@ impl TaskGraph {
 
     /// Entry tasks (no predecessors).
     pub fn entries(&self) -> Vec<TaskId> {
-        self.task_ids().filter(|&t| self.in_degree(t) == 0).collect()
+        self.task_ids()
+            .filter(|&t| self.in_degree(t) == 0)
+            .collect()
     }
 
     /// Exit tasks (no successors).
     pub fn exits(&self) -> Vec<TaskId> {
-        self.task_ids().filter(|&t| self.out_degree(t) == 0).collect()
+        self.task_ids()
+            .filter(|&t| self.out_degree(t) == 0)
+            .collect()
     }
 
     /// A topological order of the tasks (Kahn's algorithm), or the id of a
@@ -221,10 +229,7 @@ impl TaskGraph {
         let n = self.num_tasks();
         let mut indeg: Vec<usize> = (0..n).map(|i| self.pred[i].len()).collect();
         let mut order = Vec::with_capacity(n);
-        let mut queue: Vec<TaskId> = self
-            .task_ids()
-            .filter(|t| indeg[t.index()] == 0)
-            .collect();
+        let mut queue: Vec<TaskId> = self.task_ids().filter(|t| indeg[t.index()] == 0).collect();
         // Use a FIFO index rather than pop() so insertion order is preserved
         // among simultaneously-ready tasks; this keeps the order deterministic.
         let mut head = 0;
@@ -277,7 +282,9 @@ impl TaskGraph {
     ///
     /// Panics if the graph is cyclic.
     pub fn levels(&self) -> Vec<u32> {
-        let order = self.topo_order().expect("levels() requires an acyclic graph");
+        let order = self
+            .topo_order()
+            .expect("levels() requires an acyclic graph");
         let mut level = vec![0u32; self.num_tasks()];
         for &t in &order {
             for (s, _) in self.successors(t) {

@@ -38,7 +38,12 @@ impl std::error::Error for ParseError {}
 /// Serializes a graph to the text format. Round-trips with [`from_text`].
 pub fn to_text(g: &TaskGraph) -> String {
     let mut out = String::with_capacity(64 * (g.num_tasks() + g.num_edges()));
-    let _ = writeln!(out, "# rats task graph: {} tasks, {} edges", g.num_tasks(), g.num_edges());
+    let _ = writeln!(
+        out,
+        "# rats task graph: {} tasks, {} edges",
+        g.num_tasks(),
+        g.num_edges()
+    );
     for t in g.task_ids() {
         let node = g.task(t);
         let _ = writeln!(
@@ -52,7 +57,13 @@ pub fn to_text(g: &TaskGraph) -> String {
     }
     for e in g.edge_ids() {
         let edge = g.edge(e);
-        let _ = writeln!(out, "edge {} {} {}", edge.src.index(), edge.dst.index(), edge.bytes);
+        let _ = writeln!(
+            out,
+            "edge {} {} {}",
+            edge.src.index(),
+            edge.dst.index(),
+            edge.bytes
+        );
     }
     out
 }
@@ -79,9 +90,7 @@ pub fn from_text(text: &str) -> Result<TaskGraph, ParseError> {
                         fields.len() - 1
                     )));
                 }
-                let m: u64 = fields[2]
-                    .parse()
-                    .map_err(|e| err(format!("bad m: {e}")))?;
+                let m: u64 = fields[2].parse().map_err(|e| err(format!("bad m: {e}")))?;
                 let a: f64 = fields[3]
                     .parse()
                     .map_err(|e| err(format!("bad ops/element: {e}")))?;
@@ -111,7 +120,9 @@ pub fn from_text(text: &str) -> Result<TaskGraph, ParseError> {
                     .map_err(|e| err(format!("bad bytes: {e}")))?;
                 let n = g.num_tasks();
                 if src >= n || dst >= n {
-                    return Err(err(format!("edge {src}->{dst} references unknown task (have {n})")));
+                    return Err(err(format!(
+                        "edge {src}->{dst} references unknown task (have {n})"
+                    )));
                 }
                 if src == dst || !bytes.is_finite() || bytes < 0.0 {
                     return Err(err("invalid edge".into()));
@@ -189,7 +200,7 @@ mod tests {
         /// Arbitrary generated DAG-ish structures survive the round trip.
         #[test]
         fn round_trip_random(n in 1usize..30, extra_edges in 0usize..60, seed in 0u64..1000) {
-            use rand::{RngExt, SeedableRng};
+            use rand::{Rng, SeedableRng};
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
             let mut g = TaskGraph::new();
             for i in 0..n {

@@ -46,10 +46,7 @@ impl GraphStats {
         let depth = by_level.len();
         let max_width = by_level.iter().map(Vec::len).max().unwrap_or(0);
         let avg_width = g.num_tasks() as f64 / depth as f64;
-        let non_entries = g
-            .task_ids()
-            .filter(|&t| g.in_degree(t) > 0)
-            .count();
+        let non_entries = g.task_ids().filter(|&t| g.in_degree(t) > 0).count();
         let avg_in_degree = if non_entries == 0 {
             0.0
         } else {
@@ -71,7 +68,11 @@ impl GraphStats {
             avg_in_degree,
             total_flops,
             total_edge_bytes,
-            comm_to_comp: if comp_s == 0.0 { f64::INFINITY } else { comm_s / comp_s },
+            comm_to_comp: if comp_s == 0.0 {
+                f64::INFINITY
+            } else {
+                comm_s / comp_s
+            },
         }
     }
 

@@ -11,7 +11,10 @@ use crate::assign_level_costs;
 /// `2k − 1` recursive-call tasks plus `k·log₂ k` butterfly tasks
 /// (5, 15, 39, 95 for k = 2, 4, 8, 16 — the paper's sizes).
 pub fn fft_task_count(k: u32) -> u32 {
-    assert!(k.is_power_of_two() && k >= 2, "k must be a power of two ≥ 2");
+    assert!(
+        k.is_power_of_two() && k >= 2,
+        "k must be a power of two ≥ 2"
+    );
     2 * k - 1 + k * k.ilog2()
 }
 
@@ -29,7 +32,10 @@ pub fn fft_task_count(k: u32) -> u32 {
 /// entry-to-exit path a critical path — the paper's key property of this
 /// family. The graph has a single entry (the root) and `k` exits.
 pub fn fft_dag(k: u32, cost: &CostParams, seed: u64) -> TaskGraph {
-    assert!(k.is_power_of_two() && k >= 2, "k must be a power of two ≥ 2");
+    assert!(
+        k.is_power_of_two() && k >= 2,
+        "k must be a power of two ≥ 2"
+    );
     let stages = k.ilog2();
     let mut g = TaskGraph::with_capacity(fft_task_count(k) as usize, 4 * k as usize);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -98,10 +104,7 @@ mod tests {
         // critical-path length at *every* task.
         for k in [2u32, 4, 8, 16] {
             let g = fft_dag(k, &CostParams::tiny(), 9);
-            let times: Vec<f64> = g
-                .task_ids()
-                .map(|t| g.task(t).cost.time(1, 3.0))
-                .collect();
+            let times: Vec<f64> = g.task_ids().map(|t| g.task(t).cost.time(1, 3.0)).collect();
             let comm = |e: rats_dag::EdgeId| g.edge(e).bytes / 125e6;
             let bl = bottom_levels(&g, &times, comm);
             let tl = top_levels(&g, &times, comm);

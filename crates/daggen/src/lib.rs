@@ -65,7 +65,7 @@ pub(crate) fn set_edge_payloads(g: &mut TaskGraph) {
 
 /// Draws `k` distinct values from `0..n` (k ≤ n), in random order.
 pub(crate) fn sample_distinct(rng: &mut StdRng, n: u32, k: u32) -> Vec<u32> {
-    use rand::RngExt;
+    use rand::Rng;
     debug_assert!(k <= n);
     let mut pool: Vec<u32> = (0..n).collect();
     for i in 0..k as usize {
@@ -75,9 +75,6 @@ pub(crate) fn sample_distinct(rng: &mut StdRng, n: u32, k: u32) -> Vec<u32> {
     pool.truncate(k as usize);
     pool
 }
-
-#[allow(unused_imports)]
-use rand::RngExt as _; // used by submodules through the crate root
 
 #[cfg(test)]
 mod tests {

@@ -1,7 +1,7 @@
 //! Random layered and irregular DAG generation (after Suter's `daggen`).
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use rats_dag::{TaskGraph, TaskId};
 use rats_model::CostParams;
 
@@ -193,8 +193,16 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let p = params(50, 0.5, 0.2, 0.8, 1);
-        let a = layered_dag(&DagParams::layered(50, 0.5, 0.2, 0.8), &CostParams::tiny(), 1);
-        let b = layered_dag(&DagParams::layered(50, 0.5, 0.2, 0.8), &CostParams::tiny(), 2);
+        let a = layered_dag(
+            &DagParams::layered(50, 0.5, 0.2, 0.8),
+            &CostParams::tiny(),
+            1,
+        );
+        let b = layered_dag(
+            &DagParams::layered(50, 0.5, 0.2, 0.8),
+            &CostParams::tiny(),
+            2,
+        );
         // Either the shape or the costs must differ.
         let same_shape = a.num_edges() == b.num_edges();
         let same_costs = a

@@ -161,7 +161,12 @@ pub fn paper_suite(cost: &CostParams, base_seed: u64) -> Vec<Scenario> {
         for sample in 0..25 {
             let seed = scenario_seed(base_seed, out.len());
             let dag = fft_dag(k, cost, seed);
-            push(format!("fft k={k} s={sample}"), AppFamily::Fft, dag, &mut out);
+            push(
+                format!("fft k={k} s={sample}"),
+                AppFamily::Fft,
+                dag,
+                &mut out,
+            );
         }
     }
 
@@ -259,7 +264,9 @@ mod tests {
     #[test]
     fn all_dags_are_valid() {
         for s in paper_suite(&CostParams::tiny(), 7) {
-            s.dag.validate().unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            s.dag
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", s.name));
         }
     }
 

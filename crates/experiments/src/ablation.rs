@@ -4,11 +4,8 @@
 //! measure **schedule quality**: how each design alternative moves the
 //! simulated makespan across a scenario suite.
 
-
 use rats_platform::Platform;
-use rats_sched::{
-    allocate, AllocParams, AreaPolicy, CandidatePolicy, MappingStrategy, Scheduler,
-};
+use rats_sched::{allocate, AllocParams, AreaPolicy, CandidatePolicy, MappingStrategy, Scheduler};
 use rats_sim::simulate;
 
 use crate::campaign::PreparedScenario;
@@ -150,8 +147,7 @@ mod tests {
     #[test]
     fn ablation_report_smoke() {
         let platform = Platform::from_spec(&ClusterSpec::chti());
-        let prepared =
-            PreparedScenario::prepare(mini_suite(&CostParams::tiny(), 13), &platform, 2);
+        let prepared = PreparedScenario::prepare(mini_suite(&CostParams::tiny(), 13), &platform, 2);
         let report = run(&prepared, &platform, 2);
         assert!(report.contains("Ablation A"));
         assert!(report.contains("Ablation B"));

@@ -10,10 +10,10 @@ use rats_daggen::suite::{self, AppFamily, Scenario};
 use rats_model::CostParams;
 use rats_platform::{ClusterSpec, Platform};
 
-
-use crate::campaign::{naive_strategies, run_campaign, AlgoResults, PreparedScenario, BASE_SEED};
+use crate::campaign::{AlgoResults, PreparedScenario, BASE_SEED};
 use crate::figures;
 use crate::runner::parallel_map;
+use crate::spec::ExperimentSpec;
 use crate::stats;
 use crate::tuning::{self, paper_tuned};
 
@@ -37,7 +37,11 @@ pub fn clusters() -> Vec<Platform> {
 /// Table II: cluster characteristics.
 pub fn table2() -> String {
     let mut out = String::from("# Table II — cluster characteristics\n");
-    let _ = writeln!(out, "{:<10} {:>8} {:>12} {:>14}", "cluster", "#proc", "GFlop/s", "topology");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>8} {:>12} {:>14}",
+        "cluster", "#proc", "GFlop/s", "topology"
+    );
     for spec in ClusterSpec::paper_clusters() {
         let topo = match spec.topology {
             rats_platform::TopologySpec::Flat => "flat".to_string(),
@@ -75,7 +79,13 @@ pub fn table3(quick: bool) -> String {
             .filter(|s| s.family == f)
             .map(|s| s.dag.num_tasks())
             .sum();
-        let _ = writeln!(out, "  {:<10} {:>4} DAGs, {:>6} tasks total", f.name(), n, tasks);
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>4} DAGs, {:>6} tasks total",
+            f.name(),
+            n,
+            tasks
+        );
     }
     out
 }
@@ -86,15 +96,22 @@ fn prepare(platform: &Platform, quick: bool, threads: usize) -> Vec<PreparedScen
 }
 
 /// Figures 2 and 3: relative makespan and relative work of RATS (naive
-/// parameters) vs HCPA on grillon.
+/// parameters) vs HCPA on grillon. The campaign itself is declared as data
+/// (an [`ExperimentSpec`]) and executed by the spec engine; only the
+/// figure-shaped rendering lives here.
 pub fn fig2_3(quick: bool, threads: usize) -> String {
-    let platform = Platform::from_spec(&ClusterSpec::grillon());
-    let prepared = prepare(&platform, quick, threads);
-    let results = run_campaign(&prepared, &platform, &naive_strategies(), threads);
+    let suite = if quick {
+        crate::spec::SuiteSpec::Mini
+    } else {
+        crate::spec::SuiteSpec::Paper
+    };
+    let mut spec = ExperimentSpec::naive("fig2_3-naive", "grillon", suite, BASE_SEED);
+    spec.threads = Some(threads);
+    let outcome = spec.run().expect("the built-in fig2_3 spec is valid");
     render_relative_pair(
         "Figure 2 — relative makespan (naive parameters, grillon)",
         "Figure 3 — relative work (naive parameters, grillon)",
-        &results,
+        &outcome.clusters[0].results,
     )
 }
 
@@ -145,7 +162,9 @@ fn render_relative_pair(title_makespan: &str, title_work: &str, results: &[AlgoR
         .iter()
         .map(|v| stats::sorted_ascending(v.clone()))
         .collect();
-    out.push_str(&figures::render_relative_series(title_work, &labels, &sorted_w, 21));
+    out.push_str(&figures::render_relative_series(
+        title_work, &labels, &sorted_w, 21,
+    ));
     for (label, rel) in labels.iter().zip(&rel_w) {
         let _ = writeln!(
             out,
@@ -297,9 +316,7 @@ pub fn table5_6(quick: bool, threads: usize) -> (String, String) {
             .enumerate()
             .filter(|(bi, _)| *bi != ai)
             .map(|(bi, _)| {
-                std::array::from_fn(|cl| {
-                    stats::pairwise(&makespans[cl][ai], &makespans[cl][bi])
-                })
+                std::array::from_fn(|cl| stats::pairwise(&makespans[cl][ai], &makespans[cl][bi]))
             })
             .collect();
         let combined: [stats::PairwiseCount; 3] = std::array::from_fn(|cl| {
@@ -309,7 +326,9 @@ pub fn table5_6(quick: bool, threads: usize) -> (String, String) {
                 .collect();
             stats::pairwise_combined(&makespans[cl][ai], &others)
         });
-        t5.push_str(&figures::render_pairwise_block(a, &columns, &counts, &combined));
+        t5.push_str(&figures::render_pairwise_block(
+            a, &columns, &counts, &combined,
+        ));
         t5.push('\n');
     }
 

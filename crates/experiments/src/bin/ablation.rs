@@ -13,5 +13,8 @@ fn main() {
             .into_iter()
             .step_by(thin)
             .collect();
-    print!("{}", rats_experiments::ablation::run(&prepared, &platform, threads));
+    print!(
+        "{}",
+        rats_experiments::ablation::run(&prepared, &platform, threads)
+    );
 }

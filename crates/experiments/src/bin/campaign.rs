@@ -1,0 +1,40 @@
+//! Runs a declarative campaign from a TOML or JSON spec file.
+//!
+//! ```text
+//! cargo run --release -p rats-experiments --bin campaign -- spec.toml
+//! cargo run --release -p rats-experiments --bin campaign -- --print-template
+//! ```
+
+use rats_experiments::spec::{ExperimentSpec, SuiteSpec};
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("campaign: {message}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: campaign <spec.toml|spec.json> | --print-template");
+        std::process::exit(2);
+    });
+    if arg == "--print-template" {
+        let template = ExperimentSpec::naive(
+            "naive-grillon",
+            "grillon",
+            SuiteSpec::Mini,
+            rats_experiments::campaign::BASE_SEED,
+        );
+        print!("{}", template.to_toml());
+        return;
+    }
+    let text = std::fs::read_to_string(&arg)
+        .unwrap_or_else(|e| fail(format_args!("cannot read spec {arg:?}: {e}")));
+    let spec = if arg.ends_with(".json") {
+        ExperimentSpec::from_json(&text)
+    } else {
+        ExperimentSpec::from_toml(&text)
+    }
+    .unwrap_or_else(|e| fail(e));
+    let outcome = spec.run().unwrap_or_else(|e| fail(e));
+    print!("{}", outcome.render());
+}

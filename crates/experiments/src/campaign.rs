@@ -126,8 +126,7 @@ mod tests {
     #[test]
     fn campaign_runs_all_strategies_aligned() {
         let platform = Platform::from_spec(&ClusterSpec::chti());
-        let prepared =
-            PreparedScenario::prepare(mini_suite(&CostParams::tiny(), 1), &platform, 2);
+        let prepared = PreparedScenario::prepare(mini_suite(&CostParams::tiny(), 1), &platform, 2);
         let results = run_campaign(&prepared, &platform, &naive_strategies(), 2);
         assert_eq!(results.len(), 3);
         assert_eq!(results[0].name, "HCPA");
@@ -144,8 +143,7 @@ mod tests {
     #[test]
     fn campaign_is_deterministic() {
         let platform = Platform::from_spec(&ClusterSpec::chti());
-        let prepared =
-            PreparedScenario::prepare(mini_suite(&CostParams::tiny(), 2), &platform, 2);
+        let prepared = PreparedScenario::prepare(mini_suite(&CostParams::tiny(), 2), &platform, 2);
         let a = run_campaign(&prepared, &platform, &naive_strategies(), 2);
         let b = run_campaign(&prepared, &platform, &naive_strategies(), 1);
         for (x, y) in a.iter().zip(&b) {

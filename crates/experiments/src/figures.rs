@@ -26,7 +26,11 @@ pub fn render_relative_series(
     let rows = rows.min(n).max(1);
     for r in 0..rows {
         // Sample evenly, always including the first and last rank.
-        let i = if rows == 1 { 0 } else { r * (n - 1) / (rows - 1) };
+        let i = if rows == 1 {
+            0
+        } else {
+            r * (n - 1) / (rows - 1)
+        };
         let _ = write!(out, "{i:>8}");
         for s in sorted_series {
             let _ = write!(out, "{:>12.4}", s[i]);
@@ -101,11 +105,7 @@ pub fn render_pairwise_block(
         std::array::from_fn(|c| combined[c].better + combined[c].equal + combined[c].worse);
     let mut out = String::new();
     let _ = writeln!(out, "{algo}  (cells: chti / grillon / grelon)");
-    for (what, pick) in [
-        ("better", 0usize),
-        ("equal", 1),
-        ("worse", 2),
-    ] {
+    for (what, pick) in [("better", 0usize), ("equal", 1), ("worse", 2)] {
         let _ = write!(out, "  {what:>7}");
         for (ci, col) in columns.iter().enumerate() {
             let v: Vec<String> = (0..3)

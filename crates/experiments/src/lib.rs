@@ -26,9 +26,11 @@ pub mod artifacts;
 pub mod campaign;
 pub mod figures;
 pub mod runner;
+pub mod spec;
 pub mod stats;
 pub mod tuning;
 
 pub use campaign::{run_campaign, AlgoResults, PreparedScenario, RunResult, BASE_SEED};
+pub use spec::{ExperimentSpec, SpecError, SpecOutcome, StrategySpec, SuiteSpec};
 pub use stats::{degradation_from_best, pairwise, summarize, Degradation, PairwiseCount};
 pub use tuning::{paper_tuned, tune_family, TunedParams};

@@ -1,0 +1,529 @@
+//! Campaigns as data: a serde-backed experiment specification.
+//!
+//! A campaign used to be re-implemented imperatively inside every
+//! `src/bin/` target. [`ExperimentSpec`] turns it into a document — which
+//! suite, which clusters, which mapping strategies, which seed — that
+//! round-trips through TOML and JSON and executes with [`ExperimentSpec::run`].
+//! The `campaign` binary runs a spec file from disk:
+//!
+//! ```text
+//! cargo run --release -p rats-experiments --bin campaign -- spec.toml
+//! ```
+//!
+//! A TOML spec looks like:
+//!
+//! ```text
+//! name = "naive-grillon"
+//! seed = 20080929
+//! suite = "mini"              # or "paper" (the 557-configuration set)
+//! clusters = ["grillon"]
+//!
+//! [[strategies]]
+//! kind = "hcpa"
+//!
+//! [[strategies]]
+//! kind = "delta"
+//! mindelta = 0.5
+//! maxdelta = 0.5
+//!
+//! [[strategies]]
+//! kind = "time-cost"
+//! minrho = 0.5
+//! allow_packing = true
+//! ```
+
+use std::fmt;
+
+use rats_daggen::suite;
+use rats_model::CostParams;
+use rats_platform::{ClusterSpec, Platform};
+use rats_sched::{MappingStrategy, StrategyError};
+use serde::{Deserialize, Serialize, Value};
+
+use crate::campaign::{run_campaign, AlgoResults, PreparedScenario};
+use crate::runner::default_threads;
+use crate::stats;
+
+/// Which scenario population a campaign runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SuiteSpec {
+    /// The paper's full 557-configuration population.
+    Paper,
+    /// The smoke-test population (one scenario per family).
+    #[default]
+    Mini,
+}
+
+impl SuiteSpec {
+    fn as_str(&self) -> &'static str {
+        match self {
+            SuiteSpec::Paper => "paper",
+            SuiteSpec::Mini => "mini",
+        }
+    }
+}
+
+/// A mapping strategy as plain data (`kind` tag plus parameters), the
+/// serializable mirror of [`MappingStrategy`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum StrategySpec {
+    /// The non-adopting baseline.
+    Hcpa,
+    /// RATS delta (structural pack/stretch bounds).
+    Delta {
+        /// Pack bound magnitude.
+        mindelta: f64,
+        /// Stretch bound.
+        maxdelta: f64,
+    },
+    /// RATS time-cost (work-efficiency driven).
+    TimeCost {
+        /// Minimal acceptable work ratio for stretching.
+        minrho: f64,
+        /// Whether packing is allowed.
+        allow_packing: bool,
+    },
+    /// The combined extension (delta bounds + estimate validation).
+    Combined {
+        /// Pack bound magnitude.
+        mindelta: f64,
+        /// Stretch bound.
+        maxdelta: f64,
+        /// Minimal acceptable work ratio for stretching.
+        minrho: f64,
+    },
+}
+
+impl StrategySpec {
+    /// Validates and converts to the executable strategy.
+    pub fn to_strategy(&self) -> Result<MappingStrategy, StrategyError> {
+        match *self {
+            StrategySpec::Hcpa => Ok(MappingStrategy::Hcpa),
+            StrategySpec::Delta { mindelta, maxdelta } => {
+                MappingStrategy::try_rats_delta(mindelta, maxdelta)
+            }
+            StrategySpec::TimeCost {
+                minrho,
+                allow_packing,
+            } => MappingStrategy::try_rats_time_cost(minrho, allow_packing),
+            StrategySpec::Combined {
+                mindelta,
+                maxdelta,
+                minrho,
+            } => MappingStrategy::try_rats_combined(mindelta, maxdelta, minrho),
+        }
+    }
+
+    /// The data form of an executable strategy (inverse of
+    /// [`Self::to_strategy`]).
+    pub fn from_strategy(s: MappingStrategy) -> Self {
+        match s {
+            MappingStrategy::Hcpa => StrategySpec::Hcpa,
+            MappingStrategy::RatsDelta(p) => StrategySpec::Delta {
+                mindelta: p.mindelta,
+                maxdelta: p.maxdelta,
+            },
+            MappingStrategy::RatsTimeCost(p) => StrategySpec::TimeCost {
+                minrho: p.minrho,
+                allow_packing: p.allow_packing,
+            },
+            MappingStrategy::RatsCombined(p) => StrategySpec::Combined {
+                mindelta: p.delta.mindelta,
+                maxdelta: p.delta.maxdelta,
+                minrho: p.minrho,
+            },
+        }
+    }
+}
+
+impl Serialize for StrategySpec {
+    fn serialize(&self) -> Value {
+        let mut t = Value::table();
+        match *self {
+            StrategySpec::Hcpa => {
+                t.insert("kind", "hcpa");
+            }
+            StrategySpec::Delta { mindelta, maxdelta } => {
+                t.insert("kind", "delta")
+                    .insert("mindelta", &mindelta)
+                    .insert("maxdelta", &maxdelta);
+            }
+            StrategySpec::TimeCost {
+                minrho,
+                allow_packing,
+            } => {
+                t.insert("kind", "time-cost")
+                    .insert("minrho", &minrho)
+                    .insert("allow_packing", &allow_packing);
+            }
+            StrategySpec::Combined {
+                mindelta,
+                maxdelta,
+                minrho,
+            } => {
+                t.insert("kind", "combined")
+                    .insert("mindelta", &mindelta)
+                    .insert("maxdelta", &maxdelta)
+                    .insert("minrho", &minrho);
+            }
+        }
+        t
+    }
+}
+
+impl Deserialize for StrategySpec {
+    fn deserialize(v: &Value) -> Result<Self, serde::Error> {
+        let kind: String = v.field("kind")?;
+        match kind.as_str() {
+            "hcpa" => Ok(StrategySpec::Hcpa),
+            "delta" => Ok(StrategySpec::Delta {
+                mindelta: v.field("mindelta")?,
+                maxdelta: v.field("maxdelta")?,
+            }),
+            "time-cost" => Ok(StrategySpec::TimeCost {
+                minrho: v.field("minrho")?,
+                allow_packing: v.field_or("allow_packing", true)?,
+            }),
+            "combined" => Ok(StrategySpec::Combined {
+                mindelta: v.field("mindelta")?,
+                maxdelta: v.field("maxdelta")?,
+                minrho: v.field("minrho")?,
+            }),
+            other => Err(serde::Error::new(format!(
+                "unknown strategy kind `{other}` (expected hcpa/delta/time-cost/combined)"
+            ))),
+        }
+    }
+}
+
+/// A declarative campaign: who runs (strategies), on what (suite × cost
+/// model × seed), and where (clusters).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSpec {
+    /// Campaign name (recorded in the report header).
+    pub name: String,
+    /// Workload generation seed.
+    pub seed: u64,
+    /// Scenario population.
+    pub suite: SuiteSpec,
+    /// Cluster names; each must be a paper cluster (`chti`, `grillon`,
+    /// `grelon`).
+    pub clusters: Vec<String>,
+    /// The strategies to compare; the first is the baseline of the
+    /// relative statistics.
+    pub strategies: Vec<StrategySpec>,
+    /// Worker threads (`None` = all cores).
+    pub threads: Option<usize>,
+}
+
+impl ExperimentSpec {
+    /// The paper's naive three-strategy comparison on one cluster.
+    pub fn naive(name: &str, cluster: &str, suite: SuiteSpec, seed: u64) -> Self {
+        Self {
+            name: name.to_string(),
+            seed,
+            suite,
+            clusters: vec![cluster.to_string()],
+            strategies: vec![
+                StrategySpec::Hcpa,
+                StrategySpec::Delta {
+                    mindelta: 0.5,
+                    maxdelta: 0.5,
+                },
+                StrategySpec::TimeCost {
+                    minrho: 0.5,
+                    allow_packing: true,
+                },
+            ],
+            threads: None,
+        }
+    }
+
+    /// Parses a spec from TOML text.
+    pub fn from_toml(text: &str) -> Result<Self, SpecError> {
+        toml::from_str(text).map_err(|e| SpecError::Parse(e.to_string()))
+    }
+
+    /// Parses a spec from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        serde_json::from_str(text).map_err(|e| SpecError::Parse(e.to_string()))
+    }
+
+    /// Renders the spec as TOML.
+    pub fn to_toml(&self) -> String {
+        toml::to_string(self).expect("specs always serialize")
+    }
+
+    /// Renders the spec as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("specs always serialize")
+    }
+
+    /// Validates the executable parts: strategies and cluster names.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.strategies.is_empty() {
+            return Err(SpecError::Invalid(
+                "a spec needs at least one strategy".into(),
+            ));
+        }
+        if self.clusters.is_empty() {
+            return Err(SpecError::Invalid(
+                "a spec needs at least one cluster".into(),
+            ));
+        }
+        for s in &self.strategies {
+            s.to_strategy().map_err(SpecError::Strategy)?;
+        }
+        for c in &self.clusters {
+            cluster_by_name(c)?;
+        }
+        Ok(())
+    }
+
+    /// Executes the campaign: generate the suite, share the HCPA allocation
+    /// per scenario, evaluate every strategy on every cluster.
+    pub fn run(&self) -> Result<SpecOutcome, SpecError> {
+        self.validate()?;
+        let threads = self.threads.unwrap_or_else(default_threads);
+        let strategies: Vec<MappingStrategy> = self
+            .strategies
+            .iter()
+            .map(|s| s.to_strategy().map_err(SpecError::Strategy))
+            .collect::<Result<_, _>>()?;
+        let cost = CostParams::paper();
+        let mut clusters = Vec::new();
+        for name in &self.clusters {
+            let platform = Platform::from_spec(&cluster_by_name(name)?);
+            let scenarios = match self.suite {
+                SuiteSpec::Paper => suite::paper_suite(&cost, self.seed),
+                SuiteSpec::Mini => suite::mini_suite(&cost, self.seed),
+            };
+            let prepared = PreparedScenario::prepare(scenarios, &platform, threads);
+            let results = run_campaign(&prepared, &platform, &strategies, threads);
+            clusters.push(ClusterResults {
+                cluster: name.clone(),
+                results,
+            });
+        }
+        Ok(SpecOutcome {
+            spec: self.clone(),
+            clusters,
+        })
+    }
+}
+
+impl Serialize for ExperimentSpec {
+    fn serialize(&self) -> Value {
+        let mut t = Value::table();
+        t.insert("name", &self.name)
+            .insert("seed", &self.seed)
+            .insert("suite", self.suite.as_str())
+            .insert("clusters", &self.clusters)
+            .insert("strategies", &self.strategies);
+        if let Some(threads) = self.threads {
+            t.insert("threads", &threads);
+        }
+        t
+    }
+}
+
+impl Deserialize for ExperimentSpec {
+    fn deserialize(v: &Value) -> Result<Self, serde::Error> {
+        let suite_name: String = v.field_or("suite", "mini".to_string())?;
+        let suite = match suite_name.as_str() {
+            "paper" => SuiteSpec::Paper,
+            "mini" => SuiteSpec::Mini,
+            other => {
+                return Err(serde::Error::new(format!(
+                    "unknown suite `{other}` (expected paper/mini)"
+                )))
+            }
+        };
+        Ok(Self {
+            name: v.field("name")?,
+            seed: v.field_or("seed", crate::campaign::BASE_SEED)?,
+            suite,
+            clusters: v.field("clusters")?,
+            strategies: v.field("strategies")?,
+            threads: v.field_or("threads", None)?,
+        })
+    }
+}
+
+/// One cluster's scenario-aligned results, one [`AlgoResults`] per
+/// strategy (spec order).
+#[derive(Debug, Clone)]
+pub struct ClusterResults {
+    /// Cluster name.
+    pub cluster: String,
+    /// Per-strategy results, aligned with the spec's strategy order.
+    pub results: Vec<AlgoResults>,
+}
+
+/// The executed campaign: the spec plus every cluster's results.
+#[derive(Debug, Clone)]
+pub struct SpecOutcome {
+    /// The spec that produced these numbers.
+    pub spec: ExperimentSpec,
+    /// One entry per requested cluster, in spec order.
+    pub clusters: Vec<ClusterResults>,
+}
+
+impl SpecOutcome {
+    /// A plain-text report: per cluster, each strategy's mean relative
+    /// makespan and win rate against the spec's first (baseline) strategy.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "# campaign `{}` — suite {}, seed {}\n",
+            self.spec.name,
+            self.spec.suite.as_str(),
+            self.spec.seed
+        );
+        for cr in &self.clusters {
+            let _ = writeln!(
+                out,
+                "\n[{}] {} scenarios, baseline {}",
+                cr.cluster,
+                cr.results.first().map_or(0, |r| r.runs.len()),
+                cr.results.first().map_or("-", |r| r.name.as_str())
+            );
+            let base = cr.results[0].makespans();
+            for algo in &cr.results[1..] {
+                let rel = stats::relative(&algo.makespans(), &base);
+                let s = stats::summarize(&rel);
+                let _ = writeln!(
+                    out,
+                    "  {:<12} mean rel makespan {:.4} ({:+.1} %), better in {:.1} % of scenarios",
+                    algo.name,
+                    s.mean_ratio,
+                    (s.mean_ratio - 1.0) * 100.0,
+                    s.wins * 100.0
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Errors from parsing, validating or running a spec.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The document failed to parse or deserialize.
+    Parse(String),
+    /// The document parsed but is not executable.
+    Invalid(String),
+    /// A strategy's parameters were rejected.
+    Strategy(StrategyError),
+    /// A cluster name is not a known preset.
+    UnknownCluster(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Parse(m) => write!(f, "spec parse error: {m}"),
+            SpecError::Invalid(m) => write!(f, "invalid spec: {m}"),
+            SpecError::Strategy(e) => write!(f, "invalid strategy: {e}"),
+            SpecError::UnknownCluster(c) => write!(
+                f,
+                "unknown cluster `{c}` (expected chti, grillon or grelon)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn cluster_by_name(name: &str) -> Result<ClusterSpec, SpecError> {
+    ClusterSpec::paper_clusters()
+        .into_iter()
+        .find(|c| c.name == name)
+        .ok_or_else(|| SpecError::UnknownCluster(name.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentSpec {
+        let mut spec = ExperimentSpec::naive("naive", "grillon", SuiteSpec::Mini, 7);
+        spec.strategies.push(StrategySpec::Combined {
+            mindelta: 0.5,
+            maxdelta: 1.0,
+            minrho: 0.4,
+        });
+        spec
+    }
+
+    #[test]
+    fn toml_round_trip() {
+        let spec = sample();
+        let text = spec.to_toml();
+        assert_eq!(ExperimentSpec::from_toml(&text).unwrap(), spec);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let spec = sample();
+        let text = spec.to_json();
+        assert_eq!(ExperimentSpec::from_json(&text).unwrap(), spec);
+    }
+
+    #[test]
+    fn strategy_specs_mirror_strategies() {
+        for s in [
+            MappingStrategy::Hcpa,
+            MappingStrategy::rats_delta(0.25, 1.0),
+            MappingStrategy::rats_time_cost(0.4, false),
+            MappingStrategy::rats_combined(0.5, 1.0, 0.6),
+        ] {
+            let spec = StrategySpec::from_strategy(s);
+            assert_eq!(spec.to_strategy().unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_documents() {
+        assert!(matches!(
+            ExperimentSpec::from_toml("strategies = 4"),
+            Err(SpecError::Parse(_))
+        ));
+        let toml = "name = \"x\"\nclusters = [\"nowhere\"]\n[[strategies]]\nkind = \"hcpa\"\n";
+        let spec = ExperimentSpec::from_toml(toml).unwrap();
+        assert_eq!(
+            spec.validate(),
+            Err(SpecError::UnknownCluster("nowhere".into()))
+        );
+        let toml =
+            "name = \"x\"\nclusters = [\"chti\"]\n[[strategies]]\nkind = \"time-cost\"\nminrho = 0.0\n";
+        let spec = ExperimentSpec::from_toml(toml).unwrap();
+        assert!(matches!(spec.validate(), Err(SpecError::Strategy(_))));
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        let toml = "name = \"d\"\nclusters = [\"chti\"]\n[[strategies]]\nkind = \"hcpa\"\n";
+        let spec = ExperimentSpec::from_toml(toml).unwrap();
+        assert_eq!(spec.seed, crate::campaign::BASE_SEED);
+        assert_eq!(spec.suite, SuiteSpec::Mini);
+        assert_eq!(spec.threads, None);
+    }
+
+    #[test]
+    fn mini_campaign_executes() {
+        let mut spec = ExperimentSpec::naive("smoke", "chti", SuiteSpec::Mini, 3);
+        spec.threads = Some(2);
+        let outcome = spec.run().unwrap();
+        assert_eq!(outcome.clusters.len(), 1);
+        let cr = &outcome.clusters[0];
+        assert_eq!(cr.results.len(), 3);
+        assert_eq!(cr.results[0].name, "HCPA");
+        for algo in &cr.results {
+            assert!(algo.runs.iter().all(|r| r.makespan > 0.0));
+        }
+        let report = outcome.render();
+        assert!(report.contains("campaign `smoke`"));
+        assert!(report.contains("time-cost"));
+    }
+}

@@ -103,10 +103,7 @@ pub fn pairwise_combined(own: &[f64], others: &[&[f64]]) -> PairwiseCount {
     }
     let mut out = PairwiseCount::default();
     for i in 0..n {
-        let best_other = others
-            .iter()
-            .map(|o| o[i])
-            .fold(f64::INFINITY, f64::min);
+        let best_other = others.iter().map(|o| o[i]).fold(f64::INFINITY, f64::min);
         let scale = own[i].max(best_other).max(f64::MIN_POSITIVE);
         if (own[i] - best_other).abs() <= EQUAL_TOL * scale {
             out.equal += 1;

@@ -46,7 +46,11 @@ fn avg_relative_makespan(
 }
 
 /// Baseline (HCPA) makespans for a prepared set.
-pub fn hcpa_baseline(prepared: &[PreparedScenario], platform: &Platform, threads: usize) -> Vec<f64> {
+pub fn hcpa_baseline(
+    prepared: &[PreparedScenario],
+    platform: &Platform,
+    threads: usize,
+) -> Vec<f64> {
     parallel_map(prepared, threads, |_, p| {
         p.evaluate(platform, MappingStrategy::Hcpa).makespan
     })

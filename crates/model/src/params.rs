@@ -1,6 +1,6 @@
 //! Random cost-parameter generation following the paper's section II-A.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use crate::cost::TaskCost;
 
@@ -96,8 +96,8 @@ impl CostParams {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn paper_ranges() {

@@ -186,8 +186,16 @@ impl Platform {
         if let Some(cab) = &self.cabinet_of {
             let (cs, cd) = (cab[src as usize], cab[dst as usize]);
             if cs != cd {
-                push(self.uplink_of_cabinet[cs as usize], &mut links, &mut latency);
-                push(self.uplink_of_cabinet[cd as usize], &mut links, &mut latency);
+                push(
+                    self.uplink_of_cabinet[cs as usize],
+                    &mut links,
+                    &mut latency,
+                );
+                push(
+                    self.uplink_of_cabinet[cd as usize],
+                    &mut links,
+                    &mut latency,
+                );
             }
         }
         push(self.node_link(dst), &mut links, &mut latency);

@@ -71,8 +71,7 @@ pub fn align_for_self_comm(src: &ProcSet, dst: &ProcSet) -> ProcSet {
 
     // The greedy placement is a heuristic; guarantee it never does worse
     // than the order the caller already had.
-    let self_bytes =
-        |d: &ProcSet| crate::matrix::redistribute(m, src, d).self_bytes;
+    let self_bytes = |d: &ProcSet| crate::matrix::redistribute(m, src, d).self_bytes;
     if self_bytes(&candidate) >= self_bytes(dst) {
         candidate
     } else {

@@ -41,7 +41,12 @@ pub fn estimate_time(r: &Redistribution, platform: &Platform) -> f64 {
     let link_time = per_link
         .iter()
         .enumerate()
-        .map(|(l, &bytes)| bytes / platform.link(rats_platform::LinkId::from_index(l)).bandwidth_bps)
+        .map(|(l, &bytes)| {
+            bytes
+                / platform
+                    .link(rats_platform::LinkId::from_index(l))
+                    .bandwidth_bps
+        })
         .fold(0.0, f64::max);
     max_latency + link_time.max(max_flow_time)
 }

@@ -1,5 +1,6 @@
 //! Two-step scheduling of mixed-parallel applications: CPA/HCPA allocation
-//! plus the paper's **Redistribution Aware Two-Step (RATS)** mapping.
+//! plus the paper's **Redistribution Aware Two-Step (RATS)** mapping,
+//! behind an open policy interface.
 //!
 //! Two-step schedulers first decide *how many* processors each moldable task
 //! gets (**allocation**, [`allocate`]) and then *which* processors each task
@@ -15,35 +16,53 @@
 //!   task runs faster *and* avoids a redistribution, at the price of more
 //!   work.
 //!
-//! Two tunable strategies decide when to do either
-//! ([`MappingStrategy::RatsDelta`] and [`MappingStrategy::RatsTimeCost`]),
-//! and matching secondary sorts order the ready list (section III-C).
-//! [`MappingStrategy::Hcpa`] keeps allocations untouched, which is the
-//! baseline the paper compares against.
+//! ## The policy interface
+//!
+//! The decision of *when* to pack or stretch is the open variation point:
+//! every policy is an implementation of the object-safe [`MappingPolicy`]
+//! trait, fed a read-only [`MapView`] of the in-progress mapping. Four
+//! implementations ship with the crate — [`Hcpa`] (the non-adopting
+//! baseline), [`DeltaPolicy`], [`TimeCostPolicy`] and [`CombinedPolicy`] —
+//! and external crates can define their own (see the example in
+//! [`policy`]). The closed [`MappingStrategy`] enum remains as a `Copy`
+//! constructor layer for sweeps and serialized experiment specs; it
+//! delegates to the trait impls, so both forms produce byte-identical
+//! schedules.
+//!
+//! Invalid parameters are reported through [`StrategyError`] by the
+//! `Result` constructors ([`DeltaParams::new`], [`TimeCostParams::new`],
+//! [`CombinedParams::new`], and the policies' `new` functions).
 //!
 //! ```
-//! use rats_daggen::{fft_dag, suite};
+//! use rats_daggen::fft_dag;
 //! use rats_model::CostParams;
 //! use rats_platform::{ClusterSpec, Platform};
-//! use rats_sched::{MappingStrategy, Scheduler};
+//! use rats_sched::{Scheduler, TimeCostPolicy};
 //!
 //! let platform = Platform::from_spec(&ClusterSpec::grillon());
 //! let dag = fft_dag(8, &CostParams::paper(), 42);
 //! let schedule = Scheduler::new(&platform)
-//!     .strategy(MappingStrategy::rats_time_cost(0.5, true))
+//!     .policy(TimeCostPolicy::new(0.5, true)?)
 //!     .schedule(&dag);
 //! assert!(schedule.makespan_estimate() > 0.0);
 //! schedule.validate(&dag, &platform).unwrap();
+//! # Ok::<(), rats_sched::StrategyError>(())
 //! ```
 
 mod allocation;
 mod mapping;
+pub mod policy;
 mod schedule;
 mod strategy;
 
 pub use allocation::{allocate, AllocParams, Allocation, AreaPolicy};
 pub use mapping::Scheduler;
+pub use policy::{
+    CombinedPolicy, DeltaPolicy, Hcpa, MapView, MappingDecision, MappingPolicy, Placement,
+    TimeCostPolicy,
+};
 pub use schedule::{Schedule, ScheduleEntry, ScheduleError};
 pub use strategy::{
-    CandidatePolicy, CombinedParams, DeltaParams, MappingStrategy, SecondarySort, TimeCostParams,
+    CandidatePolicy, CombinedParams, DeltaParams, MappingStrategy, SecondarySort, StrategyError,
+    TimeCostParams,
 };

@@ -1,0 +1,520 @@
+//! The open mapping-policy interface: step two's per-task adopt/pack/stretch
+//! decision as an object-safe trait.
+//!
+//! The paper fixes a two-step skeleton — HCPA allocation, then list-mapping
+//! with optional *adoption* of a predecessor's processor set, then
+//! contention simulation — and varies only the policy that decides **when**
+//! to adopt. [`MappingPolicy`] is that variation point. The four paper(-ish)
+//! policies ship as [`Hcpa`], [`DeltaPolicy`], [`TimeCostPolicy`] and
+//! [`CombinedPolicy`]; external crates can plug in their own policy without
+//! touching this crate:
+//!
+//! ```
+//! use rats_sched::{MapView, MappingDecision, MappingPolicy, Scheduler};
+//! use rats_daggen::{fft_dag};
+//! use rats_model::CostParams;
+//! use rats_platform::{ClusterSpec, Platform};
+//! use rats_dag::TaskId;
+//!
+//! /// Adopt the heaviest-input predecessor's set whenever it is free.
+//! #[derive(Debug)]
+//! struct GreedyAdopt;
+//!
+//! impl MappingPolicy for GreedyAdopt {
+//!     fn name(&self) -> &str {
+//!         "greedy-adopt"
+//!     }
+//!
+//!     fn decide(&self, view: &MapView<'_, '_>, task: TaskId) -> MappingDecision {
+//!         let heaviest = view
+//!             .adoptable_predecessors(task)
+//!             .max_by(|&(_, a), &(_, b)| {
+//!                 view.edge_bytes(a).total_cmp(&view.edge_bytes(b))
+//!             });
+//!         match heaviest {
+//!             Some((pred, _)) => {
+//!                 let procs = view.placement(pred).procs.clone();
+//!                 let placement = view.estimate_on(task, procs);
+//!                 MappingDecision::Adopt {
+//!                     from_pred: pred,
+//!                     placement,
+//!                 }
+//!             }
+//!             None => MappingDecision::Default(None),
+//!         }
+//!     }
+//! }
+//!
+//! let platform = Platform::from_spec(&ClusterSpec::grillon());
+//! let dag = fft_dag(4, &CostParams::tiny(), 7);
+//! let schedule = Scheduler::new(&platform).policy(GreedyAdopt).schedule(&dag);
+//! schedule.validate(&dag, &platform).unwrap();
+//! ```
+
+use rats_dag::{EdgeId, TaskId};
+use rats_platform::ProcSet;
+
+use crate::mapping::Mapper;
+use crate::schedule::ScheduleEntry;
+use crate::strategy::{
+    CombinedParams, DeltaParams, MappingStrategy, SecondarySort, StrategyError, TimeCostParams,
+};
+
+/// A fully-evaluated placement candidate: a processor set plus the
+/// contention-free (start, finish) estimate of running the task there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// The processors the task would run on.
+    pub procs: ProcSet,
+    /// Estimated start time (data ready and processors free).
+    pub start: f64,
+    /// Estimated finish time.
+    pub finish: f64,
+}
+
+/// A policy's verdict for one ready task.
+#[derive(Debug, Clone)]
+pub enum MappingDecision {
+    /// Adopt predecessor `from_pred`'s exact processor set (the
+    /// redistribution on that edge becomes free). The predecessor is
+    /// consumed: each parent's set can be adopted by at most one child, the
+    /// bookkeeping without which all ready siblings would pile onto one
+    /// parent's processors and serialize.
+    Adopt {
+        /// The predecessor whose placement is being reused.
+        from_pred: TaskId,
+        /// The adopted placement (as returned by [`MapView::estimate_on`]).
+        placement: Placement,
+    },
+    /// Fall back to the scheduler's default mapping; pass a placement back
+    /// if the policy already computed [`MapView::default_mapping`] so the
+    /// driver does not evaluate it twice.
+    Default(Option<Placement>),
+}
+
+/// Read-only view of the in-progress mapping, handed to
+/// [`MappingPolicy::decide`] for each ready task.
+///
+/// All estimates are *contention-free* (section III): redistribution times
+/// come from [`rats_redist::estimate_time`], and processor availability is
+/// the driver's per-processor ready time after every previously mapped
+/// task.
+pub struct MapView<'v, 'a> {
+    pub(crate) mapper: &'v Mapper<'a>,
+}
+
+impl<'a> MapView<'_, 'a> {
+    /// The task graph being mapped.
+    pub fn dag(&self) -> &'a rats_dag::TaskGraph {
+        self.mapper.dag
+    }
+
+    /// The target platform.
+    pub fn platform(&self) -> &'a rats_platform::Platform {
+        self.mapper.platform
+    }
+
+    /// The task's current allocation size (step one's output, possibly
+    /// already rewritten by earlier pack/stretch decisions of this run).
+    pub fn allocated(&self, t: TaskId) -> u32 {
+        self.mapper.alloc[t.index()]
+    }
+
+    /// The placement of an already-mapped task.
+    ///
+    /// # Panics
+    /// Panics if `t` has not been mapped yet; predecessors of the task
+    /// under decision always have been.
+    pub fn placement(&self, t: TaskId) -> &ScheduleEntry {
+        self.mapper.entry_of(t)
+    }
+
+    /// Whether `t`'s processor set has already been adopted by a child
+    /// (an adopted set is consumed and cannot be adopted again).
+    pub fn is_adopted(&self, t: TaskId) -> bool {
+        self.mapper.adopted[t.index()]
+    }
+
+    /// The predecessors of `t` whose placements are still available for
+    /// adoption, with the connecting edge.
+    pub fn adoptable_predecessors(&self, t: TaskId) -> impl Iterator<Item = (TaskId, EdgeId)> + '_ {
+        self.mapper
+            .dag
+            .predecessors(t)
+            .filter(|(p, _)| !self.mapper.adopted[p.index()])
+    }
+
+    /// Payload of edge `e` in bytes.
+    pub fn edge_bytes(&self, e: EdgeId) -> f64 {
+        self.mapper.dag.edge(e).bytes
+    }
+
+    /// Estimated placement of `t` on the candidate set `procs`: the task
+    /// starts once every input redistribution has arrived and all the
+    /// processors are free.
+    pub fn estimate_on(&self, t: TaskId, procs: ProcSet) -> Placement {
+        let (start, finish) = self.mapper.estimate_on(t, &procs);
+        Placement {
+            procs,
+            start,
+            finish,
+        }
+    }
+
+    /// Execution time of `t` on `procs` processors (Amdahl model).
+    pub fn exec_time(&self, t: TaskId, procs: u32) -> f64 {
+        self.mapper.exec_time(t, procs)
+    }
+
+    /// Work (time × processors) of `t` on `procs` processors.
+    pub fn work(&self, t: TaskId, procs: u32) -> f64 {
+        self.mapper.work(t, procs)
+    }
+
+    /// The scheduler's default (non-adopting) mapping for `t`, following
+    /// the configured [`crate::CandidatePolicy`].
+    pub fn default_mapping(&self, t: TaskId) -> Placement {
+        let (procs, start, finish) = self.mapper.default_mapping(t);
+        Placement {
+            procs,
+            start,
+            finish,
+        }
+    }
+}
+
+/// A step-two mapping policy: decides, per ready task, whether to adopt a
+/// predecessor's processor set (pack/stretch) or fall back to the default
+/// list-scheduling placement.
+///
+/// The trait is object safe; [`Scheduler::policy`](crate::Scheduler::policy)
+/// accepts any implementation, so new strategies can live outside this
+/// crate. Implementations must be `Send + Sync` (campaigns evaluate many
+/// scenarios in parallel with a shared policy).
+pub trait MappingPolicy: Send + Sync {
+    /// Short display name used by experiment tables and provenance records.
+    fn name(&self) -> &str;
+
+    /// The ready-list secondary sort this policy wants (section III-C).
+    fn secondary_sort(&self) -> SecondarySort {
+        SecondarySort::None
+    }
+
+    /// The verdict for one ready task.
+    fn decide(&self, view: &MapView<'_, '_>, task: TaskId) -> MappingDecision;
+}
+
+impl<P: MappingPolicy + 'static> From<P> for Box<dyn MappingPolicy> {
+    fn from(policy: P) -> Self {
+        Box::new(policy)
+    }
+}
+
+/// The HCPA baseline: allocations untouched, default placement only
+/// (redistribution costs are accounted for in the estimates, but no
+/// redistribution-avoiding alternative is searched — the gap RATS closes).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hcpa;
+
+impl MappingPolicy for Hcpa {
+    fn name(&self) -> &str {
+        "HCPA"
+    }
+
+    fn decide(&self, _view: &MapView<'_, '_>, _task: TaskId) -> MappingDecision {
+        MappingDecision::Default(None)
+    }
+}
+
+/// The **delta** strategy (section III-A/III-B): among the predecessors
+/// whose allocation is within the structural pack/stretch bounds, adopt the
+/// one needing the smallest modification |δ|; ties go to the heaviest input
+/// edge (the biggest avoided redistribution), then to the lowest
+/// predecessor id.
+#[derive(Debug, Clone, Copy)]
+pub struct DeltaPolicy {
+    params: DeltaParams,
+}
+
+impl DeltaPolicy {
+    /// Validated constructor; `mindelta` may be given as the paper's
+    /// negative value or as a magnitude — the sign is dropped.
+    pub fn new(mindelta: f64, maxdelta: f64) -> Result<Self, StrategyError> {
+        Ok(Self {
+            params: DeltaParams::new(mindelta, maxdelta)?,
+        })
+    }
+
+    /// Wraps already-validated parameters.
+    pub fn from_params(params: DeltaParams) -> Self {
+        Self { params }
+    }
+
+    /// The policy's parameters.
+    pub fn params(&self) -> DeltaParams {
+        self.params
+    }
+}
+
+impl MappingPolicy for DeltaPolicy {
+    fn name(&self) -> &str {
+        "delta"
+    }
+
+    fn secondary_sort(&self) -> SecondarySort {
+        SecondarySort::DeltaAscending
+    }
+
+    fn decide(&self, view: &MapView<'_, '_>, task: TaskId) -> MappingDecision {
+        let k = view.allocated(task);
+        // (|δ|, edge bytes, pred) of the best qualifying predecessor.
+        let mut chosen: Option<(u32, f64, TaskId)> = None;
+        for (pred, e) in view.adoptable_predecessors(task) {
+            let np = view.placement(pred).procs.len();
+            let feasible = if np >= k {
+                np - k <= self.params.delta_max(k)
+            } else {
+                k - np <= self.params.delta_min_magnitude(k)
+            };
+            if !feasible {
+                continue;
+            }
+            let d = np.abs_diff(k);
+            let bytes = view.edge_bytes(e);
+            let better = match chosen {
+                None => true,
+                Some((bd, bb, bp)) => {
+                    d < bd || (d == bd && (bytes > bb + 1e-9 || (bytes >= bb - 1e-9 && pred < bp)))
+                }
+            };
+            if better {
+                chosen = Some((d, bytes, pred));
+            }
+        }
+        match chosen {
+            Some((_, _, pred)) => {
+                let procs = view.placement(pred).procs.clone();
+                MappingDecision::Adopt {
+                    from_pred: pred,
+                    placement: view.estimate_on(task, procs),
+                }
+            }
+            None => MappingDecision::Default(None),
+        }
+    }
+}
+
+/// The **time-cost** strategy: stretch when the work ratio stays above
+/// `minrho` *and* the estimated finish does not regress; pack when the
+/// estimated finish does not get worse.
+///
+/// The finish-time guard on stretching is our reading of the paper's
+/// premise that the mapping procedure can "estimate accurately the
+/// respective finish time of a task using several modified allocations"
+/// (section III): adopting a busy parent set that *delays* the task would
+/// contradict the strategy's goal (and, empirically, inverts the paper's
+/// time-cost > delta > HCPA ranking).
+#[derive(Debug, Clone, Copy)]
+pub struct TimeCostPolicy {
+    params: TimeCostParams,
+}
+
+impl TimeCostPolicy {
+    /// Validated constructor.
+    pub fn new(minrho: f64, allow_packing: bool) -> Result<Self, StrategyError> {
+        Ok(Self {
+            params: TimeCostParams::new(minrho, allow_packing)?,
+        })
+    }
+
+    /// Wraps already-validated parameters.
+    pub fn from_params(params: TimeCostParams) -> Self {
+        Self { params }
+    }
+
+    /// The policy's parameters.
+    pub fn params(&self) -> TimeCostParams {
+        self.params
+    }
+}
+
+impl MappingPolicy for TimeCostPolicy {
+    fn name(&self) -> &str {
+        "time-cost"
+    }
+
+    fn secondary_sort(&self) -> SecondarySort {
+        SecondarySort::GainDescending
+    }
+
+    fn decide(&self, view: &MapView<'_, '_>, task: TaskId) -> MappingDecision {
+        let k = view.allocated(task);
+        let own_work = view.work(task, k);
+        let default = view.default_mapping(task);
+        // Stretch (or adopt an equal-size predecessor, ρ = 1): among the
+        // efficient enough candidates (ρ ≥ minrho), take the best finish.
+        let mut best_stretch: Option<(TaskId, Placement)> = None;
+        for (pred, _) in view.adoptable_predecessors(task) {
+            let np = view.placement(pred).procs.len();
+            if np < k {
+                continue;
+            }
+            let rho = if own_work == 0.0 {
+                1.0
+            } else {
+                own_work / view.work(task, np)
+            };
+            if rho < self.params.minrho {
+                continue;
+            }
+            let procs = view.placement(pred).procs.clone();
+            let p = view.estimate_on(task, procs);
+            if best_stretch
+                .as_ref()
+                .is_none_or(|(_, b)| p.finish < b.finish - 1e-15)
+            {
+                best_stretch = Some((pred, p));
+            }
+        }
+        if let Some((pred, placement)) = best_stretch {
+            if placement.finish <= default.finish + 1e-15 {
+                return MappingDecision::Adopt {
+                    from_pred: pred,
+                    placement,
+                };
+            }
+        }
+        if !self.params.allow_packing {
+            return MappingDecision::Default(Some(default));
+        }
+        // Pack: adopt the smaller predecessor allocation with the best
+        // estimated finish, but only if it beats the default mapping.
+        let mut best_pack: Option<(TaskId, Placement)> = None;
+        for (pred, _) in view.adoptable_predecessors(task) {
+            let np = view.placement(pred).procs.len();
+            if np >= k {
+                continue;
+            }
+            let procs = view.placement(pred).procs.clone();
+            let p = view.estimate_on(task, procs);
+            if best_pack
+                .as_ref()
+                .is_none_or(|(_, b)| p.finish < b.finish - 1e-15)
+            {
+                best_pack = Some((pred, p));
+            }
+        }
+        match best_pack {
+            Some((pred, placement)) if placement.finish <= default.finish + 1e-15 => {
+                MappingDecision::Adopt {
+                    from_pred: pred,
+                    placement,
+                }
+            }
+            _ => MappingDecision::Default(Some(default)),
+        }
+    }
+}
+
+/// The **combined** strategy (extension beyond the paper, in the direction
+/// of its future-work "automatic tuning"): predecessors within the delta
+/// bounds are candidates; the best estimated finish wins, and the adoption
+/// must not regress versus the default mapping. Stretching additionally
+/// honours the `minrho` efficiency threshold.
+#[derive(Debug, Clone, Copy)]
+pub struct CombinedPolicy {
+    params: CombinedParams,
+}
+
+impl CombinedPolicy {
+    /// Validated constructor (`mindelta` sign is dropped, as in
+    /// [`DeltaPolicy::new`]).
+    pub fn new(mindelta: f64, maxdelta: f64, minrho: f64) -> Result<Self, StrategyError> {
+        Ok(Self {
+            params: CombinedParams::new(DeltaParams::new(mindelta, maxdelta)?, minrho)?,
+        })
+    }
+
+    /// Wraps already-validated parameters.
+    pub fn from_params(params: CombinedParams) -> Self {
+        Self { params }
+    }
+
+    /// The policy's parameters.
+    pub fn params(&self) -> CombinedParams {
+        self.params
+    }
+}
+
+impl MappingPolicy for CombinedPolicy {
+    fn name(&self) -> &str {
+        "combined"
+    }
+
+    fn secondary_sort(&self) -> SecondarySort {
+        SecondarySort::DeltaAscending
+    }
+
+    fn decide(&self, view: &MapView<'_, '_>, task: TaskId) -> MappingDecision {
+        let k = view.allocated(task);
+        let own_work = view.work(task, k);
+        let default = view.default_mapping(task);
+        let mut best: Option<(TaskId, Placement)> = None;
+        for (pred, _) in view.adoptable_predecessors(task) {
+            let np = view.placement(pred).procs.len();
+            let feasible = if np >= k {
+                let rho = if own_work == 0.0 {
+                    1.0
+                } else {
+                    own_work / view.work(task, np)
+                };
+                np - k <= self.params.delta.delta_max(k) && rho >= self.params.minrho
+            } else {
+                k - np <= self.params.delta.delta_min_magnitude(k)
+            };
+            if !feasible {
+                continue;
+            }
+            let procs = view.placement(pred).procs.clone();
+            let p = view.estimate_on(task, procs);
+            if best
+                .as_ref()
+                .is_none_or(|(_, b)| p.finish < b.finish - 1e-15)
+            {
+                best = Some((pred, p));
+            }
+        }
+        match best {
+            Some((pred, placement)) if placement.finish <= default.finish + 1e-15 => {
+                MappingDecision::Adopt {
+                    from_pred: pred,
+                    placement,
+                }
+            }
+            _ => MappingDecision::Default(Some(default)),
+        }
+    }
+}
+
+/// The closed strategy enum doubles as a policy: it delegates to the
+/// matching trait impl, so `Scheduler::strategy(...)` and
+/// `Scheduler::policy(...)` produce byte-identical schedules (asserted by
+/// the `policy_parity` integration tests).
+impl MappingPolicy for MappingStrategy {
+    fn name(&self) -> &str {
+        MappingStrategy::name(self)
+    }
+
+    fn secondary_sort(&self) -> SecondarySort {
+        MappingStrategy::secondary_sort(self)
+    }
+
+    fn decide(&self, view: &MapView<'_, '_>, task: TaskId) -> MappingDecision {
+        match *self {
+            MappingStrategy::Hcpa => Hcpa.decide(view, task),
+            MappingStrategy::RatsDelta(p) => DeltaPolicy::from_params(p).decide(view, task),
+            MappingStrategy::RatsTimeCost(p) => TimeCostPolicy::from_params(p).decide(view, task),
+            MappingStrategy::RatsCombined(p) => CombinedPolicy::from_params(p).decide(view, task),
+        }
+    }
+}

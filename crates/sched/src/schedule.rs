@@ -84,7 +84,10 @@ impl Schedule {
 
     /// The mapper's estimated makespan: the latest estimated finish time.
     pub fn makespan_estimate(&self) -> f64 {
-        self.entries.iter().map(|e| e.est_finish).fold(0.0, f64::max)
+        self.entries
+            .iter()
+            .map(|e| e.est_finish)
+            .fold(0.0, f64::max)
     }
 
     /// The schedule's total *work* `Σ T(t, Np(t)) · Np(t)` in
@@ -93,11 +96,7 @@ impl Schedule {
     pub fn total_work(&self, dag: &TaskGraph, platform: &Platform) -> f64 {
         self.entries
             .iter()
-            .map(|e| {
-                dag.task(e.task)
-                    .cost
-                    .work(e.procs.len(), platform.gflops())
-            })
+            .map(|e| dag.task(e.task).cost.work(e.procs.len(), platform.gflops()))
             .sum()
     }
 
@@ -155,8 +154,7 @@ impl Schedule {
         let makespan = self.makespan_estimate().max(1e-12);
         let mut rows = vec![vec![b'.'; width]; platform.num_procs() as usize];
         for (i, e) in self.entries.iter().enumerate() {
-            let c = b"0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
-                [i % 62];
+            let c = b"0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"[i % 62];
             let from = ((e.est_start / makespan) * width as f64).floor() as usize;
             let to = ((e.est_finish / makespan) * width as f64).ceil() as usize;
             for p in e.procs.iter() {
@@ -211,7 +209,10 @@ mod tests {
         let (g, [a, b]) = two_task_dag();
         let p = tiny_platform();
         let s = Schedule {
-            entries: vec![entry(a, vec![0, 1], 0.0, 1.0), entry(b, vec![0, 1], 1.5, 2.5)],
+            entries: vec![
+                entry(a, vec![0, 1], 0.0, 1.0),
+                entry(b, vec![0, 1], 1.5, 2.5),
+            ],
             order: vec![a, b],
         };
         s.validate(&g, &p).unwrap();

@@ -1,4 +1,45 @@
 //! Mapping strategies and their tunable parameters (paper, section III).
+//!
+//! [`MappingStrategy`] is the closed, `Copy` enumeration of the shipped
+//! policies — handy for sweeps, tables and serialized experiment specs. It
+//! is a thin constructor layer: each variant delegates its decisions to the
+//! matching [`crate::MappingPolicy`] trait impl in [`crate::policy`], which
+//! is the open extension point. Parameter validation lives in `Result`
+//! constructors ([`DeltaParams::new`] and friends) returning
+//! [`StrategyError`]; the enum's short-hand constructors panic on invalid
+//! input for ergonomic literals in examples and tests.
+
+use std::fmt;
+
+/// A rejected strategy parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StrategyError {
+    /// `mindelta` magnitude outside `[0, 1]` (or NaN).
+    Mindelta(f64),
+    /// `maxdelta` negative, infinite or NaN.
+    Maxdelta(f64),
+    /// `minrho` outside `(0, 1]` (or NaN).
+    Minrho(f64),
+}
+
+impl fmt::Display for StrategyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StrategyError::Mindelta(v) => {
+                write!(f, "mindelta magnitude must be in [0, 1], got {v}")
+            }
+            StrategyError::Maxdelta(v) => {
+                write!(
+                    f,
+                    "maxdelta must be a finite non-negative fraction, got {v}"
+                )
+            }
+            StrategyError::Minrho(v) => write!(f, "minrho must be in (0, 1], got {v}"),
+        }
+    }
+}
+
+impl std::error::Error for StrategyError {}
 
 /// Parameters of the **delta** strategy: purely structural bounds on how far
 /// an allocation may move to adopt a predecessor's processor set.
@@ -16,6 +57,19 @@ pub struct DeltaParams {
 }
 
 impl DeltaParams {
+    /// Validated constructor; `mindelta` may be given as the paper's
+    /// negative value or as a magnitude — the sign is dropped.
+    pub fn new(mindelta: f64, maxdelta: f64) -> Result<Self, StrategyError> {
+        let mindelta = mindelta.abs();
+        if !(0.0..=1.0).contains(&mindelta) {
+            return Err(StrategyError::Mindelta(mindelta));
+        }
+        if !(maxdelta >= 0.0 && maxdelta.is_finite()) {
+            return Err(StrategyError::Maxdelta(maxdelta));
+        }
+        Ok(Self { mindelta, maxdelta })
+    }
+
     /// The paper's naive starting point: `mindelta = maxdelta = 0.5`.
     pub fn naive() -> Self {
         Self {
@@ -37,19 +91,6 @@ impl DeltaParams {
         // Packing may never remove *all* processors.
         m.min(np.saturating_sub(1))
     }
-
-    fn validate(&self) {
-        assert!(
-            (0.0..=1.0).contains(&self.mindelta),
-            "mindelta magnitude must be in [0, 1], got {}",
-            self.mindelta
-        );
-        assert!(
-            self.maxdelta >= 0.0 && self.maxdelta.is_finite(),
-            "maxdelta must be a finite non-negative fraction, got {}",
-            self.maxdelta
-        );
-    }
 }
 
 /// Parameters of the **time-cost** strategy: work-efficiency driven.
@@ -66,20 +107,23 @@ pub struct TimeCostParams {
 }
 
 impl TimeCostParams {
+    /// Validated constructor.
+    pub fn new(minrho: f64, allow_packing: bool) -> Result<Self, StrategyError> {
+        if !(minrho > 0.0 && minrho <= 1.0) {
+            return Err(StrategyError::Minrho(minrho));
+        }
+        Ok(Self {
+            minrho,
+            allow_packing,
+        })
+    }
+
     /// The paper's naive starting point: packing on, `minrho = 0.5`.
     pub fn naive() -> Self {
         Self {
             minrho: 0.5,
             allow_packing: true,
         }
-    }
-
-    fn validate(&self) {
-        assert!(
-            self.minrho > 0.0 && self.minrho <= 1.0,
-            "minrho must be in (0, 1], got {}",
-            self.minrho
-        );
     }
 }
 
@@ -128,12 +172,12 @@ pub struct CombinedParams {
 }
 
 impl CombinedParams {
-    fn validate(&self) {
-        assert!(
-            self.minrho > 0.0 && self.minrho <= 1.0,
-            "minrho must be in (0, 1], got {}",
-            self.minrho
-        );
+    /// Validated constructor.
+    pub fn new(delta: DeltaParams, minrho: f64) -> Result<Self, StrategyError> {
+        if !(minrho > 0.0 && minrho <= 1.0) {
+            return Err(StrategyError::Minrho(minrho));
+        }
+        Ok(Self { delta, minrho })
     }
 }
 
@@ -153,39 +197,57 @@ pub enum MappingStrategy {
 
 impl MappingStrategy {
     /// Delta strategy; `mindelta` may be given as the paper's negative value
-    /// or as a magnitude — the sign is dropped.
+    /// or as a magnitude — the sign is dropped. See [`Self::try_rats_delta`]
+    /// for the non-panicking form.
+    ///
+    /// # Panics
+    /// Panics if the parameters are invalid.
     pub fn rats_delta(mindelta: f64, maxdelta: f64) -> Self {
-        let p = DeltaParams {
-            mindelta: mindelta.abs(),
-            maxdelta,
-        };
-        p.validate();
-        Self::RatsDelta(p)
+        Self::try_rats_delta(mindelta, maxdelta).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Time-cost strategy.
+    /// Delta strategy with validated parameters.
+    pub fn try_rats_delta(mindelta: f64, maxdelta: f64) -> Result<Self, StrategyError> {
+        Ok(Self::RatsDelta(DeltaParams::new(mindelta, maxdelta)?))
+    }
+
+    /// Time-cost strategy. See [`Self::try_rats_time_cost`] for the
+    /// non-panicking form.
+    ///
+    /// # Panics
+    /// Panics if the parameters are invalid.
     pub fn rats_time_cost(minrho: f64, allow_packing: bool) -> Self {
-        let p = TimeCostParams {
+        Self::try_rats_time_cost(minrho, allow_packing).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Time-cost strategy with validated parameters.
+    pub fn try_rats_time_cost(minrho: f64, allow_packing: bool) -> Result<Self, StrategyError> {
+        Ok(Self::RatsTimeCost(TimeCostParams::new(
             minrho,
             allow_packing,
-        };
-        p.validate();
-        Self::RatsTimeCost(p)
+        )?))
     }
 
     /// Combined strategy: delta bounds + time-cost estimate validation
-    /// (`mindelta` sign is dropped, as in [`Self::rats_delta`]).
+    /// (`mindelta` sign is dropped, as in [`Self::rats_delta`]). See
+    /// [`Self::try_rats_combined`] for the non-panicking form.
+    ///
+    /// # Panics
+    /// Panics if the parameters are invalid.
     pub fn rats_combined(mindelta: f64, maxdelta: f64, minrho: f64) -> Self {
-        let p = CombinedParams {
-            delta: DeltaParams {
-                mindelta: mindelta.abs(),
-                maxdelta,
-            },
+        Self::try_rats_combined(mindelta, maxdelta, minrho).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Combined strategy with validated parameters.
+    pub fn try_rats_combined(
+        mindelta: f64,
+        maxdelta: f64,
+        minrho: f64,
+    ) -> Result<Self, StrategyError> {
+        Ok(Self::RatsCombined(CombinedParams::new(
+            DeltaParams::new(mindelta, maxdelta)?,
             minrho,
-        };
-        p.delta.validate();
-        p.validate();
-        Self::RatsCombined(p)
+        )?))
     }
 
     /// The ready-list secondary sort this strategy uses.
@@ -216,10 +278,7 @@ mod tests {
     #[test]
     fn delta_bounds_follow_paper_example() {
         // Np(t) = 6, maxdelta = 0.5 → at most 9 processors, δmax = 3.
-        let p = DeltaParams {
-            mindelta: 0.5,
-            maxdelta: 0.5,
-        };
+        let p = DeltaParams::new(0.5, 0.5).unwrap();
         assert_eq!(p.delta_max(6), 3);
         // mindelta = 0.5 → at least 3 processors, |δmin| = 3.
         assert_eq!(p.delta_min_magnitude(6), 3);
@@ -227,10 +286,7 @@ mod tests {
 
     #[test]
     fn packing_never_empties_an_allocation() {
-        let p = DeltaParams {
-            mindelta: 1.0,
-            maxdelta: 0.0,
-        };
+        let p = DeltaParams::new(1.0, 0.0).unwrap();
         assert_eq!(p.delta_min_magnitude(1), 0);
         assert_eq!(p.delta_min_magnitude(4), 3);
     }
@@ -242,6 +298,40 @@ mod tests {
             MappingStrategy::RatsDelta(p) => assert_eq!(p.mindelta, 0.75),
             _ => unreachable!(),
         }
+    }
+
+    #[test]
+    fn constructors_reject_bad_parameters_with_typed_errors() {
+        assert_eq!(
+            DeltaParams::new(1.5, 0.5),
+            Err(StrategyError::Mindelta(1.5))
+        );
+        assert!(matches!(
+            DeltaParams::new(0.5, f64::NAN).unwrap_err(),
+            StrategyError::Maxdelta(v) if v.is_nan()
+        ));
+        assert_eq!(
+            TimeCostParams::new(0.0, true),
+            Err(StrategyError::Minrho(0.0))
+        );
+        assert_eq!(
+            CombinedParams::new(DeltaParams::naive(), 1.5),
+            Err(StrategyError::Minrho(1.5))
+        );
+        assert!(MappingStrategy::try_rats_delta(0.5, 0.5).is_ok());
+        assert!(MappingStrategy::try_rats_time_cost(2.0, true).is_err());
+        assert!(MappingStrategy::try_rats_combined(0.5, 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn errors_render_the_offending_parameter() {
+        assert!(StrategyError::Minrho(0.0).to_string().contains("minrho"));
+        assert!(StrategyError::Mindelta(2.0)
+            .to_string()
+            .contains("mindelta"));
+        assert!(StrategyError::Maxdelta(-1.0)
+            .to_string()
+            .contains("maxdelta"));
     }
 
     #[test]

@@ -25,7 +25,9 @@ impl PartialOrd for OrdF64 {
 
 impl Ord for OrdF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("event times are finite")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("event times are finite")
     }
 }
 
@@ -168,9 +170,9 @@ pub fn simulate(dag: &TaskGraph, schedule: &Schedule, platform: &Platform) -> Si
             (Some(a), Some(b)) => a.min(b),
             (Some(a), None) => a,
             (None, Some(b)) => b,
-            (None, None) => panic!(
-                "simulation deadlock: {done}/{n} tasks done and no pending events"
-            ),
+            (None, None) => {
+                panic!("simulation deadlock: {done}/{n} tasks done and no pending events")
+            }
         };
         now = t_next;
 

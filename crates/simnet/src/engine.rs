@@ -31,7 +31,9 @@ pub enum StartOutcome {
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Phase {
     /// Connection establishment: no data moves until `until`.
-    Latency { until: f64 },
+    Latency {
+        until: f64,
+    },
     /// Fluid transfer at the current max-min fair rate.
     Transfer,
     Done,
@@ -192,7 +194,10 @@ impl<'p> NetSim<'p> {
     ///
     /// Panics if `t` is in the past or beyond the next event.
     pub fn advance_to(&mut self, t: f64) -> Vec<FlowKey> {
-        assert!(t.is_finite() && t >= self.time - 1e-12, "time went backwards");
+        assert!(
+            t.is_finite() && t >= self.time - 1e-12,
+            "time went backwards"
+        );
         if let Some(next) = self.next_event() {
             assert!(
                 t <= next + next.abs().max(1.0) * 1e-9,

@@ -128,7 +128,7 @@ impl Problem {
 mod tests {
     use super::*;
     use proptest::prelude::*;
-    use rand::{RngExt, SeedableRng};
+    use rand::{Rng, SeedableRng};
 
     fn flow(links: &[usize]) -> FlowSpec {
         FlowSpec {

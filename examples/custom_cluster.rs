@@ -30,7 +30,8 @@ fn main() {
         wmax_bytes: 65536.0,
     };
     spec.validate();
-    let platform = Platform::from_spec(&spec);
+    let pipeline = Pipeline::from_spec(&spec);
+    let platform = pipeline.platform();
 
     println!("single-flow effective bandwidth (B/s):");
     println!(
@@ -55,8 +56,14 @@ fn main() {
         &ProcSet::from_range(16, 8),
     );
     println!("\n256 MB redistribution estimate (8 -> 8 procs):");
-    println!("  within cabinet 0:        {:>8.2} s", estimate_time(&intra, &platform));
-    println!("  cabinet 0 -> cabinet 1:  {:>8.2} s", estimate_time(&inter, &platform));
+    println!(
+        "  within cabinet 0:        {:>8.2} s",
+        estimate_time(&intra, platform)
+    );
+    println!(
+        "  cabinet 0 -> cabinet 1:  {:>8.2} s",
+        estimate_time(&inter, platform)
+    );
 
     // Schedule an irregular workflow and see how much the topology hurts
     // each strategy.
@@ -82,13 +89,12 @@ fn main() {
         MappingStrategy::rats_delta(0.75, 1.0),
         MappingStrategy::rats_time_cost(0.4, true),
     ] {
-        let schedule = Scheduler::new(&platform).strategy(strategy).schedule(&dag);
-        let outcome = simulate(&dag, &schedule, &platform);
+        let run = pipeline.clone().policy(strategy).seed(2024).run(&dag);
         println!(
             "  {:<10} makespan {:>8.2} s, {:>6.1} GB over the network",
-            strategy.name(),
-            outcome.makespan,
-            outcome.network_bytes / 1e9
+            run.provenance.policy,
+            run.makespan(),
+            run.network_bytes() / 1e9
         );
     }
 }

@@ -1,13 +1,12 @@
 //! FFT scaling study: the paper's FFT workload family across all three
-//! Grid'5000 clusters, comparing the three mapping strategies, plus an
-//! ASCII Gantt chart of the winning schedule.
+//! Grid'5000 clusters, comparing the three mapping strategies through the
+//! `Pipeline`, plus an ASCII Gantt chart of the winning schedule.
 //!
 //! ```text
 //! cargo run --release --example fft_study
 //! ```
 
 use rats::prelude::*;
-use rats::sched::allocate;
 
 fn main() {
     let strategies = [
@@ -17,27 +16,29 @@ fn main() {
     ];
 
     for spec in ClusterSpec::paper_clusters() {
-        let platform = Platform::from_spec(&spec);
+        let pipeline = Pipeline::from_spec(&spec);
         println!(
             "=== {} ({} procs @ {} GFlop/s) ===",
-            platform.name(),
-            platform.num_procs(),
-            platform.gflops()
+            pipeline.platform().name(),
+            pipeline.platform().num_procs(),
+            pipeline.platform().gflops()
         );
         println!(
             "{:>4} {:>6} {:>12} {:>12} {:>12}",
             "k", "tasks", "HCPA", "delta", "time-cost"
         );
         for k in [2u32, 4, 8, 16] {
-            let dag = fft_dag(k, &CostParams::paper(), 1234 + u64::from(k));
-            let alloc = allocate(&dag, &platform, Default::default());
+            let seed = 1234 + u64::from(k);
+            let dag = fft_dag(k, &CostParams::paper(), seed);
+            let alloc = pipeline.allocate(&dag);
             let mut row = format!("{k:>4} {:>6}", dag.num_tasks());
             for strategy in strategies {
-                let schedule = Scheduler::new(&platform)
-                    .strategy(strategy)
-                    .schedule_with_allocation(&dag, &alloc);
-                let outcome = simulate(&dag, &schedule, &platform);
-                row.push_str(&format!(" {:>10.2} s", outcome.makespan));
+                let run = pipeline
+                    .clone()
+                    .policy(strategy)
+                    .seed(seed)
+                    .run_with_allocation(&dag, &alloc);
+                row.push_str(&format!(" {:>10.2} s", run.makespan()));
             }
             println!("{row}");
         }
@@ -46,15 +47,20 @@ fn main() {
 
     // Gantt of the time-cost schedule for k = 8 on chti (small enough to
     // read in a terminal).
-    let platform = Platform::from_spec(&ClusterSpec::chti());
     let dag = fft_dag(8, &CostParams::paper(), 42);
-    let schedule = Scheduler::new(&platform)
-        .strategy(MappingStrategy::rats_time_cost(0.2, true))
-        .schedule(&dag);
-    let outcome = simulate(&dag, &schedule, &platform);
+    let run = Pipeline::from_spec(&ClusterSpec::chti())
+        .policy(MappingStrategy::rats_time_cost(0.2, true))
+        .seed(42)
+        .run(&dag);
     println!(
         "time-cost schedule of FFT(k=8) on chti — simulated makespan {:.2} s:",
-        outcome.makespan
+        run.makespan()
     );
-    print!("{}", outcome.as_executed(&schedule).gantt_ascii(&platform, 100));
+    let platform = Platform::from_spec(&ClusterSpec::chti());
+    print!(
+        "{}",
+        run.outcome
+            .as_executed(&run.schedule)
+            .gantt_ascii(&platform, 100)
+    );
 }

@@ -8,7 +8,7 @@
 
 use rats::model::TaskCost;
 use rats::prelude::*;
-use rats::sched::{allocate, AllocParams, Allocation};
+use rats::sched::Allocation;
 
 fn build() -> (TaskGraph, [TaskId; 3]) {
     let mut dag = TaskGraph::new();
@@ -20,47 +20,59 @@ fn build() -> (TaskGraph, [TaskId; 3]) {
     (dag, [t1, t2, t3])
 }
 
-fn show(label: &str, platform: &Platform, dag: &TaskGraph, strategy: MappingStrategy, alloc: &Allocation) {
-    let schedule = Scheduler::new(platform)
-        .strategy(strategy)
-        .schedule_with_allocation(dag, alloc);
-    let outcome = simulate(dag, &schedule, platform);
+fn show(
+    label: &str,
+    pipeline: &Pipeline,
+    dag: &TaskGraph,
+    strategy: MappingStrategy,
+    alloc: &Allocation,
+) {
+    let run = pipeline
+        .clone()
+        .policy(strategy)
+        .run_with_allocation(dag, alloc);
     println!("== {label}");
     for t in dag.task_ids() {
-        let e = schedule.entry(t);
+        let e = run.schedule.entry(t);
         println!(
             "  {:<3} on {:>2} procs {:<24} start {:>6.2} finish {:>6.2}",
             dag.task(t).name,
             e.procs.len(),
             e.procs.to_string(),
-            outcome.start(t),
-            outcome.finish(t),
+            run.outcome.start(t),
+            run.outcome.finish(t),
         );
     }
-    println!("  simulated makespan: {:.3} s\n", outcome.makespan);
+    println!("  simulated makespan: {:.3} s\n", run.makespan());
 }
 
 fn main() {
     // A deliberately small cluster so the three tasks genuinely compete.
-    let platform = Platform::from_spec(&ClusterSpec::flat("mini", 8, 3.4));
+    let pipeline = Pipeline::from_spec(&ClusterSpec::flat("mini", 8, 3.4));
     let (dag, _) = build();
-    let alloc = allocate(&dag, &platform, AllocParams::default());
+    let alloc = pipeline.allocate(&dag);
 
     println!(
         "Figure 1 — the motivating example: T3 depends on T1; adopting T1's \
          processor set\nremoves the redistribution entirely.\n"
     );
-    show("HCPA (allocations untouched)", &platform, &dag, MappingStrategy::Hcpa, &alloc);
+    show(
+        "HCPA (allocations untouched)",
+        &pipeline,
+        &dag,
+        MappingStrategy::Hcpa,
+        &alloc,
+    );
     show(
         "RATS delta (pack/stretch within ±50%)",
-        &platform,
+        &pipeline,
         &dag,
         MappingStrategy::rats_delta(0.5, 0.5),
         &alloc,
     );
     show(
         "RATS time-cost (minrho = 0.5, packing on)",
-        &platform,
+        &pipeline,
         &dag,
         MappingStrategy::rats_time_cost(0.5, true),
         &alloc,

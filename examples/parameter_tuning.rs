@@ -1,5 +1,6 @@
 //! Tuning the RATS parameters for a custom workload — the paper's
-//! section IV-C methodology on a user-supplied scenario population.
+//! section IV-C methodology on a user-supplied scenario population — and
+//! running the tuned policy through the `Pipeline`.
 //!
 //! ```text
 //! cargo run --release --example parameter_tuning
@@ -65,11 +66,30 @@ fn main() {
         );
     }
 
-    // And the headline: the tuned triple for this workload.
+    // The headline: the tuned triple for this workload.
     let tuned = tune_family(&prepared, &platform, threads);
     println!(
         "\ntuned parameters for this workload: (mindelta, maxdelta, minrho) = \
          (-{}, {}, {})",
         tuned.mindelta, tuned.maxdelta, tuned.minrho
+    );
+
+    // And the payoff, end to end through the Pipeline: tuned time-cost vs
+    // the HCPA baseline on the first workload instance.
+    let dag = &prepared[0].scenario.dag;
+    let base = Pipeline::from_spec(&ClusterSpec::grillon())
+        .seed(9000)
+        .run(dag);
+    let tuned_run = Pipeline::from_spec(&ClusterSpec::grillon())
+        .policy(MappingStrategy::rats_time_cost(tuned.minrho, true))
+        .seed(9000)
+        .run(dag);
+    println!(
+        "\npipeline check on {}: {} {:.2} s vs {} {:.2} s",
+        prepared[0].scenario.name,
+        base.provenance.policy,
+        base.makespan(),
+        tuned_run.provenance.policy,
+        tuned_run.makespan()
     );
 }

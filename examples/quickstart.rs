@@ -1,5 +1,6 @@
-//! Quickstart: build a small mixed-parallel application by hand, schedule
-//! it with each strategy, and compare the simulated makespans.
+//! Quickstart: build a small mixed-parallel application by hand, run it
+//! through the `Pipeline` under each strategy, and compare the simulated
+//! makespans.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -8,7 +9,6 @@
 use rats::model::TaskCost;
 use rats::prelude::*;
 use rats::redist::redistribute;
-use rats::sched::allocate;
 
 fn main() {
     // A six-task diamond pipeline: preprocessing fans out into three
@@ -28,33 +28,37 @@ fn main() {
     dag.add_edge(merge, report, dag.task(merge).cost.data_bytes());
     dag.validate().expect("hand-built graph is a DAG");
 
-    // The paper's 47-node grillon cluster.
-    let platform = Platform::from_spec(&ClusterSpec::grillon());
+    // The paper's 47-node grillon cluster, as a reusable pipeline.
+    let pipeline = Pipeline::from_spec(&ClusterSpec::grillon());
 
     // Step one (shared by all strategies): HCPA allocation.
-    let alloc = allocate(&dag, &platform, Default::default());
+    let alloc = pipeline.allocate(&dag);
     println!("HCPA allocation (processors per task):");
     for t in dag.task_ids() {
         println!("  {:<8} {:>3} procs", dag.task(t).name, alloc.of(t));
     }
 
-    // Step two: one schedule per mapping strategy, evaluated by simulation.
-    println!("\n{:<12} {:>12} {:>14} {:>14}", "strategy", "makespan", "work (p·s)", "net bytes");
+    // Step two + simulation: one run per mapping strategy, on the same
+    // step-one output.
+    println!(
+        "\n{:<12} {:>12} {:>14} {:>14}",
+        "strategy", "makespan", "work (p·s)", "net bytes"
+    );
     for strategy in [
         MappingStrategy::Hcpa,
         MappingStrategy::rats_delta(0.5, 0.5),
         MappingStrategy::rats_time_cost(0.5, true),
     ] {
-        let schedule = Scheduler::new(&platform)
-            .strategy(strategy)
-            .schedule_with_allocation(&dag, &alloc);
-        let outcome = simulate(&dag, &schedule, &platform);
+        let run = pipeline
+            .clone()
+            .policy(strategy)
+            .run_with_allocation(&dag, &alloc);
         println!(
             "{:<12} {:>10.3} s {:>14.1} {:>14.3e}",
-            strategy.name(),
-            outcome.makespan,
-            outcome.total_work,
-            outcome.network_bytes,
+            run.provenance.policy,
+            run.makespan(),
+            run.total_work(),
+            run.network_bytes(),
         );
     }
 

@@ -4,7 +4,8 @@
 //! *"Redistribution Aware Two-Step Scheduling for Mixed-Parallel
 //! Applications"* (IEEE CLUSTER 2008).
 //!
-//! This umbrella crate re-exports the public API of every subsystem:
+//! This umbrella crate adds the [`Pipeline`] façade over the subsystem
+//! crates and re-exports their public APIs:
 //!
 //! * [`model`] — Amdahl speedup and task cost model,
 //! * [`dag`] — mixed-parallel task graphs,
@@ -12,28 +13,41 @@
 //! * [`simnet`] — flow-level max-min fair network simulator,
 //! * [`redist`] — 1-D block data redistribution,
 //! * [`daggen`] — random / FFT / Strassen task-graph generators,
-//! * [`sched`] — CPA/HCPA allocation and the RATS mapping strategies,
+//! * [`sched`] — CPA/HCPA allocation and the pluggable mapping policies,
 //! * [`sim`] — discrete-event schedule execution,
-//! * [`experiments`] — the paper's evaluation campaign.
+//! * [`experiments`] — the paper's evaluation campaign, driven by
+//!   serializable [`experiments::spec::ExperimentSpec`]s.
 //!
 //! ## Quickstart
+//!
+//! One [`Pipeline`] call covers the whole chain the paper evaluates —
+//! HCPA allocation, a mapping policy, and contention simulation — and the
+//! returned [`Run`] carries the schedule, the simulated outcome and a
+//! provenance record:
 //!
 //! ```
 //! use rats::prelude::*;
 //!
 //! // A 3-cluster platform preset from the paper and a small FFT task graph.
-//! let platform = Platform::from_spec(&ClusterSpec::grillon());
 //! let dag = fft_dag(4, &CostParams::tiny(), 42);
 //!
-//! // Two-step scheduling: HCPA allocation + RATS time-cost mapping.
-//! let schedule = Scheduler::new(&platform)
-//!     .strategy(MappingStrategy::rats_time_cost(0.5, true))
-//!     .schedule(&dag);
+//! let run = Pipeline::from_spec(&ClusterSpec::grillon())
+//!     .policy(MappingStrategy::rats_time_cost(0.5, true))
+//!     .seed(42)
+//!     .run(&dag);
 //!
-//! // Evaluate by discrete-event simulation with network contention.
-//! let outcome = simulate(&dag, &schedule, &platform);
-//! assert!(outcome.makespan > 0.0);
+//! assert!(run.makespan() > 0.0);
+//! assert_eq!(run.provenance.policy, "time-cost");
 //! ```
+//!
+//! ## Plugging in a custom mapping policy
+//!
+//! The mapping step is open: implement
+//! [`MappingPolicy`](sched::MappingPolicy) on your own type and hand it to
+//! [`Pipeline::policy`] (see `examples/custom_policy.rs` and the
+//! [`sched::policy`] module docs). The shipped policies remain available
+//! through the [`MappingStrategy`](sched::MappingStrategy) enum, which is
+//! plain data — handy for sweeps and serialized experiment specs.
 
 pub use rats_dag as dag;
 pub use rats_daggen as daggen;
@@ -45,12 +59,20 @@ pub use rats_sched as sched;
 pub use rats_sim as sim;
 pub use rats_simnet as simnet;
 
+mod pipeline;
+
+pub use pipeline::{Pipeline, Provenance, Run};
+
 /// Convenient single-import surface for the most common types.
 pub mod prelude {
+    pub use crate::pipeline::{Pipeline, Provenance, Run};
     pub use rats_dag::{EdgeId, TaskGraph, TaskId};
     pub use rats_daggen::{fft_dag, irregular_dag, layered_dag, strassen_dag, DagParams};
     pub use rats_model::{AmdahlLaw, CostParams, TaskCost};
     pub use rats_platform::{ClusterSpec, Platform, ProcSet};
-    pub use rats_sched::{AreaPolicy, MappingStrategy, Schedule, Scheduler};
+    pub use rats_sched::{
+        AreaPolicy, CombinedPolicy, DeltaPolicy, Hcpa, MappingPolicy, MappingStrategy, Schedule,
+        Scheduler, StrategyError, TimeCostPolicy,
+    };
     pub use rats_sim::{simulate, SimOutcome};
 }

@@ -26,13 +26,23 @@ fn full_pipeline_on_all_clusters() {
                 schedule
                     .validate(&scenario.dag, &platform)
                     .unwrap_or_else(|e| {
-                        panic!("{} / {} / {}: {e}", spec.name, scenario.name, strategy.name())
+                        panic!(
+                            "{} / {} / {}: {e}",
+                            spec.name,
+                            scenario.name,
+                            strategy.name()
+                        )
                     });
                 let outcome = simulate(&scenario.dag, &schedule, &platform);
                 outcome
                     .validate(&scenario.dag, &schedule, &platform)
                     .unwrap_or_else(|e| {
-                        panic!("{} / {} / {}: {e}", spec.name, scenario.name, strategy.name())
+                        panic!(
+                            "{} / {} / {}: {e}",
+                            spec.name,
+                            scenario.name,
+                            strategy.name()
+                        )
                     });
                 // Simulated precedence: no task starts before a predecessor
                 // finishes (redistribution can only add delay).
@@ -61,7 +71,11 @@ fn makespan_dominated_by_critical_work() {
     let outcome = simulate(&dag, &schedule, &platform);
     let min_task_time = dag
         .task_ids()
-        .map(|t| dag.task(t).cost.time(platform.num_procs(), platform.gflops()))
+        .map(|t| {
+            dag.task(t)
+                .cost
+                .time(platform.num_procs(), platform.gflops())
+        })
         .fold(f64::INFINITY, f64::min);
     assert!(outcome.makespan >= min_task_time);
 }

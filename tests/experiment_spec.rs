@@ -1,0 +1,48 @@
+//! `ExperimentSpec` round-trips and spec-vs-pipeline consistency through
+//! the public umbrella API.
+
+use rats::experiments::spec::{ExperimentSpec, StrategySpec, SuiteSpec};
+use rats::prelude::*;
+
+#[test]
+fn toml_and_json_round_trip_through_the_umbrella() {
+    let mut spec = ExperimentSpec::naive("rt", "grillon", SuiteSpec::Paper, 99);
+    spec.strategies.push(StrategySpec::Combined {
+        mindelta: 0.25,
+        maxdelta: 0.75,
+        minrho: 0.6,
+    });
+    spec.threads = Some(3);
+    assert_eq!(ExperimentSpec::from_toml(&spec.to_toml()).unwrap(), spec);
+    assert_eq!(ExperimentSpec::from_json(&spec.to_json()).unwrap(), spec);
+}
+
+#[test]
+fn spec_campaign_agrees_with_pipeline_runs() {
+    // The data-driven campaign and a hand-built Pipeline must report the
+    // same simulated makespans for the same scenarios.
+    let mut spec = ExperimentSpec::naive("consistency", "chti", SuiteSpec::Mini, 5);
+    spec.threads = Some(2);
+    let outcome = spec.run().unwrap();
+    let results = &outcome.clusters[0].results;
+
+    let scenarios = rats::daggen::suite::mini_suite(&CostParams::paper(), 5);
+    let base = Pipeline::from_spec(&ClusterSpec::chti());
+    for (si, scenario) in scenarios.iter().enumerate() {
+        let alloc = base.allocate(&scenario.dag);
+        for (ai, strategy_spec) in spec.strategies.iter().enumerate() {
+            let strategy = strategy_spec.to_strategy().unwrap();
+            let run = base
+                .clone()
+                .policy(strategy)
+                .run_with_allocation(&scenario.dag, &alloc);
+            assert_eq!(
+                run.makespan().to_bits(),
+                results[ai].runs[si].makespan.to_bits(),
+                "{} / {}",
+                scenario.name,
+                results[ai].name
+            );
+        }
+    }
+}

@@ -58,12 +58,7 @@ fn simulated_makespans(strategy: MappingStrategy) -> Vec<f64> {
 fn time_cost_beats_hcpa_on_average() {
     let hcpa = simulated_makespans(MappingStrategy::Hcpa);
     let tc = simulated_makespans(MappingStrategy::rats_time_cost(0.5, true));
-    let mean_ratio: f64 = tc
-        .iter()
-        .zip(&hcpa)
-        .map(|(t, h)| t / h)
-        .sum::<f64>()
-        / hcpa.len() as f64;
+    let mean_ratio: f64 = tc.iter().zip(&hcpa).map(|(t, h)| t / h).sum::<f64>() / hcpa.len() as f64;
     assert!(
         mean_ratio < 1.0,
         "time-cost must shorten schedules on average (got {mean_ratio:.3})"

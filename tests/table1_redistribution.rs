@@ -51,8 +51,7 @@ fn overlapping_sets_maximize_self_communication() {
 fn same_processors_mean_free_redistribution() {
     // "The redistribution cost between subsequent tasks ni and nj is zero
     //  when these tasks are executed on the same set of processors."
-    let platform =
-        rats::platform::Platform::from_spec(&rats::platform::ClusterSpec::grillon());
+    let platform = rats::platform::Platform::from_spec(&rats::platform::ClusterSpec::grillon());
     let set = ProcSet::from_range(3, 7);
     let same = redistribute(1e9, &set, &set.clone());
     assert!(same.is_free());

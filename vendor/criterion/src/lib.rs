@@ -1,0 +1,192 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness, implementing the API subset this workspace uses.
+//!
+//! Each benchmark runs a short calibration pass, then a fixed measurement
+//! window, and prints the mean wall-clock time per iteration. There are no
+//! statistical reports or HTML output; the point is that `cargo bench`
+//! compiles, runs, and produces comparable numbers without registry access.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies a benchmark within a group (stand-in for `BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from a parameter value.
+    pub fn from_parameter<P: Display>(p: P) -> Self {
+        Self {
+            name: p.to_string(),
+        }
+    }
+}
+
+/// Passed to benchmark closures; `iter` times the measured routine.
+pub struct Bencher<'a> {
+    measurement_time: Duration,
+    result: &'a mut Option<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, storing the mean duration per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: estimate the cost of one iteration.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let target = self.measurement_time;
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        *self.result = Some(start.elapsed() / iters as u32);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(label: &str, measurement_time: Duration, mut f: F) {
+    let mut result = None;
+    let mut b = Bencher {
+        measurement_time,
+        result: &mut result,
+    };
+    f(&mut b);
+    match result {
+        Some(mean) => println!("bench {label:<40} {mean:>12.2?}/iter"),
+        None => println!("bench {label:<40} (no measurement)"),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Ignored by the stand-in (kept for API compatibility).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Ignored by the stand-in (kept for API compatibility).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Bounds the measurement window for benches in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.measurement_time, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id.name),
+            self.measurement_time,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (no-op in the stand-in).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let measurement_time = self.measurement_time;
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, self.measurement_time, f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions (stand-in for criterion's).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point (stand-in for criterion's).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(5),
+        };
+        c.bench_function("smoke", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn groups_run_all_benches() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(5),
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        g.bench_function("a", |b| b.iter(|| 2 * 2));
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+            b.iter(|| x * x)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,257 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The build environment has no registry access, so this vendored crate
+//! provides a miniature self-describing data model: types convert to and
+//! from [`Value`], and the sibling `serde_json` / `toml` stand-ins render
+//! [`Value`] as JSON / TOML text. There is no derive macro — implement
+//! [`Serialize`] and [`Deserialize`] by hand (the helper methods on
+//! [`Value`] keep that to a few lines per struct).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A self-describing document value (the intersection of the JSON and TOML
+/// data models that the workspace needs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / null (JSON `null`; omitted keys in TOML).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Ordered sequence.
+    Array(Vec<Value>),
+    /// Key-sorted map (TOML table / JSON object).
+    Table(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// An empty table, ready for [`Value::insert`].
+    pub fn table() -> Self {
+        Value::Table(BTreeMap::new())
+    }
+
+    /// Inserts a serialized field into a table value.
+    ///
+    /// # Panics
+    /// Panics if `self` is not a table.
+    pub fn insert<T: Serialize + ?Sized>(&mut self, key: &str, v: &T) -> &mut Self {
+        match self {
+            Value::Table(map) => {
+                map.insert(key.to_string(), v.serialize());
+                self
+            }
+            other => panic!("insert on non-table value {other:?}"),
+        }
+    }
+
+    /// Looks up a key in a table value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Table(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// Deserializes the field `key` of a table value.
+    pub fn field<T: Deserialize>(&self, key: &str) -> Result<T, Error> {
+        match self.get(key) {
+            Some(v) => T::deserialize(v).map_err(|e| Error::new(format!("field `{key}`: {e}"))),
+            None => Err(Error::new(format!("missing field `{key}`"))),
+        }
+    }
+
+    /// Deserializes the field `key`, or returns `default` if absent/null.
+    pub fn field_or<T: Deserialize>(&self, key: &str, default: T) -> Result<T, Error> {
+        match self.get(key) {
+            None | Some(Value::Null) => Ok(default),
+            Some(v) => T::deserialize(v).map_err(|e| Error::new(format!("field `{key}`: {e}"))),
+        }
+    }
+}
+
+/// A (de)serialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// An error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the self-describing [`Value`] model.
+pub trait Serialize {
+    /// This value as a [`Value`] document.
+    fn serialize(&self) -> Value;
+}
+
+/// Conversion from the self-describing [`Value`] model.
+pub trait Deserialize: Sized {
+    /// Reads `Self` out of a [`Value`] document.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::new(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Int(i64::try_from(*self).expect("integer fits the document model"))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| Error::new(format!("integer {i} out of range"))),
+                    other => Err(Error::new(format!("expected integer, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(u32, u64, usize, i64, i32);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(Error::new(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::new(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(Error::new(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_field_round_trip() {
+        let mut t = Value::table();
+        t.insert("n", &42u64).insert("name", "x");
+        assert_eq!(t.field::<u64>("n").unwrap(), 42);
+        assert_eq!(t.field::<String>("name").unwrap(), "x");
+        assert!(t.field::<u64>("missing").is_err());
+        assert_eq!(t.field_or::<u64>("missing", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn numbers_coerce_sensibly() {
+        assert_eq!(f64::deserialize(&Value::Int(3)).unwrap(), 3.0);
+        assert!(u32::deserialize(&Value::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn vectors_and_options() {
+        let v = vec![1u32, 2, 3].serialize();
+        assert_eq!(Vec::<u32>::deserialize(&v).unwrap(), vec![1, 2, 3]);
+        assert_eq!(Option::<u32>::deserialize(&Value::Null).unwrap(), None);
+    }
+}

@@ -1,0 +1,274 @@
+//! Offline stand-in for [`toml`](https://crates.io/crates/toml): the TOML
+//! subset that `rats` experiment specs use, over the vendored `serde`
+//! [`Value`] model.
+//!
+//! Supported syntax: top-level `key = value` pairs (strings, integers,
+//! floats, booleans, inline arrays of scalars), `[table]` sections and
+//! `[[array-of-tables]]` sections (one nesting level), comments and blank
+//! lines. This covers everything `to_string` emits, so documents written by
+//! this crate always parse back.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// Serializes a table-shaped value to TOML text.
+pub fn to_string<T: Serialize + ?Sized>(v: &T) -> Result<String, Error> {
+    let value = v.serialize();
+    let Value::Table(map) = &value else {
+        return Err(Error::new("TOML documents must be tables at top level"));
+    };
+    let mut out = String::new();
+    // Scalars and inline arrays first (TOML requires them before tables).
+    for (k, item) in map {
+        match item {
+            Value::Null | Value::Table(_) => {}
+            Value::Array(items) if items.iter().any(|i| matches!(i, Value::Table(_))) => {}
+            _ => {
+                out.push_str(&format!("{k} = {}\n", inline(item)?));
+            }
+        }
+    }
+    for (k, item) in map {
+        match item {
+            Value::Table(sub) => {
+                out.push_str(&format!("\n[{k}]\n"));
+                write_flat_table(&mut out, sub)?;
+            }
+            Value::Array(items) if items.iter().any(|i| matches!(i, Value::Table(_))) => {
+                for item in items {
+                    let Value::Table(sub) = item else {
+                        return Err(Error::new(format!("array `{k}` mixes tables and scalars")));
+                    };
+                    out.push_str(&format!("\n[[{k}]]\n"));
+                    write_flat_table(&mut out, sub)?;
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(out)
+}
+
+fn write_flat_table(out: &mut String, map: &BTreeMap<String, Value>) -> Result<(), Error> {
+    for (k, item) in map {
+        match item {
+            Value::Null => {}
+            Value::Table(_) => {
+                return Err(Error::new(format!(
+                    "nested table `{k}` exceeds the supported TOML depth"
+                )))
+            }
+            _ => out.push_str(&format!("{k} = {}\n", inline(item)?)),
+        }
+    }
+    Ok(())
+}
+
+fn inline(v: &Value) -> Result<String, Error> {
+    Ok(match v {
+        Value::Null => return Err(Error::new("TOML has no null")),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => {
+            if f.fract() == 0.0 && f.abs() < 1e15 {
+                format!("{f:.1}")
+            } else {
+                f.to_string()
+            }
+        }
+        Value::Str(s) => quote(s),
+        Value::Array(items) => {
+            let cells: Result<Vec<String>, Error> = items.iter().map(inline).collect();
+            format!("[{}]", cells?.join(", "))
+        }
+        Value::Table(_) => return Err(Error::new("inline tables are not supported")),
+    })
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parses TOML text into any [`Deserialize`] type.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let mut root: BTreeMap<String, Value> = BTreeMap::new();
+    // Where `key = value` lines currently land.
+    let mut cursor: Vec<String> = Vec::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        let err = |m: String| Error::new(format!("line {}: {m}", ln + 1));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+            let name = name.trim();
+            let entry = root
+                .entry(name.to_string())
+                .or_insert_with(|| Value::Array(Vec::new()));
+            let Value::Array(items) = entry else {
+                return Err(err(format!("`{name}` is both a value and a table array")));
+            };
+            items.push(Value::table());
+            cursor = vec![name.to_string()];
+        } else if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            let name = name.trim();
+            root.insert(name.to_string(), Value::table());
+            cursor = vec![name.to_string()];
+        } else if let Some((key, value)) = line.split_once('=') {
+            let key = key.trim();
+            let value = parse_scalar(value.trim()).map_err(&err)?;
+            let target = if cursor.is_empty() {
+                &mut root
+            } else {
+                match root.get_mut(&cursor[0]) {
+                    Some(Value::Table(map)) => map,
+                    Some(Value::Array(items)) => match items.last_mut() {
+                        Some(Value::Table(map)) => map,
+                        _ => return Err(err("table array has no open table".into())),
+                    },
+                    _ => return Err(err("lost the current table".into())),
+                }
+            };
+            target.insert(key.to_string(), value);
+        } else {
+            return Err(err(format!("unparseable line `{line}`")));
+        }
+    }
+    T::deserialize(&Value::Table(root))
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_scalar(text: &str) -> Result<Value, String> {
+    if text.is_empty() {
+        return Err("empty value".into());
+    }
+    if let Some(inner) = text.strip_prefix('[').and_then(|t| t.strip_suffix(']')) {
+        let inner = inner.trim();
+        if inner.is_empty() {
+            return Ok(Value::Array(Vec::new()));
+        }
+        let items: Result<Vec<Value>, String> = split_array_items(inner)?
+            .into_iter()
+            .map(|cell| parse_scalar(cell.trim()))
+            .collect();
+        return Ok(Value::Array(items?));
+    }
+    if let Some(inner) = text.strip_prefix('"') {
+        let inner = inner
+            .strip_suffix('"')
+            .ok_or_else(|| format!("unterminated string `{text}`"))?;
+        let mut out = String::new();
+        let mut chars = inner.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+            } else {
+                out.push(c);
+            }
+        }
+        return Ok(Value::Str(out));
+    }
+    match text {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if text.contains(['.', 'e', 'E']) {
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|e| format!("bad float `{text}`: {e}"))
+    } else {
+        text.parse::<i64>()
+            .map(Value::Int)
+            .map_err(|e| format!("bad value `{text}`: {e}"))
+    }
+}
+
+/// Splits inline-array items on commas outside strings (no nested arrays).
+fn split_array_items(inner: &str) -> Result<Vec<&str>, String> {
+    let mut items = Vec::new();
+    let mut start = 0usize;
+    let mut in_string = false;
+    for (i, c) in inner.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            ',' if !in_string => {
+                items.push(&inner[start..i]);
+                start = i + 1;
+            }
+            '[' | ']' if !in_string => {
+                return Err("nested arrays are not supported".into());
+            }
+            _ => {}
+        }
+    }
+    items.push(&inner[start..]);
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_round_trip() {
+        let mut spec = Value::table();
+        spec.insert("name", "naive")
+            .insert("seed", &20080929u64)
+            .insert("quick", &true)
+            .insert("clusters", &vec!["grillon".to_string(), "chti".to_string()]);
+        let mut s1 = Value::table();
+        s1.insert("kind", "hcpa");
+        let mut s2 = Value::table();
+        s2.insert("kind", "delta")
+            .insert("mindelta", &0.5f64)
+            .insert("maxdelta", &0.5f64);
+        spec.insert("strategies", &Value::Array(vec![s1, s2]));
+
+        let text = to_string(&spec).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let v: Value = from_str("# hello\n\nname = \"x\" # trailing\n").unwrap();
+        assert_eq!(v.field::<String>("name").unwrap(), "x");
+    }
+
+    #[test]
+    fn rejects_bad_lines() {
+        assert!(from_str::<Value>("not a kv line").is_err());
+        assert!(from_str::<Value>("x = ").is_err());
+    }
+}
