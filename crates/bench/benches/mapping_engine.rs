@@ -1,0 +1,221 @@
+//! Before/after throughput of the step-two mapping engine.
+//!
+//! Measures the incremental engine (`Scheduler::schedule_with_allocation`)
+//! against the retained naive reference driver
+//! (`Scheduler::reference_schedule_with_allocation`, `reference` feature)
+//! **in the same run**, on large random, FFT and Strassen DAGs, and writes
+//! the numbers to `BENCH_mapping.json` at the workspace root so the perf
+//! trajectory is recorded per commit.
+//!
+//! Run modes:
+//!
+//! * `cargo bench -p rats-bench --bench mapping_engine` — full sizes
+//!   (n ≈ 1k–10k random DAGs, FFT up to ~5.6k tasks);
+//! * `… -- --test` — CI smoke scale: tiny DAGs, one repetition, same code
+//!   paths (used by the bench-smoke CI step so the bench bit-rots loudly).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rats_dag::TaskGraph;
+use rats_daggen::{fft_dag, irregular_dag, strassen_dag, DagParams};
+use rats_model::CostParams;
+use rats_platform::{ClusterSpec, Platform};
+use rats_sched::{allocate, AllocParams, Allocation, MappingStrategy, Scheduler};
+
+struct Case {
+    name: String,
+    dag: TaskGraph,
+}
+
+fn random_case(n: u32, seed: u64) -> Case {
+    let params = DagParams {
+        n,
+        width: 0.5,
+        regularity: 0.5,
+        density: 0.5,
+        jump: 2,
+    };
+    Case {
+        name: format!("random_{n}"),
+        dag: irregular_dag(&params, &CostParams::paper(), seed),
+    }
+}
+
+fn cases(test_scale: bool) -> Vec<Case> {
+    if test_scale {
+        vec![
+            random_case(120, 0xF00D),
+            Case {
+                name: "fft_4".into(),
+                dag: fft_dag(4, &CostParams::paper(), 0xBEEF),
+            },
+            Case {
+                name: "strassen".into(),
+                dag: strassen_dag(&CostParams::paper(), 0xCAFE),
+            },
+        ]
+    } else {
+        vec![
+            random_case(1_000, 0xF00D),
+            random_case(5_000, 0xF00D),
+            random_case(10_000, 0xF00D),
+            Case {
+                // 2k−1 recursion tasks + k·log₂k butterflies = 1151 tasks.
+                name: "fft_128".into(),
+                dag: fft_dag(128, &CostParams::paper(), 0xBEEF),
+            },
+            Case {
+                // 5631 tasks.
+                name: "fft_512".into(),
+                dag: fft_dag(512, &CostParams::paper(), 0xBEEF),
+            },
+            Case {
+                // Strassen's graph is fixed at 25 tasks: kept as the small
+                // structured outlier of the set.
+                name: "strassen".into(),
+                dag: strassen_dag(&CostParams::paper(), 0xCAFE),
+            },
+        ]
+    }
+}
+
+/// Best-of-`reps` wall time of one full mapping step, in seconds.
+fn time_mapping<F: Fn() -> rats_sched::Schedule>(reps: usize, run: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let schedule = run();
+        let elapsed = start.elapsed().as_secs_f64();
+        std::hint::black_box(schedule.makespan_estimate());
+        best = best.min(elapsed);
+    }
+    best
+}
+
+struct Measurement {
+    case: String,
+    policy: &'static str,
+    tasks: usize,
+    edges: usize,
+    reference_s: f64,
+    incremental_s: f64,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.reference_s / self.incremental_s
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "    {{\"case\": \"{}\", \"policy\": \"{}\", \"tasks\": {}, \"edges\": {}, \
+             \"reference_s\": {:.6}, \"incremental_s\": {:.6}, \
+             \"reference_tasks_per_s\": {:.1}, \"incremental_tasks_per_s\": {:.1}, \
+             \"speedup\": {:.2}}}",
+            self.case,
+            self.policy,
+            self.tasks,
+            self.edges,
+            self.reference_s,
+            self.incremental_s,
+            self.tasks as f64 / self.reference_s,
+            self.tasks as f64 / self.incremental_s,
+            self.speedup()
+        )
+    }
+}
+
+fn measure(
+    case: &Case,
+    platform: &Platform,
+    alloc: &Allocation,
+    test_scale: bool,
+) -> Vec<Measurement> {
+    let n = case.dag.num_tasks();
+    // The naive engine is quadratic: one repetition is plenty at 5k+ tasks.
+    let reps = if test_scale { 1 } else { 3 };
+    let ref_reps = if test_scale || n >= 2_000 { 1 } else { reps };
+    let mut out = Vec::new();
+    for strategy in [
+        MappingStrategy::Hcpa,
+        MappingStrategy::rats_time_cost(0.5, true),
+    ] {
+        let scheduler = Scheduler::new(platform).strategy(strategy);
+        let incremental_s = time_mapping(reps, || {
+            scheduler.schedule_with_allocation(&case.dag, alloc)
+        });
+        let reference_s = time_mapping(ref_reps, || {
+            scheduler.reference_schedule_with_allocation(&case.dag, alloc)
+        });
+        let m = Measurement {
+            case: case.name.clone(),
+            policy: strategy.name(),
+            tasks: n,
+            edges: case.dag.num_edges(),
+            reference_s,
+            incremental_s,
+        };
+        println!(
+            "bench map/{:<14} {:<10} {:>7} tasks   ref {:>10.2?}   incr {:>10.2?}   speedup {:>6.2}x",
+            m.case,
+            m.policy,
+            m.tasks,
+            std::time::Duration::from_secs_f64(m.reference_s),
+            std::time::Duration::from_secs_f64(m.incremental_s),
+            m.speedup()
+        );
+        out.push(m);
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let test_scale = args.iter().any(|a| a == "--test");
+    // `cargo bench` may pass harness flags like --bench; ignore them.
+    let platform = Platform::from_spec(&ClusterSpec::grillon());
+    let mut results = Vec::new();
+    for case in cases(test_scale) {
+        let alloc = allocate(&case.dag, &platform, AllocParams::default());
+        results.extend(measure(&case, &platform, &alloc, test_scale));
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"mapping_engine\",");
+    let _ = writeln!(json, "  \"platform\": \"{}\",", platform.name());
+    let _ = writeln!(
+        json,
+        "  \"scale\": \"{}\",",
+        if test_scale { "test" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"cases\": [");
+    for (i, m) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(json, "{}{}", m.to_json(), sep);
+    }
+    json.push_str("  ]\n}\n");
+
+    if test_scale {
+        // Smoke runs must not clobber the committed full-scale record.
+        println!("--test scale: skipping BENCH_mapping.json write");
+    } else {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mapping.json");
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+
+    if let Some(m) = results
+        .iter()
+        .filter(|m| m.case == "random_5000")
+        .min_by(|a, b| a.speedup().total_cmp(&b.speedup()))
+    {
+        println!(
+            "mapping-step throughput on random_5000: {:.2}x (worst policy: {})",
+            m.speedup(),
+            m.policy
+        );
+    }
+}

@@ -14,16 +14,22 @@
 //!   validation ([`DagError`]);
 //! * scheduling analyses: top/bottom levels and the critical path for a given
 //!   vector of task execution times (see [`bottom_levels`], [`critical_path`]);
+//! * event-driven readiness tracking for list schedulers: a flattened
+//!   successor view plus Kahn-style in-degree counters, so placing a task
+//!   discovers newly ready successors in O(out-degree) instead of a
+//!   per-round full-graph re-scan ([`ReadyTracker`], [`SuccessorView`]);
 //! * Graphviz DOT export for debugging ([`TaskGraph::to_dot`]).
 
 mod analysis;
 mod graph;
 mod ids;
+mod ready;
 mod serialize;
 mod stats;
 
 pub use analysis::{bottom_levels, critical_path, critical_path_length, top_levels};
 pub use graph::{DagError, Edge, TaskGraph, TaskNode};
 pub use ids::{EdgeId, TaskId};
+pub use ready::{ReadyTracker, SuccessorView};
 pub use serialize::{from_text, to_text, ParseError};
 pub use stats::GraphStats;

@@ -182,7 +182,7 @@ pub fn fig4(quick: bool, threads: usize) -> String {
         .into_iter()
         .filter(|p| p.scenario.family == AppFamily::Fft)
         .collect();
-    let grid = tuning::delta_grid(&prepared, &platform, threads);
+    let grid = tuning::TuningSet::new(&prepared, &platform, threads).delta_grid(threads);
     figures::render_delta_grid(
         &format!(
             "Figure 4 — avg relative makespan of delta vs (mindelta, maxdelta), \
@@ -201,7 +201,8 @@ pub fn fig5(quick: bool, threads: usize) -> String {
         .into_iter()
         .filter(|p| p.scenario.family == AppFamily::Irregular)
         .collect();
-    let (with_packing, without_packing) = tuning::rho_curves(&prepared, &platform, threads);
+    let (with_packing, without_packing) =
+        tuning::TuningSet::new(&prepared, &platform, threads).rho_curves(threads);
     figures::render_rho_curves(
         &format!(
             "Figure 5 — avg relative makespan of time-cost vs minrho, \

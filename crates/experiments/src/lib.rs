@@ -33,4 +33,4 @@ pub mod tuning;
 pub use campaign::{run_campaign, AlgoResults, PreparedScenario, RunResult, BASE_SEED};
 pub use spec::{ExperimentSpec, SpecError, SpecOutcome, StrategySpec, SuiteSpec};
 pub use stats::{degradation_from_best, pairwise, summarize, Degradation, PairwiseCount};
-pub use tuning::{paper_tuned, tune_family, TunedParams};
+pub use tuning::{paper_tuned, tune_family, TunedParams, TuningSet};

@@ -29,22 +29,6 @@ pub struct TunedParams {
     pub minrho: f64,
 }
 
-/// Average of `rats_makespan / base_makespan` over a scenario set.
-fn avg_relative_makespan(
-    prepared: &[PreparedScenario],
-    base: &[f64],
-    platform: &Platform,
-    strategy: MappingStrategy,
-    threads: usize,
-) -> f64 {
-    let runs = parallel_map(prepared, threads, |_, p| p.evaluate(platform, strategy));
-    runs.iter()
-        .zip(base)
-        .map(|(r, &b)| r.makespan / b)
-        .sum::<f64>()
-        / prepared.len() as f64
-}
-
 /// Baseline (HCPA) makespans for a prepared set.
 pub fn hcpa_baseline(
     prepared: &[PreparedScenario],
@@ -56,93 +40,122 @@ pub fn hcpa_baseline(
     })
 }
 
-/// Figure 4: the average relative makespan of the delta strategy for every
-/// `(mindelta, maxdelta)` grid point. Returns `grid[i][j]` for
-/// `MINDELTA_GRID[i]` × `MAXDELTA_GRID[j]`.
-pub fn delta_grid(
-    prepared: &[PreparedScenario],
-    platform: &Platform,
-    threads: usize,
-) -> Vec<Vec<f64>> {
-    let base = hcpa_baseline(prepared, platform, threads);
-    MINDELTA_GRID
-        .iter()
-        .map(|&mind| {
-            MAXDELTA_GRID
-                .iter()
-                .map(|&maxd| {
-                    let strategy = MappingStrategy::rats_delta(mind, maxd);
-                    avg_relative_makespan(prepared, &base, platform, strategy, threads)
-                })
-                .collect()
-        })
-        .collect()
+/// A scenario set prepared for tuning sweeps: the step-one allocations
+/// (carried by [`PreparedScenario`]) and the HCPA baseline makespans are
+/// computed **once** at construction and shared by every grid point the
+/// sweeps visit — a 26-cell `tune_family` sweep (or a combined
+/// figure-4 + figure-5 regeneration) evaluates the baseline exactly once
+/// instead of re-deriving it per entry point.
+#[derive(Debug)]
+pub struct TuningSet<'a> {
+    prepared: &'a [PreparedScenario],
+    platform: &'a Platform,
+    base: Vec<f64>,
 }
 
-/// Figure 5: the average relative makespan of the time-cost strategy as
-/// `minrho` varies, with and without packing. Returns
-/// `(with_packing, without_packing)`, one value per [`MINRHO_GRID`] entry.
-pub fn rho_curves(
-    prepared: &[PreparedScenario],
-    platform: &Platform,
-    threads: usize,
-) -> (Vec<f64>, Vec<f64>) {
-    let base = hcpa_baseline(prepared, platform, threads);
-    let curve = |packing: bool| -> Vec<f64> {
-        MINRHO_GRID
+impl<'a> TuningSet<'a> {
+    /// Computes the shared HCPA baseline for a prepared scenario set.
+    pub fn new(prepared: &'a [PreparedScenario], platform: &'a Platform, threads: usize) -> Self {
+        Self {
+            prepared,
+            platform,
+            base: hcpa_baseline(prepared, platform, threads),
+        }
+    }
+
+    /// The shared HCPA baseline makespans, in scenario order.
+    pub fn baseline(&self) -> &[f64] {
+        &self.base
+    }
+
+    /// Average of `rats_makespan / base_makespan` over the scenario set.
+    pub fn avg_relative_makespan(&self, strategy: MappingStrategy, threads: usize) -> f64 {
+        let runs = parallel_map(self.prepared, threads, |_, p| {
+            p.evaluate(self.platform, strategy)
+        });
+        runs.iter()
+            .zip(&self.base)
+            .map(|(r, &b)| r.makespan / b)
+            .sum::<f64>()
+            / self.prepared.len() as f64
+    }
+
+    /// Figure 4: the average relative makespan of the delta strategy for
+    /// every `(mindelta, maxdelta)` grid point. Returns `grid[i][j]` for
+    /// `MINDELTA_GRID[i]` × `MAXDELTA_GRID[j]`.
+    pub fn delta_grid(&self, threads: usize) -> Vec<Vec<f64>> {
+        MINDELTA_GRID
             .iter()
-            .map(|&rho| {
-                let strategy = MappingStrategy::rats_time_cost(rho, packing);
-                avg_relative_makespan(prepared, &base, platform, strategy, threads)
+            .map(|&mind| {
+                MAXDELTA_GRID
+                    .iter()
+                    .map(|&maxd| {
+                        self.avg_relative_makespan(MappingStrategy::rats_delta(mind, maxd), threads)
+                    })
+                    .collect()
             })
             .collect()
-    };
-    (curve(true), curve(false))
+    }
+
+    /// Figure 5: the average relative makespan of the time-cost strategy as
+    /// `minrho` varies, with and without packing. Returns
+    /// `(with_packing, without_packing)`, one value per [`MINRHO_GRID`]
+    /// entry.
+    pub fn rho_curves(&self, threads: usize) -> (Vec<f64>, Vec<f64>) {
+        let curve = |packing: bool| -> Vec<f64> {
+            MINRHO_GRID
+                .iter()
+                .map(|&rho| {
+                    self.avg_relative_makespan(
+                        MappingStrategy::rats_time_cost(rho, packing),
+                        threads,
+                    )
+                })
+                .collect()
+        };
+        (curve(true), curve(false))
+    }
+
+    /// Table IV for one application family on one platform: the
+    /// `(mindelta, maxdelta)` pair minimizing the delta strategy's average
+    /// relative makespan, and the `minrho` minimizing the time-cost
+    /// strategy's (packing enabled, which the paper found always
+    /// preferable).
+    pub fn tune_family(&self, threads: usize) -> TunedParams {
+        let mut best_delta = (f64::INFINITY, 0.0, 0.0);
+        for &mind in &MINDELTA_GRID {
+            for &maxd in &MAXDELTA_GRID {
+                let avg =
+                    self.avg_relative_makespan(MappingStrategy::rats_delta(mind, maxd), threads);
+                if avg < best_delta.0 {
+                    best_delta = (avg, mind, maxd);
+                }
+            }
+        }
+        let mut best_rho = (f64::INFINITY, MINRHO_GRID[0]);
+        for &rho in &MINRHO_GRID {
+            let avg =
+                self.avg_relative_makespan(MappingStrategy::rats_time_cost(rho, true), threads);
+            if avg < best_rho.0 {
+                best_rho = (avg, rho);
+            }
+        }
+        TunedParams {
+            mindelta: best_delta.1,
+            maxdelta: best_delta.2,
+            minrho: best_rho.1,
+        }
+    }
 }
 
-/// Table IV for one application family on one platform: the
-/// `(mindelta, maxdelta)` pair minimizing the delta strategy's average
-/// relative makespan, and the `minrho` minimizing the time-cost strategy's
-/// (packing enabled, which the paper found always preferable).
+/// Table IV tuning over a prepared set (see [`TuningSet::tune_family`];
+/// this convenience constructor derives the shared baseline first).
 pub fn tune_family(
     prepared: &[PreparedScenario],
     platform: &Platform,
     threads: usize,
 ) -> TunedParams {
-    let base = hcpa_baseline(prepared, platform, threads);
-    let mut best_delta = (f64::INFINITY, 0.0, 0.0);
-    for &mind in &MINDELTA_GRID {
-        for &maxd in &MAXDELTA_GRID {
-            let avg = avg_relative_makespan(
-                prepared,
-                &base,
-                platform,
-                MappingStrategy::rats_delta(mind, maxd),
-                threads,
-            );
-            if avg < best_delta.0 {
-                best_delta = (avg, mind, maxd);
-            }
-        }
-    }
-    let mut best_rho = (f64::INFINITY, MINRHO_GRID[0]);
-    for &rho in &MINRHO_GRID {
-        let avg = avg_relative_makespan(
-            prepared,
-            &base,
-            platform,
-            MappingStrategy::rats_time_cost(rho, true),
-            threads,
-        );
-        if avg < best_rho.0 {
-            best_rho = (avg, rho);
-        }
-    }
-    TunedParams {
-        mindelta: best_delta.1,
-        maxdelta: best_delta.2,
-        minrho: best_rho.1,
-    }
+    TuningSet::new(prepared, platform, threads).tune_family(threads)
 }
 
 /// The tuned values the **paper** reports in Table IV, used by the
@@ -237,7 +250,8 @@ mod tests {
                 .into_iter()
                 .take(2)
                 .collect();
-        let grid = delta_grid(&prepared, &platform, 2);
+        let set = TuningSet::new(&prepared, &platform, 2);
+        let grid = set.delta_grid(2);
         assert_eq!(grid.len(), MINDELTA_GRID.len());
         for row in &grid {
             assert_eq!(row.len(), MAXDELTA_GRID.len());
@@ -245,5 +259,24 @@ mod tests {
                 assert!(v.is_finite() && v > 0.0);
             }
         }
+    }
+
+    #[test]
+    fn tuning_set_shares_one_baseline_across_sweeps() {
+        let platform = Platform::from_spec(&ClusterSpec::chti());
+        let prepared: Vec<PreparedScenario> =
+            PreparedScenario::prepare(mini_suite(&CostParams::tiny(), 6), &platform, 2)
+                .into_iter()
+                .take(2)
+                .collect();
+        let set = TuningSet::new(&prepared, &platform, 2);
+        assert_eq!(set.baseline().len(), prepared.len());
+        assert_eq!(set.baseline(), hcpa_baseline(&prepared, &platform, 2));
+        // Both sweeps run off the same baseline; HCPA-relative HCPA is 1.
+        let rel = set.avg_relative_makespan(MappingStrategy::Hcpa, 2);
+        assert!((rel - 1.0).abs() < 1e-12, "rel = {rel}");
+        let (with_packing, without_packing) = set.rho_curves(2);
+        assert_eq!(with_packing.len(), MINRHO_GRID.len());
+        assert_eq!(without_packing.len(), MINRHO_GRID.len());
     }
 }

@@ -24,10 +24,12 @@
 //! rank order is what a 1-D block distribution maps data blocks onto, so it
 //! is semantically meaningful and preserved by all operations.
 
+mod memo;
 mod procset;
 mod route;
 mod spec;
 
+pub use memo::SetMemo;
 pub use procset::ProcSet;
 pub use route::{LinkId, Route};
 pub use spec::{ClusterSpec, LinkSpec, TopologySpec};

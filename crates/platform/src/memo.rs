@@ -1,0 +1,106 @@
+//! Arena-backed memo tables keyed by ordered processor sets.
+//!
+//! Schedulers memoize per-([`ProcSet`], slot) facts on their hot path, where
+//! a slot is some caller-chosen context (a producer task, a consumer task).
+//! Slots see few distinct sets, so a fingerprint-prefiltered linear scan
+//! beats hashing, and storing every key's rank sequence in one shared arena
+//! keeps inserts from allocating per entry. Hits are **exact**: the
+//! fingerprint only pre-filters; the rank sequence comparison decides.
+
+use crate::procset::ProcSet;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry<V> {
+    fp: u64,
+    offset: u32,
+    len: u32,
+    value: V,
+}
+
+/// A memo of `V` values keyed by `(slot, ordered processor set)`, with an
+/// optional caller-side refinement of the key through the `accept` filter
+/// of [`get`](Self::get) (e.g. a payload size stored inside `V`).
+#[derive(Debug, Clone)]
+pub struct SetMemo<V> {
+    slots: Vec<Vec<Entry<V>>>,
+    /// Rank sequences of all memoized key sets, back to back.
+    arena: Vec<u32>,
+}
+
+impl<V: Copy> SetMemo<V> {
+    /// An empty memo with `slots` contexts.
+    pub fn new(slots: usize) -> Self {
+        Self {
+            slots: vec![Vec::new(); slots],
+            arena: Vec::new(),
+        }
+    }
+
+    /// The first value memoized in `slot` whose key set equals `set` (same
+    /// members in the same rank order) and whose value satisfies `accept`.
+    pub fn get(&self, slot: usize, set: &ProcSet, mut accept: impl FnMut(&V) -> bool) -> Option<V> {
+        let fp = set.fingerprint();
+        self.slots[slot]
+            .iter()
+            .find(|e| {
+                e.fp == fp
+                    && self.arena[e.offset as usize..(e.offset + e.len) as usize] == *set.as_slice()
+                    && accept(&e.value)
+            })
+            .map(|e| e.value)
+    }
+
+    /// Memoizes `value` under `(slot, set)`. The caller keeps (slot, set,
+    /// accept-relevant parts of `value`) unique — duplicates are not
+    /// overwritten, merely shadowed by insertion order.
+    pub fn insert(&mut self, slot: usize, set: &ProcSet, value: V) {
+        let offset = self.arena.len() as u32;
+        self.arena.extend_from_slice(set.as_slice());
+        self.slots[slot].push(Entry {
+            fp: set.fingerprint(),
+            offset,
+            len: set.len(),
+            value,
+        });
+    }
+
+    /// Total number of memoized entries across all slots.
+    pub fn len(&self) -> usize {
+        self.slots.iter().map(Vec::len).sum()
+    }
+
+    /// `true` if nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(Vec::is_empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memoizes_per_slot_and_exact_ordered_set() {
+        let mut m: SetMemo<f64> = SetMemo::new(2);
+        assert!(m.is_empty());
+        let a = ProcSet::new(vec![1, 2, 3]);
+        let a_rev = ProcSet::new(vec![3, 2, 1]);
+        m.insert(0, &a, 10.0);
+        assert_eq!(m.get(0, &a, |_| true), Some(10.0));
+        assert_eq!(m.get(0, &a_rev, |_| true), None, "rank order is the key");
+        assert_eq!(m.get(1, &a, |_| true), None, "slots are independent");
+        m.insert(1, &a_rev, 20.0);
+        assert_eq!(m.get(1, &a_rev, |_| true), Some(20.0));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn accept_filter_refines_the_key() {
+        let mut m: SetMemo<(u64, f64)> = SetMemo::new(1);
+        let s = ProcSet::new(vec![4, 7]);
+        m.insert(0, &s, (100, 1.0));
+        m.insert(0, &s, (200, 2.0));
+        assert_eq!(m.get(0, &s, |(b, _)| *b == 200), Some((200, 2.0)));
+        assert_eq!(m.get(0, &s, |(b, _)| *b == 300), None);
+    }
+}

@@ -1,6 +1,10 @@
 //! Ordered processor sets.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Sentinel for "no compact bitmask available" (some member ≥ 64).
+const NO_MASK: u64 = 0;
 
 /// An *ordered* list of distinct processors.
 ///
@@ -10,37 +14,93 @@ use std::fmt;
 /// in the same *order* need no data movement at all; the same members in a
 /// different order still avoid network transfers only for the ranks that
 /// coincide.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// Construction precomputes two derived values used pervasively by the
+/// incremental mapping engine:
+///
+/// * a **membership bitmask** (`bit p` set for each member `p < 64`), which
+///   makes [`contains`](Self::contains), [`same_members`](Self::same_members)
+///   and [`overlap_count`](Self::overlap_count) O(1) on platforms with at
+///   most 64 processors (the paper's clusters have 20–120; sets themselves
+///   rarely exceed 64 but the fallback keeps larger ids correct);
+/// * an **order-sensitive fingerprint** ([`fingerprint`](Self::fingerprint),
+///   an FNV-1a hash of the rank sequence), cached so the set can be used as
+///   a hash-map key in O(1) — the [`Hash`] impl writes the fingerprint
+///   instead of rehashing the member list.
+#[derive(Debug, Clone)]
 pub struct ProcSet {
     procs: Vec<u32>,
+    /// Membership bitmask; `NO_MASK` (0) doubles as "empty set" and, when
+    /// `procs` is non-empty, as "not representable" (member ≥ 64). The two
+    /// cases are disambiguated by `procs.is_empty()`.
+    mask: u64,
+    /// Order-sensitive FNV-1a fingerprint of the rank sequence.
+    hash: u64,
+}
+
+/// FNV-1a over the rank sequence: cheap, deterministic across runs, and
+/// order-sensitive (two orderings of the same members hash differently,
+/// which matters because rank order changes redistribution costs).
+fn fnv1a(procs: &[u32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &p in procs {
+        h ^= u64::from(p);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
 }
 
 impl ProcSet {
+    /// Builds the derived fields. Callers guarantee distinct members.
+    fn build(procs: Vec<u32>) -> Self {
+        let mut mask: u64 = 0;
+        let mut representable = true;
+        for &p in &procs {
+            if p < 64 {
+                mask |= 1u64 << p;
+            } else {
+                representable = false;
+            }
+        }
+        let mask = if representable { mask } else { NO_MASK };
+        let hash = fnv1a(&procs);
+        Self { procs, mask, hash }
+    }
+
     /// Creates a set from an ordered processor list.
     ///
-    /// # Panics
-    ///
-    /// Panics if the list contains duplicates.
+    /// Members must be distinct; this is checked with a debug assertion only
+    /// (the constructor sits on the mapping engine's hot path, and all
+    /// in-tree callers construct from known-distinct lists).
     pub fn new(procs: Vec<u32>) -> Self {
-        let mut seen = procs.clone();
-        seen.sort_unstable();
-        assert!(
-            seen.windows(2).all(|w| w[0] != w[1]),
-            "processor set contains duplicates: {procs:?}"
+        let set = Self::build(procs);
+        debug_assert!(
+            set.members_are_distinct(),
+            "processor set contains duplicates: {:?}",
+            set.procs
         );
-        Self { procs }
+        set
+    }
+
+    fn members_are_distinct(&self) -> bool {
+        if self.mask != NO_MASK || self.procs.is_empty() {
+            // A representable mask has one bit per distinct member.
+            self.mask.count_ones() as usize == self.procs.len()
+        } else {
+            let mut seen = self.procs.clone();
+            seen.sort_unstable();
+            seen.windows(2).all(|w| w[0] != w[1])
+        }
     }
 
     /// An empty set.
     pub fn empty() -> Self {
-        Self { procs: Vec::new() }
+        Self::build(Vec::new())
     }
 
     /// The contiguous range `start..start + len`.
     pub fn from_range(start: u32, len: u32) -> Self {
-        Self {
-            procs: (start..start + len).collect(),
-        }
+        Self::build((start..start + len).collect())
     }
 
     /// Number of processors in the set.
@@ -59,6 +119,25 @@ impl ProcSet {
     #[inline]
     pub fn as_slice(&self) -> &[u32] {
         &self.procs
+    }
+
+    /// The cached order-sensitive fingerprint (FNV-1a over the rank
+    /// sequence). Equal sets have equal fingerprints; the converse holds up
+    /// to hash collisions, so use it as a hash key, not an equality proof.
+    #[inline]
+    pub fn fingerprint(&self) -> u64 {
+        self.hash
+    }
+
+    /// The compact membership bitmask (bit `p` set for member `p`), when
+    /// every member is `< 64`; `None` otherwise.
+    #[inline]
+    pub fn mask(&self) -> Option<u64> {
+        if self.mask != NO_MASK || self.procs.is_empty() {
+            Some(self.mask)
+        } else {
+            None
+        }
     }
 
     /// Iterates over processors in rank order.
@@ -81,9 +160,15 @@ impl ProcSet {
         self.procs.iter().position(|&q| q == p)
     }
 
-    /// `true` if processor `p` belongs to the set.
+    /// `true` if processor `p` belongs to the set — O(1) via the bitmask
+    /// whenever every member is `< 64`.
+    #[inline]
     pub fn contains(&self, p: u32) -> bool {
-        self.procs.contains(&p)
+        if self.mask != NO_MASK {
+            p < 64 && self.mask & (1u64 << p) != 0
+        } else {
+            self.procs.contains(&p)
+        }
     }
 
     /// `true` if both sets have the same members, regardless of order.
@@ -94,16 +179,25 @@ impl ProcSet {
         if self.procs.len() != other.procs.len() {
             return false;
         }
-        let mut a = self.procs.clone();
-        let mut b = other.procs.clone();
-        a.sort_unstable();
-        b.sort_unstable();
-        a == b
+        match (self.mask(), other.mask()) {
+            (Some(a), Some(b)) => a == b,
+            _ => {
+                let mut a = self.procs.clone();
+                let mut b = other.procs.clone();
+                a.sort_unstable();
+                b.sort_unstable();
+                a == b
+            }
+        }
     }
 
-    /// Number of processors present in both sets.
+    /// Number of processors present in both sets — O(1) when both masks are
+    /// representable.
     pub fn overlap_count(&self, other: &Self) -> u32 {
-        self.procs.iter().filter(|p| other.contains(**p)).count() as u32
+        match (self.mask(), other.mask()) {
+            (Some(a), Some(b)) => (a & b).count_ones(),
+            _ => self.procs.iter().filter(|p| other.contains(**p)).count() as u32,
+        }
     }
 
     /// The members present in both sets, in `self`'s rank order.
@@ -122,16 +216,30 @@ impl ProcSet {
     /// Panics if `k` exceeds the set size.
     pub fn first_k(&self, k: u32) -> Self {
         assert!(k <= self.len(), "cannot take {k} of {}", self.len());
-        Self {
-            procs: self.procs[..k as usize].to_vec(),
-        }
+        Self::build(self.procs[..k as usize].to_vec())
     }
 
     /// A copy with members sorted ascending (canonical order).
     pub fn sorted(&self) -> Self {
         let mut procs = self.procs.clone();
         procs.sort_unstable();
-        Self { procs }
+        Self::build(procs)
+    }
+}
+
+impl PartialEq for ProcSet {
+    fn eq(&self, other: &Self) -> bool {
+        // The fingerprint is a cheap negative filter; the member list is
+        // the ground truth (fingerprints can collide).
+        self.hash == other.hash && self.procs == other.procs
+    }
+}
+
+impl Eq for ProcSet {}
+
+impl Hash for ProcSet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
     }
 }
 
@@ -203,14 +311,64 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "duplicates")]
     fn rejects_duplicates() {
         ProcSet::new(vec![1, 2, 1]);
     }
 
     #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "duplicates")]
+    fn rejects_duplicates_above_mask_range() {
+        ProcSet::new(vec![100, 2, 100]);
+    }
+
+    #[test]
     #[should_panic(expected = "cannot take")]
     fn first_k_bounds() {
         ProcSet::from_range(0, 2).first_k(3);
+    }
+
+    #[test]
+    fn fingerprint_is_order_sensitive_and_cached() {
+        let a = ProcSet::new(vec![1, 2, 3]);
+        let b = ProcSet::new(vec![3, 2, 1]);
+        let a2 = ProcSet::new(vec![1, 2, 3]);
+        assert_eq!(a.fingerprint(), a2.fingerprint());
+        assert_ne!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "rank order must show in the fingerprint"
+        );
+    }
+
+    #[test]
+    fn mask_tracks_membership_for_small_ids() {
+        let a = ProcSet::new(vec![0, 2, 63]);
+        assert_eq!(a.mask(), Some(1 | (1 << 2) | (1 << 63)));
+        assert!(a.contains(63));
+        assert!(!a.contains(62));
+        // Members ≥ 64 disable the mask but not the queries.
+        let big = ProcSet::new(vec![2, 64]);
+        assert_eq!(big.mask(), None);
+        assert!(big.contains(64));
+        assert!(big.contains(2));
+        assert!(!big.contains(3));
+        assert_eq!(big.overlap_count(&a), 1);
+        assert!(!big.same_members(&a));
+        // Empty sets have an empty (zero) mask.
+        assert_eq!(ProcSet::empty().mask(), Some(0));
+    }
+
+    #[test]
+    fn hashmap_key_usage() {
+        use std::collections::HashMap;
+        let mut m: HashMap<ProcSet, u32> = HashMap::new();
+        m.insert(ProcSet::new(vec![1, 2, 3]), 1);
+        m.insert(ProcSet::new(vec![3, 2, 1]), 2);
+        assert_eq!(m.get(&ProcSet::new(vec![1, 2, 3])), Some(&1));
+        assert_eq!(m.get(&ProcSet::new(vec![3, 2, 1])), Some(&2));
+        assert_eq!(m.get(&ProcSet::new(vec![1, 2])), None);
     }
 }

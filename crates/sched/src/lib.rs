@@ -33,6 +33,26 @@
 //! `Result` constructors ([`DeltaParams::new`], [`TimeCostParams::new`],
 //! [`CombinedParams::new`], and the policies' `new` functions).
 //!
+//! ## The incremental engine
+//!
+//! The mapping driver behind [`Scheduler::schedule`] is *incremental*:
+//! readiness is maintained event-driven by a [`rats_dag::ReadyTracker`]
+//! (newly ready tasks discovered in O(out-degree) at placement, not by
+//! re-scanning the graph per round), redistribution arrival times come from
+//! the streaming, memoizing [`rats_redist::RedistCache`] (no transfer
+//! matrix is materialized per candidate evaluation), per-task `data_ready`
+//! terms are cached per candidate-set fingerprint, ready-list sort keys are
+//! computed once per round, and the earliest-k placement search uses O(P)
+//! partial selection. None of this changes behavior: the pre-incremental
+//! driver is retained under the `reference` cargo feature
+//! ([`Scheduler::reference_schedule`] and
+//! [`Scheduler::reference_schedule_with_allocation`], also compiled for
+//! tests) and parity tests assert **byte-identical** schedules — entries,
+//! processor rank orders, bit-level estimates and placement order — across
+//! all shipped policies on the paper suite and random DAG/platform pairs.
+//! The `mapping_engine` bench in `crates/bench` records the before/after
+//! throughput (`BENCH_mapping.json`).
+//!
 //! ```
 //! use rats_daggen::fft_dag;
 //! use rats_model::CostParams;
@@ -51,7 +71,11 @@
 
 mod allocation;
 mod mapping;
+#[cfg(test)]
+mod parity_tests;
 pub mod policy;
+#[cfg(any(test, feature = "reference"))]
+mod reference;
 mod schedule;
 mod strategy;
 

@@ -6,12 +6,44 @@
 //! placement and finish-time estimation — and delegates the per-task
 //! adopt/pack/stretch verdict to the policy through a read-only
 //! [`MapView`].
+//!
+//! # The incremental engine
+//!
+//! The driver is the hot path of every experiment, so its mechanics are
+//! incremental rather than re-derived per round:
+//!
+//! * **readiness** — a [`rats_dag::ReadyTracker`] (in-degree counters over
+//!   a flattened successor view) discovers newly ready tasks in
+//!   O(out-degree) when a task is placed, replacing the per-round
+//!   full-graph O(n²) re-scan;
+//! * **estimates** — redistribution times come from the streaming
+//!   [`rats_redist::RedistCache`]: no transfer matrix is materialized, and
+//!   arrival times are memoized per (producer entry, payload,
+//!   candidate-set) — sound because a placed producer's set and finish time
+//!   are immutable. On top, the driver memoizes each task's `data_ready`
+//!   term per candidate-set fingerprint;
+//! * **bound pruning** — `data_ready` is a max over predecessor arrivals,
+//!   and `f64::max` over non-negative values is exact, so sound
+//!   upper/lower bounds prune most exact evaluations bit-identically:
+//!   per-task descending bound lists stop the arrival walk early, and when
+//!   the processors only come free after the task's arrival upper bound,
+//!   no redistribution estimate is evaluated at all;
+//! * **ready ordering** — sort keys (bottom level, δ, gain) are computed
+//!   once per task per round instead of inside the comparator;
+//! * **placement search** — `earliest_k` selects the k earliest-available
+//!   processors by partial selection (O(P)) instead of sorting all P.
+//!
+//! The engine is *behavior-preserving*: the pre-incremental driver is
+//! retained verbatim (under `#[cfg(test)]` / the `reference` feature, see
+//! [`reference`](crate::Scheduler)) and parity tests assert byte-identical
+//! schedules between the two across all shipped policies.
 
+use std::cell::RefCell;
 use std::sync::Arc;
 
-use rats_dag::{bottom_levels, TaskGraph, TaskId};
-use rats_platform::{Platform, ProcSet};
-use rats_redist::{align_for_self_comm, estimate_time, redistribute};
+use rats_dag::{bottom_levels, ReadyTracker, TaskGraph, TaskId};
+use rats_platform::{Platform, ProcSet, SetMemo};
+use rats_redist::{align_for_self_comm, RedistCache};
 
 use crate::allocation::{allocate, reference_bandwidth, AllocParams, Allocation};
 use crate::policy::{Hcpa, MapView, MappingDecision, MappingPolicy};
@@ -138,6 +170,65 @@ impl<'p> Scheduler<'p> {
         )
         .run()
     }
+
+    /// Runs both steps with the retained **naive reference engine** (the
+    /// pre-incremental driver: full readiness re-scans, comparator-time sort
+    /// keys, matrix-materializing estimates). The parity oracle for the
+    /// incremental engine and the "before" side of the mapping benches.
+    #[cfg(any(test, feature = "reference"))]
+    pub fn reference_schedule(&self, dag: &TaskGraph) -> Schedule {
+        let alloc = allocate(dag, self.platform, self.alloc_params);
+        self.reference_schedule_with_allocation(dag, &alloc)
+    }
+
+    /// Mapping-only counterpart of [`Self::reference_schedule`] (see
+    /// [`Self::schedule_with_allocation`]).
+    #[cfg(any(test, feature = "reference"))]
+    pub fn reference_schedule_with_allocation(
+        &self,
+        dag: &TaskGraph,
+        alloc: &Allocation,
+    ) -> Schedule {
+        Mapper::new(
+            dag,
+            self.platform,
+            alloc.as_slice().to_vec(),
+            &*self.policy,
+            self.candidates,
+        )
+        .into_naive()
+        .run()
+    }
+}
+
+/// One task's sorted predecessor arrival bounds plus its max predecessor
+/// finish (see `MapCache::bounds`).
+type PredBounds = (Box<[(f64, u32, u32)]>, f64);
+
+/// Memoized estimate state of one mapping run. Interior-mutable because the
+/// policies observe the driver through the read-only [`MapView`] while the
+/// caches warm up underneath.
+///
+/// Everything here is sound for one reason: every predecessor of a ready
+/// task is placed, and placed entries are immutable.
+struct MapCache {
+    /// Streaming redistribution estimates, memoized per (producer entry,
+    /// payload, candidate).
+    redist: RedistCache,
+    /// `data_ready` per task, keyed by candidate set (slot = consumer
+    /// task).
+    data_ready: SetMemo<f64>,
+    /// Per task: max over predecessors of `finish + cost_upper_bound(bytes)`
+    /// — a candidate-independent upper bound on `data_ready`. NaN = not yet
+    /// computed.
+    bound_max: Vec<f64>,
+    /// Per task: `(arrival bound, pred, edge)` descending by bound plus the
+    /// max predecessor finish, built lazily on the first exact `data_ready`
+    /// evaluation. Walking the list in order allows breaking at the first
+    /// bound that cannot beat the running max (every later one is smaller
+    /// still); the max finish is an exact *lower* bound on `data_ready`
+    /// that seeds the running max.
+    bounds: Vec<Option<PredBounds>>,
 }
 
 /// The mapping driver: shared list-scheduling state and mechanics, with the
@@ -151,13 +242,17 @@ pub(crate) struct Mapper<'a> {
     /// packing/stretching.
     pub(crate) alloc: Vec<u32>,
     /// Static priority: bottom level under the initial allocation.
-    bottom: Vec<f64>,
+    pub(crate) bottom: Vec<f64>,
     /// Next free time of every processor.
-    proc_ready: Vec<f64>,
-    entries: Vec<Option<ScheduleEntry>>,
+    pub(crate) proc_ready: Vec<f64>,
+    pub(crate) entries: Vec<Option<ScheduleEntry>>,
     order: Vec<TaskId>,
     /// Tasks whose processor set has already been adopted by one child.
     pub(crate) adopted: Vec<bool>,
+    cache: RefCell<MapCache>,
+    /// Run the retained pre-incremental engine instead (parity oracle).
+    #[cfg(any(test, feature = "reference"))]
+    pub(crate) naive: bool,
 }
 
 impl<'a> Mapper<'a> {
@@ -186,7 +281,31 @@ impl<'a> Mapper<'a> {
             entries: vec![None; dag.num_tasks()],
             order: Vec::with_capacity(dag.num_tasks()),
             adopted: vec![false; dag.num_tasks()],
+            cache: RefCell::new(MapCache {
+                // One slot per task: slot t caches arrivals of data produced
+                // by placed task t, shared by all of t's consumers.
+                redist: RedistCache::new(platform, dag.num_tasks()),
+                data_ready: SetMemo::new(dag.num_tasks()),
+                bound_max: vec![f64::NAN; dag.num_tasks()],
+                bounds: vec![None; dag.num_tasks()],
+            }),
+            #[cfg(any(test, feature = "reference"))]
+            naive: false,
         }
+    }
+
+    /// Switches this driver to the retained naive reference engine.
+    #[cfg(any(test, feature = "reference"))]
+    fn into_naive(mut self) -> Self {
+        self.naive = true;
+        self
+    }
+
+    /// The policy's secondary ready-list sort (for the reference engine,
+    /// whose sort lives in another module).
+    #[cfg(any(test, feature = "reference"))]
+    pub(crate) fn policy_secondary_sort(&self) -> SecondarySort {
+        self.policy.secondary_sort()
     }
 
     #[inline]
@@ -205,52 +324,174 @@ impl<'a> Mapper<'a> {
             .expect("predecessors are mapped before their successors")
     }
 
+    /// The candidate-independent upper bound on `data_ready(t, ·)`:
+    /// max over predecessors of `finish + cost_upper_bound(bytes)`
+    /// (computed once per task; 0 for entry tasks).
+    fn data_ready_bound(&self, t: TaskId) -> f64 {
+        let mut cache = self.cache.borrow_mut();
+        let cached = cache.bound_max[t.index()];
+        if !cached.is_nan() {
+            return cached;
+        }
+        let mut bound = 0.0f64;
+        for (pred, e) in self.dag.predecessors(t) {
+            let pe = self.entries[pred.index()]
+                .as_ref()
+                .expect("predecessors are mapped before their successors");
+            let b = pe.est_finish + cache.redist.cost_upper_bound(self.dag.edge(e).bytes);
+            bound = bound.max(b);
+        }
+        cache.bound_max[t.index()] = bound;
+        bound
+    }
+
+    /// The time every input of `t` has arrived on the candidate set `procs`
+    /// (contention-free streaming estimates, memoized per task and
+    /// candidate).
+    ///
+    /// `data_ready` is a **max** over predecessor arrivals, and `f64::max`
+    /// over non-negative values is exact — so predecessors whose *sound
+    /// upper bound* (finish + [`RedistCache::cost_upper_bound`]) cannot
+    /// exceed the running max contribute nothing, bit-identically. The
+    /// bounds are candidate-independent, so they are computed and sorted
+    /// descending once per task; each evaluation walks them in order and
+    /// stops at the first bound the running max already dominates.
+    fn data_ready(&self, t: TaskId, procs: &ProcSet) -> f64 {
+        if self.dag.in_degree(t) == 0 {
+            return 0.0;
+        }
+        let mut cache = self.cache.borrow_mut();
+        if let Some(v) = cache.data_ready.get(t.index(), procs, |_| true) {
+            return v;
+        }
+        if cache.bounds[t.index()].is_none() {
+            let mut finish_max = 0.0f64;
+            let mut v: Vec<(f64, u32, u32)> = self
+                .dag
+                .predecessors(t)
+                .map(|(pred, e)| {
+                    let pe = self.entries[pred.index()]
+                        .as_ref()
+                        .expect("predecessors are mapped before their successors");
+                    finish_max = finish_max.max(pe.est_finish);
+                    let bound =
+                        pe.est_finish + cache.redist.cost_upper_bound(self.dag.edge(e).bytes);
+                    (bound, pred.index() as u32, e.index() as u32)
+                })
+                .collect();
+            v.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("bounds are finite"));
+            cache.bounds[t.index()] = Some((v.into_boxed_slice(), finish_max));
+        }
+        let MapCache {
+            redist,
+            data_ready,
+            bounds,
+            ..
+        } = &mut *cache;
+        let (sorted, finish_max) = bounds[t.index()].as_ref().expect("just built");
+        // `data_ready` can never undercut the latest predecessor finish
+        // (every arrival is at least its producer's finish), so seeding the
+        // running max with it only removes evaluations whose arrival could
+        // not have raised the max — the result is bit-identical.
+        let mut ready = *finish_max;
+        for &(bound, pred, e) in sorted.iter() {
+            if bound <= ready {
+                break; // every later bound is smaller still
+            }
+            let pe = self.entries[pred as usize]
+                .as_ref()
+                .expect("predecessors are mapped before their successors");
+            let arrival = redist.arrival(
+                pred as usize,
+                self.dag
+                    .edge(rats_dag::EdgeId::from_index(e as usize))
+                    .bytes,
+                &pe.procs,
+                pe.est_finish,
+                procs,
+                self.platform,
+            );
+            ready = ready.max(arrival);
+        }
+        data_ready.insert(t.index(), procs, ready);
+        ready
+    }
+
     /// Estimated (start, finish) of `t` on the candidate set `procs`:
     /// the task starts once every input redistribution has arrived
     /// (contention-free estimates) and all processors are free.
+    ///
+    /// When the processors only come free at or after the task-level
+    /// `data_ready` upper bound, the start is the processor availability
+    /// *exactly* and no redistribution estimate needs to be evaluated.
     pub(crate) fn estimate_on(&self, t: TaskId, procs: &ProcSet) -> (f64, f64) {
-        let mut data_ready = 0.0f64;
-        for (pred, e) in self.dag.predecessors(t) {
-            let pe = self.entry_of(pred);
-            let bytes = self.dag.edge(e).bytes;
-            let r = redistribute(bytes, &pe.procs, procs);
-            let arrival = pe.est_finish + estimate_time(&r, self.platform);
-            data_ready = data_ready.max(arrival);
+        #[cfg(any(test, feature = "reference"))]
+        if self.naive {
+            return self.estimate_on_naive(t, procs);
         }
         let proc_avail = procs
             .iter()
             .map(|p| self.proc_ready[p as usize])
             .fold(0.0f64, f64::max);
-        let start = data_ready.max(proc_avail);
+        let start = if proc_avail >= self.data_ready_bound(t) {
+            proc_avail
+        } else {
+            self.data_ready(t, procs).max(proc_avail)
+        };
         (start, start + self.exec_time(t, procs.len()))
     }
 
     /// The heaviest input edge's predecessor (most data to move) — the
-    /// parent worth aligning a fresh candidate set against.
-    fn heaviest_pred(&self, t: TaskId) -> Option<TaskId> {
+    /// parent worth aligning a fresh candidate set against. Ties on equal
+    /// byte counts deterministically go to the predecessor with the
+    /// **lowest** task id, consistent with `DeltaPolicy`'s tie-break
+    /// (pinned by the `heaviest_pred_tie_breaks_to_lowest_id` test).
+    pub(crate) fn heaviest_pred(&self, t: TaskId) -> Option<TaskId> {
         self.dag
             .predecessors(t)
             .max_by(|(a, ea), (b, eb)| {
                 let wa = self.dag.edge(*ea).bytes;
                 let wb = self.dag.edge(*eb).bytes;
+                // More bytes wins; on equal bytes the *lower* id must
+                // compare greater, hence the reversed id comparison.
                 wa.partial_cmp(&wb)
                     .expect("edge weights are finite")
-                    .then(b.index().cmp(&a.index()))
+                    .then_with(|| b.index().cmp(&a.index()))
             })
             .map(|(p, _)| p)
     }
 
     /// The `k` earliest-available processors (ties by id), rank-ordered for
-    /// maximal self communication with the heaviest parent.
+    /// maximal self communication with the heaviest parent. The k-smallest
+    /// selection is O(P) partial selection, not a full sort; the selected
+    /// set is identical because the (ready time, id) order is total.
     fn earliest_k(&self, t: TaskId, k: u32) -> ProcSet {
+        #[cfg(any(test, feature = "reference"))]
+        if self.naive {
+            return self.earliest_k_naive(t, k);
+        }
+        if k == 1 && self.platform.num_procs() > 0 {
+            // Argmin by (ready time, id) — the full selection machinery and
+            // the (trivial) singleton alignment collapse to one scan.
+            let mut best = 0u32;
+            for p in 1..self.platform.num_procs() {
+                if self.proc_ready[p as usize] < self.proc_ready[best as usize] {
+                    best = p;
+                }
+            }
+            return ProcSet::new(vec![best]);
+        }
         let mut procs: Vec<u32> = (0..self.platform.num_procs()).collect();
-        procs.sort_by(|&a, &b| {
-            self.proc_ready[a as usize]
-                .partial_cmp(&self.proc_ready[b as usize])
-                .expect("ready times are finite")
-                .then(a.cmp(&b))
-        });
-        procs.truncate(k as usize);
+        let k = (k as usize).min(procs.len());
+        if k < procs.len() {
+            procs.select_nth_unstable_by(k, |&a, &b| {
+                self.proc_ready[a as usize]
+                    .partial_cmp(&self.proc_ready[b as usize])
+                    .expect("ready times are finite")
+                    .then(a.cmp(&b))
+            });
+        }
+        procs.truncate(k);
         procs.sort_unstable(); // deterministic rank order before alignment
         let set = ProcSet::new(procs);
         match self.heaviest_pred(t) {
@@ -263,6 +504,10 @@ impl<'a> Mapper<'a> {
     /// its prefix when shrinking, or the full set padded with the earliest
     /// other processors when growing.
     fn pred_candidate(&self, pred: TaskId, k: u32) -> ProcSet {
+        #[cfg(any(test, feature = "reference"))]
+        if self.naive {
+            return self.pred_candidate_naive(pred, k);
+        }
         let pp = &self.entry_of(pred).procs;
         if pp.len() >= k {
             pp.first_k(k)
@@ -271,13 +516,21 @@ impl<'a> Mapper<'a> {
             let mut others: Vec<u32> = (0..self.platform.num_procs())
                 .filter(|p| !pp.contains(*p))
                 .collect();
-            others.sort_by(|&a, &b| {
-                self.proc_ready[a as usize]
-                    .partial_cmp(&self.proc_ready[b as usize])
+            let cmp = |a: &u32, b: &u32| {
+                self.proc_ready[*a as usize]
+                    .partial_cmp(&self.proc_ready[*b as usize])
                     .expect("ready times are finite")
-                    .then(a.cmp(&b))
-            });
-            procs.extend(others.into_iter().take((k - pp.len()) as usize));
+                    .then(a.cmp(b))
+            };
+            let need = (k - pp.len()) as usize;
+            if need < others.len() {
+                others.select_nth_unstable_by(need, cmp);
+                others.truncate(need);
+            }
+            // Padding order is rank order: restore the (ready, id) order a
+            // full sort would have produced among the selected few.
+            others.sort_by(cmp);
+            procs.extend(others);
             ProcSet::new(procs)
         }
     }
@@ -308,7 +561,7 @@ impl<'a> Mapper<'a> {
 
     /// δ(t) for the ready-list secondary sort: the smallest allocation
     /// modification that would adopt any predecessor's set.
-    fn delta_key(&self, t: TaskId) -> f64 {
+    pub(crate) fn delta_key(&self, t: TaskId) -> f64 {
         let k = self.alloc[t.index()];
         let mut best = f64::INFINITY;
         for (pred, _) in self.dag.predecessors(t) {
@@ -323,7 +576,7 @@ impl<'a> Mapper<'a> {
 
     /// gain(t) for the ready-list secondary sort: the largest execution-time
     /// reduction any predecessor's set offers.
-    fn gain_key(&self, t: TaskId) -> f64 {
+    pub(crate) fn gain_key(&self, t: TaskId) -> f64 {
         let k = self.alloc[t.index()];
         let own = self.exec_time(t, k);
         let mut best = f64::NEG_INFINITY;
@@ -338,29 +591,53 @@ impl<'a> Mapper<'a> {
     }
 
     /// Sorts ready tasks by decreasing bottom level, then by the policy's
-    /// stable secondary criterion, then by id (full determinism).
+    /// stable secondary criterion, then by id (full determinism). Secondary
+    /// keys are computed once per task up front — they are pure functions of
+    /// the pre-round state, so hoisting them out of the comparator changes
+    /// nothing but the cost.
     fn sort_ready(&self, ready: &mut [TaskId]) {
         let secondary = self.policy.secondary_sort();
-        ready.sort_by(|&a, &b| {
+        if secondary == SecondarySort::None {
+            ready.sort_by(|&a, &b| {
+                self.bottom[b.index()]
+                    .partial_cmp(&self.bottom[a.index()])
+                    .expect("bottom levels are finite")
+                    .then(a.index().cmp(&b.index()))
+            });
+            return;
+        }
+        let mut keyed: Vec<(TaskId, f64)> = ready
+            .iter()
+            .map(|&t| {
+                let key = match secondary {
+                    SecondarySort::None => unreachable!("handled above"),
+                    SecondarySort::DeltaAscending => self.delta_key(t),
+                    SecondarySort::GainDescending => self.gain_key(t),
+                };
+                (t, key)
+            })
+            .collect();
+        keyed.sort_by(|&(a, ka), &(b, kb)| {
             let bl = self.bottom[b.index()]
                 .partial_cmp(&self.bottom[a.index()])
                 .expect("bottom levels are finite");
             let sec = match secondary {
-                SecondarySort::None => std::cmp::Ordering::Equal,
-                SecondarySort::DeltaAscending => self
-                    .delta_key(a)
-                    .partial_cmp(&self.delta_key(b))
-                    .expect("delta keys are not NaN"),
-                SecondarySort::GainDescending => self
-                    .gain_key(b)
-                    .partial_cmp(&self.gain_key(a))
-                    .expect("gain keys are not NaN"),
+                SecondarySort::None => unreachable!("handled above"),
+                SecondarySort::DeltaAscending => {
+                    ka.partial_cmp(&kb).expect("delta keys are not NaN")
+                }
+                SecondarySort::GainDescending => {
+                    kb.partial_cmp(&ka).expect("gain keys are not NaN")
+                }
             };
             bl.then(sec).then(a.index().cmp(&b.index()))
         });
+        for (slot, (t, _)) in ready.iter_mut().zip(keyed) {
+            *slot = t;
+        }
     }
 
-    fn place(&mut self, t: TaskId, procs: ProcSet, start: f64, finish: f64) {
+    pub(crate) fn place(&mut self, t: TaskId, procs: ProcSet, start: f64, finish: f64) {
         for p in procs.iter() {
             self.proc_ready[p as usize] = finish;
         }
@@ -374,6 +651,33 @@ impl<'a> Mapper<'a> {
         self.order.push(t);
     }
 
+    /// One policy verdict, validated and resolved to a placement.
+    pub(crate) fn decide(&mut self, t: TaskId) -> (ProcSet, f64, f64) {
+        let decision = self.policy.decide(&MapView { mapper: self }, t);
+        match decision {
+            MappingDecision::Adopt {
+                from_pred,
+                placement,
+            } => {
+                // Hard check even in release: external policies are
+                // exactly the callers that can get this wrong, and
+                // a silent double-adoption corrupts the schedule.
+                // O(in-degree), negligible next to the estimates.
+                assert!(
+                    self.dag.predecessors(t).any(|(p, _)| p == from_pred)
+                        && !self.adopted[from_pred.index()],
+                    "policy {:?} adopted {from_pred:?} for {t:?}, which is not \
+                     an unconsumed predecessor",
+                    self.policy.name()
+                );
+                self.adopted[from_pred.index()] = true;
+                (placement.procs, placement.start, placement.finish)
+            }
+            MappingDecision::Default(Some(p)) => (p.procs, p.start, p.finish),
+            MappingDecision::Default(None) => self.default_mapping(t),
+        }
+    }
+
     /// Algorithm 1: repeatedly sort and drain the ready list, letting the
     /// policy adopt predecessor allocations where its conditions hold.
     ///
@@ -381,51 +685,34 @@ impl<'a> Mapper<'a> {
     /// algorithm's "recompute … only if they have been computed using this
     /// parent allocation" bookkeeping: every decision sees the platform
     /// state left by all previously mapped tasks.
+    ///
+    /// Rounds are event-driven: the tasks that became ready while draining
+    /// round *r* form round *r + 1*'s batch (see
+    /// [`rats_dag::ReadyTracker`]) — exactly the set a full readiness
+    /// re-scan would find, because a round drains every ready task.
     fn run(mut self) -> Schedule {
+        #[cfg(any(test, feature = "reference"))]
+        if self.naive {
+            return self.run_naive();
+        }
+        let mut tracker = ReadyTracker::new(self.dag);
         let n = self.dag.num_tasks();
         let mut num_mapped = 0usize;
         while num_mapped < n {
-            let mut ready: Vec<TaskId> = self
-                .dag
-                .task_ids()
-                .filter(|&t| {
-                    self.entries[t.index()].is_none()
-                        && self
-                            .dag
-                            .predecessors(t)
-                            .all(|(p, _)| self.entries[p.index()].is_some())
-                })
-                .collect();
+            let mut ready = tracker.take_batch();
             assert!(!ready.is_empty(), "acyclic graph always has ready tasks");
             self.sort_ready(&mut ready);
             for t in ready {
-                let decision = self.policy.decide(&MapView { mapper: &self }, t);
-                let (procs, start, finish) = match decision {
-                    MappingDecision::Adopt {
-                        from_pred,
-                        placement,
-                    } => {
-                        // Hard check even in release: external policies are
-                        // exactly the callers that can get this wrong, and
-                        // a silent double-adoption corrupts the schedule.
-                        // O(in-degree), negligible next to the estimates.
-                        assert!(
-                            self.dag.predecessors(t).any(|(p, _)| p == from_pred)
-                                && !self.adopted[from_pred.index()],
-                            "policy {:?} adopted {from_pred:?} for {t:?}, which is not \
-                             an unconsumed predecessor",
-                            self.policy.name()
-                        );
-                        self.adopted[from_pred.index()] = true;
-                        (placement.procs, placement.start, placement.finish)
-                    }
-                    MappingDecision::Default(Some(p)) => (p.procs, p.start, p.finish),
-                    MappingDecision::Default(None) => self.default_mapping(t),
-                };
+                let (procs, start, finish) = self.decide(t);
                 self.place(t, procs, start, finish);
+                tracker.complete(t);
                 num_mapped += 1;
             }
         }
+        self.into_schedule()
+    }
+
+    pub(crate) fn into_schedule(self) -> Schedule {
         Schedule {
             entries: self
                 .entries
@@ -434,5 +721,47 @@ impl<'a> Mapper<'a> {
                 .collect(),
             order: self.order,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rats_model::TaskCost;
+    use rats_platform::ClusterSpec;
+
+    /// Pins the documented `heaviest_pred` tie-break: equal byte counts go
+    /// to the predecessor with the lowest task id.
+    #[test]
+    fn heaviest_pred_tie_breaks_to_lowest_id() {
+        let cost = TaskCost::new(50_000_000, 256.0, 0.05);
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", cost);
+        let b = g.add_task("b", cost);
+        let c = g.add_task("c", cost);
+        let d = g.add_task("d", cost);
+        // Equal-byte edges into c (insertion order b first, then a: the
+        // tie-break must not depend on iteration order), and a strictly
+        // heavier edge into d.
+        g.add_edge(b, c, 1e6);
+        g.add_edge(a, c, 1e6);
+        g.add_edge(a, d, 1.0);
+        g.add_edge(b, d, 2.0);
+        let platform = Platform::from_spec(&ClusterSpec::grillon());
+        let policy = Hcpa;
+        let mapper = Mapper::new(
+            &g,
+            &platform,
+            vec![2, 2, 2, 2],
+            &policy,
+            CandidatePolicy::default(),
+        );
+        assert_eq!(
+            mapper.heaviest_pred(c),
+            Some(a),
+            "tie goes to the lowest id"
+        );
+        assert_eq!(mapper.heaviest_pred(d), Some(b), "more bytes beat ids");
+        assert_eq!(mapper.heaviest_pred(a), None, "entry tasks have no parent");
     }
 }

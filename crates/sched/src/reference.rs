@@ -1,0 +1,136 @@
+//! The retained **naive reference engine**: the mapping driver exactly as
+//! it was before the incremental refactor.
+//!
+//! Kept verbatim so that (a) parity tests can assert the incremental engine
+//! in [`crate::mapping`] produces byte-identical schedules, and (b) the
+//! mapping benches can measure before/after throughput in the same run.
+//! Compiled only for tests and under the `reference` cargo feature — it
+//! never ships in a default build.
+//!
+//! Differences to the incremental engine (each one a cost, none a behavior
+//! change):
+//!
+//! * readiness is re-derived per round by scanning **all** tasks
+//!   (O(n · in-degree) per round);
+//! * ready-list sort keys (δ, gain) are recomputed inside the comparator
+//!   (O(in-degree) per comparison);
+//! * `estimate_on` materializes a full [`rats_redist::redistribute`]
+//!   transfer matrix per (task, candidate) pair and reduces it with
+//!   [`rats_redist::estimate_time`] — no memoization;
+//! * `earliest_k` / `pred_candidate` fully sort all P processors per task.
+
+use rats_dag::TaskId;
+use rats_platform::ProcSet;
+use rats_redist::{align_for_self_comm, estimate_time, redistribute};
+
+use crate::mapping::Mapper;
+use crate::schedule::Schedule;
+use crate::strategy::SecondarySort;
+
+impl Mapper<'_> {
+    /// Naive `estimate_on`: one transfer matrix per predecessor edge.
+    pub(crate) fn estimate_on_naive(&self, t: TaskId, procs: &ProcSet) -> (f64, f64) {
+        let mut data_ready = 0.0f64;
+        for (pred, e) in self.dag.predecessors(t) {
+            let pe = self.entry_of(pred);
+            let bytes = self.dag.edge(e).bytes;
+            let r = redistribute(bytes, &pe.procs, procs);
+            let arrival = pe.est_finish + estimate_time(&r, self.platform);
+            data_ready = data_ready.max(arrival);
+        }
+        let proc_avail = procs
+            .iter()
+            .map(|p| self.proc_ready[p as usize])
+            .fold(0.0f64, f64::max);
+        let start = data_ready.max(proc_avail);
+        (start, start + self.exec_time(t, procs.len()))
+    }
+
+    /// Naive `earliest_k`: full sort of all P processors.
+    pub(crate) fn earliest_k_naive(&self, t: TaskId, k: u32) -> ProcSet {
+        let mut procs: Vec<u32> = (0..self.platform.num_procs()).collect();
+        procs.sort_by(|&a, &b| {
+            self.proc_ready[a as usize]
+                .partial_cmp(&self.proc_ready[b as usize])
+                .expect("ready times are finite")
+                .then(a.cmp(&b))
+        });
+        procs.truncate(k as usize);
+        procs.sort_unstable(); // deterministic rank order before alignment
+        let set = ProcSet::new(procs);
+        match self.heaviest_pred(t) {
+            Some(p) => align_for_self_comm(&self.entry_of(p).procs, &set),
+            None => set,
+        }
+    }
+
+    /// Naive `pred_candidate`: full sort of the non-member processors.
+    pub(crate) fn pred_candidate_naive(&self, pred: TaskId, k: u32) -> ProcSet {
+        let pp = &self.entry_of(pred).procs;
+        if pp.len() >= k {
+            pp.first_k(k)
+        } else {
+            let mut procs: Vec<u32> = pp.as_slice().to_vec();
+            let mut others: Vec<u32> = (0..self.platform.num_procs())
+                .filter(|p| !pp.contains(*p))
+                .collect();
+            others.sort_by(|&a, &b| {
+                self.proc_ready[a as usize]
+                    .partial_cmp(&self.proc_ready[b as usize])
+                    .expect("ready times are finite")
+                    .then(a.cmp(&b))
+            });
+            procs.extend(others.into_iter().take((k - pp.len()) as usize));
+            ProcSet::new(procs)
+        }
+    }
+
+    /// Naive ready-list sort: secondary keys recomputed per comparison.
+    fn sort_ready_naive(&self, ready: &mut [TaskId]) {
+        let secondary = self.policy_secondary_sort();
+        ready.sort_by(|&a, &b| {
+            let bl = self.bottom[b.index()]
+                .partial_cmp(&self.bottom[a.index()])
+                .expect("bottom levels are finite");
+            let sec = match secondary {
+                SecondarySort::None => std::cmp::Ordering::Equal,
+                SecondarySort::DeltaAscending => self
+                    .delta_key(a)
+                    .partial_cmp(&self.delta_key(b))
+                    .expect("delta keys are not NaN"),
+                SecondarySort::GainDescending => self
+                    .gain_key(b)
+                    .partial_cmp(&self.gain_key(a))
+                    .expect("gain keys are not NaN"),
+            };
+            bl.then(sec).then(a.index().cmp(&b.index()))
+        });
+    }
+
+    /// Naive Algorithm 1 driver: per-round full readiness re-scan.
+    pub(crate) fn run_naive(mut self) -> Schedule {
+        let n = self.dag.num_tasks();
+        let mut num_mapped = 0usize;
+        while num_mapped < n {
+            let mut ready: Vec<TaskId> = self
+                .dag
+                .task_ids()
+                .filter(|&t| {
+                    self.entries[t.index()].is_none()
+                        && self
+                            .dag
+                            .predecessors(t)
+                            .all(|(p, _)| self.entries[p.index()].is_some())
+                })
+                .collect();
+            assert!(!ready.is_empty(), "acyclic graph always has ready tasks");
+            self.sort_ready_naive(&mut ready);
+            for t in ready {
+                let (procs, start, finish) = self.decide(t);
+                self.place(t, procs, start, finish);
+                num_mapped += 1;
+            }
+        }
+        self.into_schedule()
+    }
+}

@@ -8,9 +8,7 @@
 
 use rats::daggen::suite::{AppFamily, Scenario};
 use rats::experiments::campaign::PreparedScenario;
-use rats::experiments::tuning::{
-    delta_grid, rho_curves, tune_family, MAXDELTA_GRID, MINDELTA_GRID, MINRHO_GRID,
-};
+use rats::experiments::tuning::{TuningSet, MAXDELTA_GRID, MINDELTA_GRID, MINRHO_GRID};
 use rats::prelude::*;
 
 fn main() {
@@ -38,6 +36,8 @@ fn main() {
     let platform = Platform::from_spec(&ClusterSpec::grillon());
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let prepared = PreparedScenario::prepare(scenarios, &platform, threads);
+    // One baseline evaluation shared by every grid point below.
+    let tuning = TuningSet::new(&prepared, &platform, threads);
 
     // Figure 4 methodology: the (mindelta, maxdelta) surface.
     println!("delta surface (avg makespan relative to HCPA):");
@@ -46,7 +46,7 @@ fn main() {
         print!("  maxd={maxd:<5}");
     }
     println!();
-    let grid = delta_grid(&prepared, &platform, threads);
+    let grid = tuning.delta_grid(threads);
     for (i, row) in grid.iter().enumerate() {
         print!("{:>10}", format!("-{}", MINDELTA_GRID[i]));
         for v in row {
@@ -56,7 +56,7 @@ fn main() {
     }
 
     // Figure 5 methodology: the minrho curve.
-    let (with_packing, without_packing) = rho_curves(&prepared, &platform, threads);
+    let (with_packing, without_packing) = tuning.rho_curves(threads);
     println!("\nminrho curve (avg makespan relative to HCPA):");
     println!("{:>8} {:>10} {:>12}", "minrho", "packing", "no packing");
     for (i, rho) in MINRHO_GRID.iter().enumerate() {
@@ -67,7 +67,7 @@ fn main() {
     }
 
     // The headline: the tuned triple for this workload.
-    let tuned = tune_family(&prepared, &platform, threads);
+    let tuned = tuning.tune_family(threads);
     println!(
         "\ntuned parameters for this workload: (mindelta, maxdelta, minrho) = \
          (-{}, {}, {})",
