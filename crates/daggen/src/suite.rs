@@ -37,6 +37,12 @@ impl AppFamily {
             AppFamily::Irregular => "Random",
         }
     }
+
+    /// The inverse of [`Self::name`] — used when campaign records are read
+    /// back from disk.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|f| f.name() == name)
+    }
 }
 
 /// One application configuration of the evaluation campaign.
@@ -74,6 +80,9 @@ pub const FFT_COUNT: usize = 100;
 pub const STRASSEN_COUNT: usize = 25;
 /// Total size of the paper suite (557 configurations).
 pub const SUITE_COUNT: usize = LAYERED_COUNT + IRREGULAR_COUNT + FFT_COUNT + STRASSEN_COUNT;
+/// Size of [`mini_suite`] (3 layered + 3 irregular + 2 FFT + 1 Strassen).
+/// Campaign job grids are dimensioned from this without generating DAGs.
+pub const MINI_COUNT: usize = 9;
 
 /// Generates the full 557-configuration suite of the paper:
 ///
@@ -300,8 +309,23 @@ mod tests {
     }
 
     #[test]
+    fn mini_suite_size_is_pinned() {
+        // MINI_COUNT dimensions campaign job grids; it must track the
+        // generator exactly (ids dense, in order).
+        let mini = mini_suite(&CostParams::tiny(), 11);
+        assert_eq!(mini.len(), MINI_COUNT);
+        for (i, s) in mini.iter().enumerate() {
+            assert_eq!(s.id, i);
+        }
+    }
+
+    #[test]
     fn family_names_match_paper() {
         assert_eq!(AppFamily::Irregular.name(), "Random");
         assert_eq!(AppFamily::Fft.name(), "FFT");
+        for f in AppFamily::ALL {
+            assert_eq!(AppFamily::from_name(f.name()), Some(f));
+        }
+        assert_eq!(AppFamily::from_name("Irregular"), None);
     }
 }

@@ -108,16 +108,53 @@ pub fn fig2_3(quick: bool, threads: usize) -> String {
     let mut spec = ExperimentSpec::naive("fig2_3-naive", "grillon", suite, BASE_SEED);
     spec.threads = Some(threads);
     let outcome = spec.run().expect("the built-in fig2_3 spec is valid");
+    fig2_3_from_results(&outcome.clusters[0].results)
+}
+
+/// Figures 2 and 3 from already-obtained results (`results[0]` = HCPA
+/// baseline) — e.g. the merged records of a sharded naive campaign.
+pub fn fig2_3_from_results(results: &[AlgoResults]) -> String {
     render_relative_pair(
         "Figure 2 — relative makespan (naive parameters, grillon)",
         "Figure 3 — relative work (naive parameters, grillon)",
-        &outcome.clusters[0].results,
+        results,
     )
 }
 
+/// Figure 4, Figure 5 and the tuned triple from a completed tuning sweep
+/// (results in [`tuning::sweep_strategies`] order, e.g. merged from
+/// shards). A pure renderer over [`tuning::sweep_tables`].
+pub fn render_sweep(cluster: &str, results: &[AlgoResults]) -> String {
+    let tables = tuning::sweep_tables(results);
+    let n = results.first().map_or(0, |r| r.runs.len());
+    let mut out = figures::render_delta_grid(
+        &format!("Figure 4 — avg relative makespan of delta vs (mindelta, maxdelta), {cluster} ({n} DAGs)"),
+        &tables.delta_grid,
+    );
+    out.push('\n');
+    out.push_str(&figures::render_rho_curves(
+        &format!("Figure 5 — avg relative makespan of time-cost vs minrho, {cluster} ({n} DAGs)"),
+        &tables.rho_with_packing,
+        &tables.rho_without_packing,
+    ));
+    let t = tables.tuned;
+    let _ = writeln!(
+        out,
+        "tuned (Table IV style): (-{}, {}, {})",
+        t.mindelta, t.maxdelta, t.minrho
+    );
+    out
+}
+
 /// Renders the makespan + work relative-series pair shared by Figures 2/3
-/// and 6/7. `results[0]` must be the HCPA baseline.
-fn render_relative_pair(title_makespan: &str, title_work: &str, results: &[AlgoResults]) -> String {
+/// and 6/7. `results[0]` must be the baseline. A **pure renderer**: the
+/// results may come from an in-process campaign or from merged shard
+/// records (`campaign merge --figures`) — the output is identical.
+pub fn render_relative_pair(
+    title_makespan: &str,
+    title_work: &str,
+    results: &[AlgoResults],
+) -> String {
     let base_m = results[0].makespans();
     let base_w = results[0].works();
     let labels: Vec<&str> = results[1..].iter().map(|r| r.name.as_str()).collect();

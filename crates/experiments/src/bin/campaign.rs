@@ -1,10 +1,27 @@
-//! Runs a declarative campaign from a TOML or JSON spec file.
+//! Runs declarative campaigns from TOML or JSON spec files — in one
+//! process, or sharded across workers with durable resume and merge.
 //!
 //! ```text
-//! cargo run --release -p rats-experiments --bin campaign -- spec.toml
-//! cargo run --release -p rats-experiments --bin campaign -- --print-template
+//! campaign <spec.toml|spec.json> [--threads N]
+//!     run the whole campaign in-process and print the report
+//!
+//! campaign run <spec> [--shard I/N] [--out DIR] [--threads N]
+//!     execute one shard of the campaign's job grid, appending JSONL
+//!     records to DIR (default ./shards). Re-running resumes: jobs already
+//!     on disk are skipped.
+//!
+//! campaign merge <DIR|file.jsonl ...> [--figures]
+//!     validate shard files (coverage, seed, spec hash) and print the
+//!     report reassembled from them — bit-identical to the in-process run.
+//!     --figures additionally renders the relative makespan/work series.
+//!
+//! campaign --print-template
 //! ```
 
+use std::path::PathBuf;
+
+use rats_experiments::grid::ShardSpec;
+use rats_experiments::shard::{collect_shard_files, merge_shards, run_shard};
 use rats_experiments::spec::{ExperimentSpec, SuiteSpec};
 
 fn fail(message: impl std::fmt::Display) -> ! {
@@ -12,29 +29,169 @@ fn fail(message: impl std::fmt::Display) -> ! {
     std::process::exit(1);
 }
 
-fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| {
-        eprintln!("usage: campaign <spec.toml|spec.json> | --print-template");
-        std::process::exit(2);
-    });
-    if arg == "--print-template" {
-        let template = ExperimentSpec::naive(
-            "naive-grillon",
-            "grillon",
-            SuiteSpec::Mini,
-            rats_experiments::campaign::BASE_SEED,
-        );
-        print!("{}", template.to_toml());
-        return;
-    }
-    let text = std::fs::read_to_string(&arg)
-        .unwrap_or_else(|e| fail(format_args!("cannot read spec {arg:?}: {e}")));
-    let spec = if arg.ends_with(".json") {
+fn usage() -> ! {
+    eprintln!(
+        "usage: campaign <spec.toml|spec.json> [--threads N]\n\
+         \x20      campaign run <spec> [--shard I/N] [--out DIR] [--threads N]\n\
+         \x20      campaign merge <DIR|file.jsonl ...> [--figures]\n\
+         \x20      campaign --print-template"
+    );
+    std::process::exit(2);
+}
+
+fn load_spec(path: &str) -> ExperimentSpec {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(format_args!("cannot read spec {path:?}: {e}")));
+    if path.ends_with(".json") {
         ExperimentSpec::from_json(&text)
     } else {
         ExperimentSpec::from_toml(&text)
     }
-    .unwrap_or_else(|e| fail(e));
-    let outcome = spec.run().unwrap_or_else(|e| fail(e));
-    print!("{}", outcome.render());
+    .unwrap_or_else(|e| fail(e))
+}
+
+fn parse_shard(text: &str) -> ShardSpec {
+    let parsed = text.split_once('/').and_then(|(i, n)| {
+        Some(ShardSpec::new(
+            i.trim().parse().ok()?,
+            n.trim().parse().ok()?,
+        ))
+    });
+    let shard = parsed
+        .unwrap_or_else(|| fail(format_args!("--shard expects I/N (e.g. 0/4), got {text:?}")));
+    shard
+        .validate()
+        .unwrap_or_else(|e| fail(format_args!("--shard {text}: {e}")));
+    shard
+}
+
+fn parse_threads(value: Option<String>) -> usize {
+    value
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| fail("--threads needs a positive number"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None => usage(),
+        Some("--print-template") => {
+            let template = ExperimentSpec::naive(
+                "naive-grillon",
+                "grillon",
+                SuiteSpec::Mini,
+                rats_experiments::campaign::BASE_SEED,
+            );
+            print!("{}", template.to_toml());
+        }
+        Some("run") => {
+            let mut spec_path = None;
+            let mut out = PathBuf::from("shards");
+            let mut shard = None;
+            let mut threads = None;
+            let mut rest = args[1..].iter().cloned();
+            while let Some(a) = rest.next() {
+                match a.as_str() {
+                    "--shard" => {
+                        shard = Some(parse_shard(
+                            &rest.next().unwrap_or_else(|| fail("--shard needs I/N")),
+                        ))
+                    }
+                    "--out" => {
+                        out = PathBuf::from(
+                            rest.next()
+                                .unwrap_or_else(|| fail("--out needs a directory")),
+                        )
+                    }
+                    "--threads" => threads = Some(parse_threads(rest.next())),
+                    other if spec_path.is_none() && !other.starts_with('-') => {
+                        spec_path = Some(other.to_string())
+                    }
+                    other => fail(format_args!("unexpected argument {other:?}")),
+                }
+            }
+            let mut spec = load_spec(&spec_path.unwrap_or_else(|| usage()));
+            if let Some(shard) = shard {
+                spec.shard = Some(shard);
+            }
+            let run = run_shard(&spec, &out, threads).unwrap_or_else(|e| fail(e));
+            eprintln!(
+                "campaign: shard {} — {} jobs executed, {} resumed from disk, {} total → {:?}",
+                spec.shard.unwrap_or_default(),
+                run.executed,
+                run.skipped,
+                run.total,
+                run.path
+            );
+        }
+        Some("merge") => {
+            let mut paths: Vec<PathBuf> = Vec::new();
+            let mut figures = false;
+            for a in &args[1..] {
+                match a.as_str() {
+                    "--figures" => figures = true,
+                    other if other.starts_with('-') => {
+                        fail(format_args!("unexpected argument {other:?}"))
+                    }
+                    other => {
+                        let p = PathBuf::from(other);
+                        if p.is_dir() {
+                            paths.extend(collect_shard_files(&p).unwrap_or_else(|e| fail(e)));
+                        } else {
+                            paths.push(p);
+                        }
+                    }
+                }
+            }
+            if paths.is_empty() {
+                usage();
+            }
+            let outcome = merge_shards(&paths).unwrap_or_else(|e| fail(e));
+            print!("{}", outcome.render());
+            if figures {
+                // A tuning sweep is recognized by its exact strategy list,
+                // not by a length coincidence.
+                let is_sweep = outcome.spec.strategies == rats_experiments::tuning::sweep_specs();
+                for cluster in &outcome.clusters {
+                    if is_sweep {
+                        // A tuning sweep: render Figure 4/5 + tuned triple.
+                        print!(
+                            "\n{}",
+                            rats_experiments::artifacts::render_sweep(
+                                &cluster.cluster,
+                                &cluster.results
+                            )
+                        );
+                    } else if cluster.results.len() >= 2 {
+                        print!(
+                            "\n{}",
+                            rats_experiments::artifacts::render_relative_pair(
+                                &format!("relative makespan ({})", cluster.cluster),
+                                &format!("relative work ({})", cluster.cluster),
+                                &cluster.results,
+                            )
+                        );
+                    }
+                }
+            }
+        }
+        Some(spec_path) if !spec_path.starts_with('-') => {
+            let mut threads = None;
+            let mut rest = args[1..].iter().cloned();
+            while let Some(a) = rest.next() {
+                match a.as_str() {
+                    "--threads" => threads = Some(parse_threads(rest.next())),
+                    other => fail(format_args!("unexpected argument {other:?}")),
+                }
+            }
+            let mut spec = load_spec(spec_path);
+            if threads.is_some() {
+                spec.threads = threads;
+            }
+            let outcome = spec.run().unwrap_or_else(|e| fail(e));
+            print!("{}", outcome.render());
+        }
+        Some(_) => usage(),
+    }
 }

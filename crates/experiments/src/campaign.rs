@@ -10,6 +10,13 @@ use crate::runner::parallel_map;
 
 /// The base seed of the reproduction campaign (any change regenerates a new
 /// random population with the same statistics).
+///
+/// Sharding interplay: the seed *is* the scenario population, so every
+/// shard file embeds it (in the manifest and in each record) and
+/// [`merge_shards`](crate::shard::merge_shards) rejects mixed-seed inputs
+/// — two workers that disagree on the seed ran two different campaigns,
+/// and combining their records would silently misattribute results. The
+/// `sharding` integration tests pin this with a negative test.
 pub const BASE_SEED: u64 = 20080929; // CLUSTER 2008 opened Sept 29, Tsukuba
 
 /// One (scenario, strategy) evaluation.
@@ -88,6 +95,22 @@ impl PreparedScenario {
     }
 }
 
+/// Evaluates each strategy over every prepared scenario — the one executor
+/// behind campaigns, tuning sweeps and shard workers. Returns per-strategy
+/// result vectors in scenario order (strategy-major, matching the job
+/// grid's strategy axis).
+pub fn evaluate_strategies(
+    prepared: &[PreparedScenario],
+    platform: &Platform,
+    strategies: &[MappingStrategy],
+    threads: usize,
+) -> Vec<Vec<RunResult>> {
+    strategies
+        .iter()
+        .map(|&strategy| parallel_map(prepared, threads, |_, p| p.evaluate(platform, strategy)))
+        .collect()
+}
+
 /// Runs every strategy over every prepared scenario; returns one
 /// [`AlgoResults`] per strategy, scenario-aligned.
 pub fn run_campaign(
@@ -98,9 +121,10 @@ pub fn run_campaign(
 ) -> Vec<AlgoResults> {
     strategies
         .iter()
-        .map(|&strategy| AlgoResults {
+        .zip(evaluate_strategies(prepared, platform, strategies, threads))
+        .map(|(strategy, runs)| AlgoResults {
             name: strategy.name().to_string(),
-            runs: parallel_map(prepared, threads, |_, p| p.evaluate(platform, strategy)),
+            runs,
         })
         .collect()
 }

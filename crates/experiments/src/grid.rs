@@ -1,0 +1,282 @@
+//! The deterministic job grid: a campaign as a flat, addressable space of
+//! `(cluster, scenario, strategy)` jobs.
+//!
+//! Sharding and resume need every unit of campaign work to have a stable
+//! address. [`JobGrid`] fixes the bijection between the dense [`JobId`]
+//! space and grid coordinates, and [`ShardSpec`] names a strided subset of
+//! that space (`job % count == index`), so any shard of any campaign is
+//! reproducible from the spec document alone — no coordination, no shared
+//! state, and merged results are provably the same jobs a single process
+//! would have run.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize, Value};
+
+/// One shard of a campaign's job grid: the jobs `j` with
+/// `j % count == index`. The stride layout spreads clusters, scenarios and
+/// strategies roughly evenly over shards, so per-shard cost stays balanced
+/// without knowing the grid shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This worker's shard number, `0 <= index < count`.
+    pub index: usize,
+    /// Total number of shards the campaign is split into (`>= 1`).
+    pub count: usize,
+}
+
+impl Default for ShardSpec {
+    /// The full campaign as a single shard (`0/1`).
+    fn default() -> Self {
+        Self { index: 0, count: 1 }
+    }
+}
+
+impl ShardSpec {
+    /// Shard `index` of `count`.
+    pub fn new(index: usize, count: usize) -> Self {
+        Self { index, count }
+    }
+
+    /// Whether this shard covers the whole grid.
+    pub fn is_full(self) -> bool {
+        self.count == 1
+    }
+
+    /// Checks the shard coordinates are coherent.
+    pub fn validate(self) -> Result<(), String> {
+        if self.count == 0 {
+            return Err("shard count must be at least 1".into());
+        }
+        if self.index >= self.count {
+            return Err(format!(
+                "shard index {} out of range for {} shards",
+                self.index, self.count
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+impl Serialize for ShardSpec {
+    fn serialize(&self) -> Value {
+        let mut t = Value::table();
+        t.insert("index", &self.index).insert("count", &self.count);
+        t
+    }
+}
+
+impl Deserialize for ShardSpec {
+    fn deserialize(v: &Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            index: v.field("index")?,
+            count: v.field("count")?,
+        })
+    }
+}
+
+/// Dense address of one `(cluster, scenario, strategy)` evaluation within a
+/// campaign — the durable job unit that shard files record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Decomposed coordinates of a [`JobId`]: indices into the spec's cluster
+/// list, the suite's scenario order, and the spec's strategy list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobCoords {
+    /// Index into the spec's cluster list.
+    pub cluster: usize,
+    /// Scenario index in suite order (equals the scenario's dense id).
+    pub scenario: usize,
+    /// Index into the spec's strategy list.
+    pub strategy: usize,
+}
+
+/// The dense job space of a campaign: cluster-major, then scenario, with
+/// the strategy index innermost, so
+/// `job = (cluster * scenarios + scenario) * strategies + strategy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobGrid {
+    clusters: usize,
+    scenarios: usize,
+    strategies: usize,
+}
+
+impl JobGrid {
+    /// A grid with the given axis sizes.
+    ///
+    /// # Panics
+    /// Panics if any axis is empty (a validated spec never is).
+    pub fn new(clusters: usize, scenarios: usize, strategies: usize) -> Self {
+        assert!(
+            clusters > 0 && scenarios > 0 && strategies > 0,
+            "job grid axes must be non-empty ({clusters} x {scenarios} x {strategies})"
+        );
+        Self {
+            clusters,
+            scenarios,
+            strategies,
+        }
+    }
+
+    /// Number of clusters on the first axis.
+    pub fn clusters(&self) -> usize {
+        self.clusters
+    }
+
+    /// Number of scenarios on the second axis.
+    pub fn scenarios(&self) -> usize {
+        self.scenarios
+    }
+
+    /// Number of strategies on the third axis.
+    pub fn strategies(&self) -> usize {
+        self.strategies
+    }
+
+    /// Total number of jobs.
+    pub fn len(&self) -> u64 {
+        (self.clusters * self.scenarios * self.strategies) as u64
+    }
+
+    /// Whether the grid has no jobs (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The job id of a coordinate triple.
+    ///
+    /// # Panics
+    /// Panics if any coordinate is out of range.
+    pub fn id(&self, c: JobCoords) -> JobId {
+        assert!(
+            c.cluster < self.clusters
+                && c.scenario < self.scenarios
+                && c.strategy < self.strategies,
+            "coordinates {c:?} out of range for {self:?}"
+        );
+        JobId(((c.cluster * self.scenarios + c.scenario) * self.strategies + c.strategy) as u64)
+    }
+
+    /// The coordinates of a job id (inverse of [`Self::id`]).
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn coords(&self, id: JobId) -> JobCoords {
+        assert!(id.0 < self.len(), "job {id} out of range for {self:?}");
+        let i = id.0 as usize;
+        JobCoords {
+            cluster: i / (self.scenarios * self.strategies),
+            scenario: (i / self.strategies) % self.scenarios,
+            strategy: i % self.strategies,
+        }
+    }
+
+    /// Whether `id` addresses a job of this grid.
+    pub fn contains(&self, id: JobId) -> bool {
+        id.0 < self.len()
+    }
+
+    /// The jobs of one shard, in increasing id order.
+    pub fn shard_jobs(&self, shard: ShardSpec) -> impl Iterator<Item = JobId> {
+        let len = self.len();
+        (shard.index as u64..len)
+            .step_by(shard.count.max(1))
+            .map(JobId)
+    }
+
+    /// Number of jobs in one shard.
+    pub fn shard_len(&self, shard: ShardSpec) -> u64 {
+        let len = self.len();
+        let index = shard.index as u64;
+        if index >= len {
+            0
+        } else {
+            1 + (len - 1 - index) / shard.count as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_coords_bijection() {
+        let grid = JobGrid::new(3, 9, 4);
+        for j in 0..grid.len() {
+            let c = grid.coords(JobId(j));
+            assert_eq!(grid.id(c), JobId(j));
+        }
+        assert_eq!(grid.len(), 3 * 9 * 4);
+        assert_eq!(
+            grid.coords(JobId(0)),
+            JobCoords {
+                cluster: 0,
+                scenario: 0,
+                strategy: 0
+            }
+        );
+        // Strategy is the innermost axis.
+        assert_eq!(grid.coords(JobId(1)).strategy, 1);
+        assert_eq!(grid.coords(JobId(4)).scenario, 1);
+    }
+
+    #[test]
+    fn shards_partition_the_grid() {
+        let grid = JobGrid::new(2, 9, 3);
+        for count in 1..=5 {
+            let mut seen = vec![0usize; grid.len() as usize];
+            let mut total = 0u64;
+            for index in 0..count {
+                let shard = ShardSpec::new(index, count);
+                let jobs: Vec<JobId> = grid.shard_jobs(shard).collect();
+                assert_eq!(jobs.len() as u64, grid.shard_len(shard));
+                total += jobs.len() as u64;
+                for j in jobs {
+                    seen[j.0 as usize] += 1;
+                }
+            }
+            assert_eq!(total, grid.len());
+            assert!(seen.iter().all(|&n| n == 1), "count {count}: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn shard_validation() {
+        assert!(ShardSpec::new(0, 1).validate().is_ok());
+        assert!(ShardSpec::new(2, 3).validate().is_ok());
+        assert!(ShardSpec::new(0, 0).validate().is_err());
+        assert!(ShardSpec::new(3, 3).validate().is_err());
+        assert!(ShardSpec::default().is_full());
+        assert!(!ShardSpec::new(0, 2).is_full());
+        assert_eq!(ShardSpec::new(1, 4).to_string(), "1/4");
+    }
+
+    #[test]
+    fn shard_spec_round_trips() {
+        let s = ShardSpec::new(2, 5);
+        let v = s.serialize();
+        assert_eq!(ShardSpec::deserialize(&v).unwrap(), s);
+    }
+
+    #[test]
+    fn more_shards_than_jobs() {
+        let grid = JobGrid::new(1, 2, 1);
+        let shard = ShardSpec::new(3, 10);
+        assert_eq!(grid.shard_len(shard), 0);
+        assert_eq!(grid.shard_jobs(shard).count(), 0);
+    }
+}

@@ -12,25 +12,47 @@
 //!   curve (Figure 5) and the per-family/per-cluster tuning (Table IV);
 //! * [`figures`] — plain-text renderers that print each artifact in the
 //!   paper's layout;
-//! * [`runner`] — a deterministic scoped-thread parallel map.
+//! * [`runner`] — a deterministic scoped-thread parallel map;
+//! * [`grid`] — every campaign as a flat, deterministic job-id space
+//!   (`cluster × scenario × strategy`), the unit of sharding;
+//! * [`record`] — the serialized per-job artifact ([`record::RunRecord`]);
+//! * [`shard`] — the durable executor: run one shard to an append-only
+//!   JSONL file (crash-resume included) and merge shard files back into
+//!   the bit-identical in-process outcome.
 //!
 //! Binaries (`cargo run --release -p rats-experiments --bin <name>`):
 //! `table2`, `table3`, `fig2_3`, `fig4`, `fig5`, `table4`, `fig6_7`,
 //! `table5`, `table6`, `table5_6`, `all`, plus the beyond-paper quality
 //! [`ablation`]s. Every binary accepts `--quick` to run on a reduced suite
 //! (for smoke tests); full runs reproduce the paper's 557-configuration
-//! campaign. `table4` and `ablation` also accept `--thin N`.
+//! campaign. `table4` and `ablation` also accept `--thin N`. The `campaign`
+//! binary runs spec files — in-process, or sharded via its `run` and
+//! `merge` subcommands.
 
 pub mod ablation;
 pub mod artifacts;
 pub mod campaign;
 pub mod figures;
+pub mod grid;
+pub mod record;
 pub mod runner;
+pub mod shard;
 pub mod spec;
 pub mod stats;
 pub mod tuning;
 
-pub use campaign::{run_campaign, AlgoResults, PreparedScenario, RunResult, BASE_SEED};
+pub use campaign::{
+    evaluate_strategies, run_campaign, AlgoResults, PreparedScenario, RunResult, BASE_SEED,
+};
+pub use grid::{JobCoords, JobGrid, JobId, ShardSpec};
+pub use record::RunRecord;
+pub use shard::{
+    collect_shard_files, merge_shards, read_shard_file, run_shard, MergeError, ShardError,
+    ShardManifest, ShardRun,
+};
 pub use spec::{ExperimentSpec, SpecError, SpecOutcome, StrategySpec, SuiteSpec};
 pub use stats::{degradation_from_best, pairwise, summarize, Degradation, PairwiseCount};
-pub use tuning::{paper_tuned, tune_family, TunedParams, TuningSet};
+pub use tuning::{
+    paper_tuned, sweep_specs, sweep_strategies, sweep_tables, tune_family, SweepTables,
+    TunedParams, TuningSet,
+};

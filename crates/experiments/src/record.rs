@@ -1,0 +1,191 @@
+//! The durable per-job artifact: one completed `(cluster, scenario,
+//! strategy)` evaluation as a single JSONL line.
+//!
+//! A [`RunRecord`] carries everything the merge step needs to re-address
+//! the job (its [`JobId`](crate::grid::JobId) value and coordinates as
+//! data), everything provenance needs (strategy parameters, workload seed),
+//! and the two simulated numbers the paper reports. Floating-point values
+//! survive the JSON round trip **bit-exactly** (the vendored writer emits
+//! shortest round-trip representations), which is what makes sharded
+//! execution provably equivalent to the in-process path.
+
+use rats_daggen::suite::AppFamily;
+use serde::{Deserialize, Serialize, Value};
+
+use crate::campaign::RunResult;
+use crate::spec::StrategySpec;
+
+/// One completed campaign job, as written to a shard file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Flat job id within the spec's [`JobGrid`](crate::grid::JobGrid).
+    pub job: u64,
+    /// Cluster name (redundant with the job coordinates; lets a record be
+    /// read without the spec and lets merge cross-check addressing).
+    pub cluster: String,
+    /// The strategy evaluated, as plain data.
+    pub strategy: StrategySpec,
+    /// Scenario id within the suite.
+    pub scenario_id: usize,
+    /// Application family of the scenario.
+    pub family: AppFamily,
+    /// The campaign's workload seed. Shards generated under different seeds
+    /// describe different populations and must never be merged.
+    pub seed: u64,
+    /// Simulated makespan in seconds.
+    pub makespan: f64,
+    /// Total work in processor-seconds.
+    pub work: f64,
+}
+
+impl RunRecord {
+    /// Wraps one evaluation result with its job address and provenance.
+    pub fn new(
+        job: u64,
+        cluster: &str,
+        strategy: StrategySpec,
+        seed: u64,
+        result: &RunResult,
+    ) -> Self {
+        Self {
+            job,
+            cluster: cluster.to_string(),
+            strategy,
+            scenario_id: result.scenario_id,
+            family: result.family,
+            seed,
+            makespan: result.makespan,
+            work: result.work,
+        }
+    }
+
+    /// The in-memory result this record serializes.
+    pub fn result(&self) -> RunResult {
+        RunResult {
+            scenario_id: self.scenario_id,
+            family: self.family,
+            makespan: self.makespan,
+            work: self.work,
+        }
+    }
+
+    /// Renders the record as one compact JSON line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let line = serde_json::to_string(self).expect("records always serialize");
+        debug_assert!(!line.contains('\n'), "compact JSON is single-line");
+        line
+    }
+
+    /// Parses a record from one JSONL line.
+    pub fn from_jsonl(line: &str) -> Result<Self, serde::Error> {
+        serde_json::from_str(line)
+    }
+}
+
+impl Serialize for RunRecord {
+    fn serialize(&self) -> Value {
+        let mut t = Value::table();
+        t.insert("kind", "run")
+            .insert("job", &self.job)
+            .insert("cluster", &self.cluster)
+            .insert("strategy", &self.strategy)
+            .insert("scenario", &self.scenario_id)
+            .insert("family", self.family.name())
+            .insert("seed", &self.seed)
+            .insert("makespan", &self.makespan)
+            .insert("work", &self.work);
+        t
+    }
+}
+
+impl Deserialize for RunRecord {
+    fn deserialize(v: &Value) -> Result<Self, serde::Error> {
+        let kind: String = v.field("kind")?;
+        if kind != "run" {
+            return Err(serde::Error::new(format!(
+                "expected a run record, got kind `{kind}`"
+            )));
+        }
+        let family_name: String = v.field("family")?;
+        let family = AppFamily::from_name(&family_name).ok_or_else(|| {
+            serde::Error::new(format!("unknown application family `{family_name}`"))
+        })?;
+        Ok(Self {
+            job: v.field("job")?,
+            cluster: v.field("cluster")?,
+            strategy: v.field("strategy")?,
+            scenario_id: v.field("scenario")?,
+            family,
+            seed: v.field("seed")?,
+            makespan: v.field("makespan")?,
+            work: v.field("work")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(makespan: f64, work: f64) -> RunRecord {
+        RunRecord {
+            job: 42,
+            cluster: "grillon".into(),
+            strategy: StrategySpec::Delta {
+                mindelta: 0.25,
+                maxdelta: 1.0,
+            },
+            scenario_id: 7,
+            family: AppFamily::Irregular,
+            seed: 20080929,
+            makespan,
+            work,
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trip_is_bit_exact() {
+        // Awkward floats included: non-terminating binary fractions,
+        // subnormal-ish magnitudes, integral values.
+        for (m, w) in [
+            (1.0 / 3.0, 2.0 / 7.0),
+            (1234.5678e-9, 9.999999999999999e301),
+            (1.0, 128.0),
+            (f64::MIN_POSITIVE, f64::EPSILON),
+        ] {
+            let rec = sample(m, w);
+            let line = rec.to_jsonl();
+            assert!(!line.contains('\n'));
+            let back = RunRecord::from_jsonl(&line).unwrap();
+            assert_eq!(back.makespan.to_bits(), rec.makespan.to_bits());
+            assert_eq!(back.work.to_bits(), rec.work.to_bits());
+            assert_eq!(back, rec);
+        }
+    }
+
+    #[test]
+    fn record_mirrors_run_result() {
+        let result = RunResult {
+            scenario_id: 3,
+            family: AppFamily::Fft,
+            makespan: 12.5,
+            work: 99.0,
+        };
+        let rec = RunRecord::new(9, "chti", StrategySpec::Hcpa, 1, &result);
+        let back = rec.result();
+        assert_eq!(back.scenario_id, result.scenario_id);
+        assert_eq!(back.family, result.family);
+        assert_eq!(back.makespan.to_bits(), result.makespan.to_bits());
+        assert_eq!(back.work.to_bits(), result.work.to_bits());
+    }
+
+    #[test]
+    fn rejects_foreign_lines() {
+        assert!(RunRecord::from_jsonl("{\"kind\":\"manifest\"}").is_err());
+        assert!(RunRecord::from_jsonl("not json").is_err());
+        let mut rec = sample(1.0, 2.0);
+        rec.family = AppFamily::Layered;
+        let line = rec.to_jsonl().replace("Layered", "Pyramidal");
+        assert!(RunRecord::from_jsonl(&line).is_err());
+    }
+}

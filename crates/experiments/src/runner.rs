@@ -1,20 +1,29 @@
 //! Deterministic scoped-thread parallel map.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
 /// Applies `f` to every item on `threads` worker threads and returns the
 /// results **in input order** (work is handed out by an atomic cursor, so
 /// scheduling is dynamic but the output is deterministic).
+///
+/// # Panics
+///
+/// If `f` panics for some item, the panic payload is captured on the worker
+/// and re-raised on the calling thread (for the lowest-indexed failing item,
+/// so the surfaced failure is deterministic). Remaining items may or may not
+/// have been evaluated by then; their results are discarded.
 pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    type Caught<R> = Result<R, Box<dyn std::any::Any + Send>>;
     let threads = threads.max(1).min(items.len().max(1));
     let cursor = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel();
+    let (tx, rx) = mpsc::channel::<(usize, Caught<R>)>();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let tx = tx.clone();
@@ -25,17 +34,35 @@ where
                 if i >= items.len() {
                     break;
                 }
-                tx.send((i, f(i, &items[i]))).expect("receiver alive");
+                let result = catch_unwind(AssertUnwindSafe(|| f(i, &items[i])));
+                let failed = result.is_err();
+                tx.send((i, result)).expect("receiver alive");
+                if failed {
+                    // This worker stops; the others drain the remaining
+                    // items, and the collector re-raises the payload.
+                    break;
+                }
             });
         }
         drop(tx);
     });
-    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let mut out: Vec<Option<Caught<R>>> = (0..items.len()).map(|_| None).collect();
     for (i, r) in rx {
         out[i] = Some(r);
     }
+    // Re-raise the lowest-indexed captured panic (a panicked worker stops,
+    // so later indices may be unvisited — that is fine, we are unwinding).
+    if let Some(slot) = out.iter_mut().find(|r| matches!(r, Some(Err(_)))) {
+        let Some(Err(payload)) = slot.take() else {
+            unreachable!("just matched Some(Err)")
+        };
+        resume_unwind(payload);
+    }
     out.into_iter()
-        .map(|r| r.expect("every index visited exactly once"))
+        .map(|r| {
+            r.expect("every index visited exactly once")
+                .expect("panics re-raised above")
+        })
         .collect()
 }
 
@@ -74,5 +101,45 @@ mod tests {
     fn more_threads_than_items() {
         let items = vec![5];
         assert_eq!(parallel_map(&items, 64, |_, &x| x), vec![5]);
+    }
+
+    #[test]
+    fn worker_panic_payload_reaches_the_caller() {
+        let items: Vec<usize> = (0..16).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map(&items, 4, |_, &x| {
+                if x == 7 {
+                    panic!("boom on item {x}");
+                }
+                x
+            })
+        }))
+        .expect_err("the worker panic must propagate");
+        let message = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| caught.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload is a message");
+        assert!(message.contains("boom on item 7"), "got: {message}");
+    }
+
+    #[test]
+    fn lowest_index_panic_wins() {
+        let items: Vec<usize> = (0..32).collect();
+        for _ in 0..8 {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                parallel_map(&items, 8, |_, &x| {
+                    if x % 2 == 1 {
+                        panic!("odd {x}");
+                    }
+                    x
+                })
+            }))
+            .expect_err("panics must propagate");
+            let message = caught
+                .downcast_ref::<String>()
+                .expect("formatted panic message");
+            assert!(message.contains("odd 1"), "got: {message}");
+        }
     }
 }

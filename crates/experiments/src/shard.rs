@@ -1,0 +1,750 @@
+//! Shard execution and merge: the durable, resumable campaign executor.
+//!
+//! A worker owns one [`ShardSpec`] of a spec's job grid and appends to a
+//! JSONL shard file in an output directory:
+//!
+//! ```text
+//! <dir>/<name>-shard-<index>-of-<count>.jsonl
+//!   line 1:  manifest — normalized spec + spec hash, seed, shard
+//!            coordinates, worker threads
+//!   line 2…: one RunRecord per completed job, in job-id order
+//! ```
+//!
+//! The file is append-only: restarting a worker re-reads it, validates the
+//! manifest against the spec, skips every job already on disk and resumes
+//! with the rest — crash recovery needs no extra bookkeeping. A partially
+//! written trailing line (the signature of a crash mid-append) is dropped
+//! and re-executed.
+//!
+//! [`merge_shards`] reads any set of shard files, refuses mixed seeds or
+//! mismatched spec hashes, verifies full grid coverage (no holes, no
+//! conflicting duplicates) and reassembles the exact [`SpecOutcome`] the
+//! in-process path ([`ExperimentSpec::run`]) produces — bit for bit, which
+//! the `sharding` integration tests and the CI smoke step pin.
+
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use rats_daggen::suite::{self, Scenario};
+use rats_model::CostParams;
+use rats_platform::Platform;
+use rats_sched::{allocate, AllocParams, MappingStrategy};
+use serde::{Deserialize, Serialize, Value};
+
+use crate::campaign::{AlgoResults, PreparedScenario};
+use crate::grid::{JobId, ShardSpec};
+use crate::record::RunRecord;
+use crate::runner::{default_threads, parallel_map};
+use crate::spec::{
+    cluster_by_name, ClusterResults, ExperimentSpec, SpecError, SpecOutcome, SuiteSpec,
+};
+
+/// Number of jobs evaluated between appends — the upper bound on work a
+/// crash can lose per cluster batch.
+const WRITE_CHUNK: usize = 256;
+
+/// Current shard-file format version.
+const FORMAT: u64 = 1;
+
+/// First line of every shard file: what was run, under which addressing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardManifest {
+    /// The campaign, normalized (no `shard`, no `threads`).
+    pub spec: ExperimentSpec,
+    /// [`ExperimentSpec::spec_hash`] of `spec` — merge's compatibility key.
+    pub spec_hash: String,
+    /// Workload seed (also inside `spec`; kept explicit so mixed-seed
+    /// merges are rejected with a precise error).
+    pub seed: u64,
+    /// Which shard of the grid this file covers.
+    pub shard: ShardSpec,
+    /// Worker threads used (provenance only — results do not depend on it).
+    pub threads: usize,
+}
+
+impl Serialize for ShardManifest {
+    fn serialize(&self) -> Value {
+        let mut t = Value::table();
+        t.insert("kind", "manifest")
+            .insert("format", &FORMAT)
+            .insert("spec", &self.spec)
+            .insert("spec_hash", &self.spec_hash)
+            .insert("seed", &self.seed)
+            .insert("shard", &self.shard)
+            .insert("threads", &self.threads);
+        t
+    }
+}
+
+impl Deserialize for ShardManifest {
+    fn deserialize(v: &Value) -> Result<Self, serde::Error> {
+        let kind: String = v.field("kind")?;
+        if kind != "manifest" {
+            return Err(serde::Error::new(format!(
+                "expected a manifest line, got kind `{kind}`"
+            )));
+        }
+        let format: u64 = v.field("format")?;
+        if format != FORMAT {
+            return Err(serde::Error::new(format!(
+                "unsupported shard file format {format} (this build reads {FORMAT})"
+            )));
+        }
+        Ok(Self {
+            spec: v.field("spec")?,
+            spec_hash: v.field("spec_hash")?,
+            seed: v.field("seed")?,
+            shard: v.field("shard")?,
+            threads: v.field("threads")?,
+        })
+    }
+}
+
+/// Outcome of one [`run_shard`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRun {
+    /// The shard file written or extended.
+    pub path: PathBuf,
+    /// Jobs evaluated by this call.
+    pub executed: usize,
+    /// Jobs already on disk and skipped (resume).
+    pub skipped: usize,
+    /// Total jobs in the shard.
+    pub total: usize,
+}
+
+/// Errors from executing a shard.
+#[derive(Debug)]
+pub enum ShardError {
+    /// The spec is not executable.
+    Spec(SpecError),
+    /// Filesystem failure.
+    Io(String),
+    /// An existing shard file is unreadable (bad manifest or a corrupt
+    /// record line that is not the final one).
+    Corrupt {
+        /// Offending file.
+        path: PathBuf,
+        /// 1-based line number.
+        line: usize,
+        /// Parse failure detail.
+        message: String,
+    },
+    /// An existing shard file belongs to a different campaign, seed or
+    /// shard coordinate.
+    ManifestMismatch {
+        /// Offending file.
+        path: PathBuf,
+        /// What differed.
+        message: String,
+    },
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Spec(e) => write!(f, "{e}"),
+            ShardError::Io(m) => write!(f, "shard io error: {m}"),
+            ShardError::Corrupt {
+                path,
+                line,
+                message,
+            } => write!(f, "corrupt shard file {path:?} line {line}: {message}"),
+            ShardError::ManifestMismatch { path, message } => {
+                write!(f, "shard file {path:?} does not match the spec: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<SpecError> for ShardError {
+    fn from(e: SpecError) -> Self {
+        ShardError::Spec(e)
+    }
+}
+
+impl From<std::io::Error> for ShardError {
+    fn from(e: std::io::Error) -> Self {
+        ShardError::Io(e.to_string())
+    }
+}
+
+/// The file name a spec's shard writes: `<name>-shard-<i>-of-<n>.jsonl`
+/// (non-portable characters in the campaign name replaced by `-`).
+pub fn shard_file_name(spec: &ExperimentSpec) -> String {
+    let shard = spec.shard.unwrap_or_default();
+    let name: String = spec
+        .name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    format!("{name}-shard-{}-of-{}.jsonl", shard.index, shard.count)
+}
+
+/// Executes the spec's shard (default: the full grid as shard `0/1`),
+/// appending one JSONL record per job to `dir/`[`shard_file_name`]. Jobs
+/// already recorded are skipped, so re-running after a crash resumes where
+/// the file ends. `threads` overrides the spec's thread count; the value
+/// actually used is recorded in the manifest.
+pub fn run_shard(
+    spec: &ExperimentSpec,
+    dir: &Path,
+    threads: Option<usize>,
+) -> Result<ShardRun, ShardError> {
+    spec.validate()?;
+    let shard = spec.shard.unwrap_or_default();
+    let threads = threads
+        .or(spec.threads)
+        .unwrap_or_else(default_threads)
+        .max(1);
+    let manifest = ShardManifest {
+        spec: spec.normalized(),
+        spec_hash: spec.spec_hash(),
+        seed: spec.seed,
+        shard,
+        threads,
+    };
+
+    fs::create_dir_all(dir)?;
+    let path = dir.join(shard_file_name(spec));
+    let existing = if path.exists() {
+        match read_shard_file(&path) {
+            Ok(loaded) => Some(loaded),
+            // A crash between creating the file and committing the manifest
+            // line leaves an empty or single-unterminated-line file. No
+            // record can have landed yet, so start the shard over instead
+            // of wedging every future resume on the corrupt line 1.
+            Err(ShardError::Corrupt { line: 1, .. })
+                if fs::read_to_string(&path)
+                    .map(|text| text.lines().count() <= 1)
+                    .unwrap_or(false) =>
+            {
+                None
+            }
+            Err(e) => return Err(e),
+        }
+    } else {
+        None
+    };
+    let mut done: HashSet<u64> = HashSet::new();
+    if let Some(loaded) = existing {
+        if loaded.manifest.seed != manifest.seed {
+            return Err(ShardError::ManifestMismatch {
+                path,
+                message: format!(
+                    "seed {} on disk vs {} in the spec",
+                    loaded.manifest.seed, manifest.seed
+                ),
+            });
+        }
+        if loaded.manifest.spec_hash != manifest.spec_hash {
+            return Err(ShardError::ManifestMismatch {
+                path,
+                message: format!(
+                    "spec hash {} on disk vs {}",
+                    loaded.manifest.spec_hash, manifest.spec_hash
+                ),
+            });
+        }
+        if loaded.manifest.shard != shard {
+            return Err(ShardError::ManifestMismatch {
+                path,
+                message: format!("shard {} on disk vs {shard}", loaded.manifest.shard),
+            });
+        }
+        if loaded.truncated_tail {
+            // Drop the uncommitted line a crash left behind; its job re-runs.
+            rewrite_without_tail(&path, &loaded)?;
+        }
+        done.extend(loaded.records.iter().map(|r| r.job));
+    } else {
+        // `create` truncates, which is exactly right for the
+        // crashed-before-manifest recovery path.
+        let mut file = fs::File::create(&path)?;
+        writeln!(
+            file,
+            "{}",
+            serde_json::to_string(&manifest).expect("manifests always serialize")
+        )?;
+    }
+
+    let grid = spec.grid();
+    let todo: Vec<JobId> = grid
+        .shard_jobs(shard)
+        .filter(|j| !done.contains(&j.0))
+        .collect();
+    let total = grid.shard_len(shard) as usize;
+    let skipped = total - todo.len();
+    if todo.is_empty() {
+        return Ok(ShardRun {
+            path,
+            executed: 0,
+            skipped,
+            total,
+        });
+    }
+
+    let strategies: Vec<MappingStrategy> = spec
+        .strategies
+        .iter()
+        .map(|s| s.to_strategy().map_err(SpecError::Strategy))
+        .collect::<Result<_, _>>()?;
+    let cost = CostParams::paper();
+    let scenarios: Vec<Scenario> = match spec.suite {
+        SuiteSpec::Paper => suite::paper_suite(&cost, spec.seed),
+        SuiteSpec::Mini => suite::mini_suite(&cost, spec.seed),
+    };
+    assert_eq!(
+        scenarios.len(),
+        grid.scenarios(),
+        "suite size constants out of sync with the generators"
+    );
+
+    let mut file = fs::OpenOptions::new().append(true).open(&path)?;
+    let executed = todo.len();
+    for (ci, cluster_name) in spec.clusters.iter().enumerate() {
+        let cluster_jobs: Vec<JobId> = todo
+            .iter()
+            .copied()
+            .filter(|&j| grid.coords(j).cluster == ci)
+            .collect();
+        if cluster_jobs.is_empty() {
+            continue;
+        }
+        let platform = Platform::from_spec(&cluster_by_name(cluster_name)?);
+        // Step one (the shared HCPA allocation) only for the scenarios this
+        // shard actually touches on this cluster.
+        let needed: Vec<usize> = {
+            let set: HashSet<usize> = cluster_jobs
+                .iter()
+                .map(|&j| grid.coords(j).scenario)
+                .collect();
+            let mut v: Vec<usize> = set.into_iter().collect();
+            v.sort_unstable();
+            v
+        };
+        let scenario_refs: Vec<&Scenario> = needed.iter().map(|&n| &scenarios[n]).collect();
+        let allocs = parallel_map(&scenario_refs, threads, |_, s| {
+            allocate(&s.dag, &platform, AllocParams::default())
+        });
+        let prepared: BTreeMap<usize, PreparedScenario> = needed
+            .iter()
+            .zip(allocs)
+            .map(|(&n, alloc)| {
+                (
+                    n,
+                    PreparedScenario {
+                        scenario: scenarios[n].clone(),
+                        alloc,
+                    },
+                )
+            })
+            .collect();
+        for chunk in cluster_jobs.chunks(WRITE_CHUNK) {
+            let results = parallel_map(chunk, threads, |_, &job| {
+                let c = grid.coords(job);
+                prepared[&c.scenario].evaluate(&platform, strategies[c.strategy])
+            });
+            for (&job, result) in chunk.iter().zip(&results) {
+                let c = grid.coords(job);
+                let record = RunRecord::new(
+                    job.0,
+                    cluster_name,
+                    spec.strategies[c.strategy].clone(),
+                    spec.seed,
+                    result,
+                );
+                writeln!(file, "{}", record.to_jsonl())?;
+            }
+        }
+    }
+    Ok(ShardRun {
+        path,
+        executed,
+        skipped,
+        total,
+    })
+}
+
+/// A parsed shard file.
+#[derive(Debug, Clone)]
+pub struct ShardFile {
+    /// The manifest on line 1.
+    pub manifest: ShardManifest,
+    /// Every well-formed record.
+    pub records: Vec<RunRecord>,
+    /// Whether an unparseable **final** line was dropped (crash mid-append).
+    pub truncated_tail: bool,
+}
+
+/// Reads and validates one shard file. A corrupt **or unterminated** final
+/// line is tolerated (reported via [`ShardFile::truncated_tail`]);
+/// corruption anywhere else is an error.
+///
+/// A record only counts once its trailing newline hit the disk: the record
+/// bytes and the `\n` are separate writes, so a crash between them leaves a
+/// line that parses but is not yet committed — accepting it would make the
+/// next append glue two records onto one line.
+pub fn read_shard_file(path: &Path) -> Result<ShardFile, ShardError> {
+    let text = fs::read_to_string(path).map_err(|e| ShardError::Io(format!("{path:?}: {e}")))?;
+    let terminated = text.ends_with('\n');
+    let lines: Vec<&str> = text.lines().collect();
+    let corrupt = |line: usize, message: String| ShardError::Corrupt {
+        path: path.to_path_buf(),
+        line,
+        message,
+    };
+    let first = lines
+        .first()
+        .ok_or_else(|| corrupt(1, "empty shard file".into()))?;
+    if lines.len() == 1 && !terminated {
+        return Err(corrupt(1, "unterminated manifest line".into()));
+    }
+    let manifest: ShardManifest =
+        serde_json::from_str(first).map_err(|e| corrupt(1, e.to_string()))?;
+    if manifest.spec.spec_hash() != manifest.spec_hash {
+        return Err(corrupt(
+            1,
+            format!(
+                "manifest hash {} does not match its own spec ({})",
+                manifest.spec_hash,
+                manifest.spec.spec_hash()
+            ),
+        ));
+    }
+    let mut records = Vec::with_capacity(lines.len().saturating_sub(1));
+    let mut truncated_tail = false;
+    for (i, line) in lines.iter().enumerate().skip(1) {
+        let is_final = i + 1 == lines.len();
+        if is_final && !terminated {
+            // A crash mid-append leaves exactly one uncommitted final line.
+            truncated_tail = true;
+            continue;
+        }
+        match RunRecord::from_jsonl(line) {
+            Ok(r) => records.push(r),
+            Err(_) if is_final => truncated_tail = true,
+            Err(e) => return Err(corrupt(i + 1, e.to_string())),
+        }
+    }
+    Ok(ShardFile {
+        manifest,
+        records,
+        truncated_tail,
+    })
+}
+
+/// Rewrites a shard file from its parsed good lines, dropping the partial
+/// tail. The rewrite goes through a temp file + rename so a second crash
+/// cannot corrupt the journal further.
+fn rewrite_without_tail(path: &Path, loaded: &ShardFile) -> Result<(), ShardError> {
+    let tmp = path.with_extension("jsonl.tmp");
+    {
+        let mut file = fs::File::create(&tmp)?;
+        writeln!(
+            file,
+            "{}",
+            serde_json::to_string(&loaded.manifest).expect("manifests always serialize")
+        )?;
+        for r in &loaded.records {
+            writeln!(file, "{}", r.to_jsonl())?;
+        }
+    }
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Errors from merging shard files.
+#[derive(Debug)]
+pub enum MergeError {
+    /// No input files.
+    NoShards,
+    /// A shard file failed to read or parse (see [`ShardError`]).
+    Shard(ShardError),
+    /// The embedded spec is not executable (e.g. a hand-edited manifest).
+    Spec(SpecError),
+    /// Two shard files were generated under different workload seeds —
+    /// they describe different scenario populations and must never be
+    /// combined.
+    SeedMismatch {
+        /// Seed of the first file read.
+        first: u64,
+        /// The conflicting seed.
+        other: u64,
+        /// File carrying the conflicting seed.
+        path: PathBuf,
+    },
+    /// Two shard files hash to different campaigns.
+    SpecMismatch {
+        /// Hash of the first file read.
+        first: String,
+        /// The conflicting hash.
+        other: String,
+        /// File carrying the conflicting hash.
+        path: PathBuf,
+    },
+    /// A record contradicts the grid addressing or an identical job id
+    /// already merged with different numbers.
+    RecordMismatch {
+        /// Offending job id.
+        job: u64,
+        /// What disagreed.
+        message: String,
+    },
+    /// The merged set does not cover the whole grid.
+    MissingJobs {
+        /// How many jobs are absent.
+        missing: u64,
+        /// The first few absent ids (diagnostics).
+        first: Vec<u64>,
+        /// Grid size, for context.
+        total: u64,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::NoShards => write!(f, "no shard files to merge"),
+            MergeError::Shard(e) => write!(f, "{e}"),
+            MergeError::Spec(e) => write!(f, "merged spec is invalid: {e}"),
+            MergeError::SeedMismatch { first, other, path } => write!(
+                f,
+                "refusing to merge mixed seeds: {path:?} was generated under seed {other}, \
+                 other shards under seed {first} (different seeds are different populations)"
+            ),
+            MergeError::SpecMismatch { first, other, path } => write!(
+                f,
+                "refusing to merge different campaigns: {path:?} has spec hash {other}, \
+                 other shards have {first}"
+            ),
+            MergeError::RecordMismatch { job, message } => {
+                write!(f, "record for job #{job} is inconsistent: {message}")
+            }
+            MergeError::MissingJobs {
+                missing,
+                first,
+                total,
+            } => write!(
+                f,
+                "incomplete campaign: {missing} of {total} jobs missing (first absent ids: \
+                 {first:?}) — run the remaining shards or resume the crashed ones"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+impl From<ShardError> for MergeError {
+    fn from(e: ShardError) -> Self {
+        MergeError::Shard(e)
+    }
+}
+
+impl From<SpecError> for MergeError {
+    fn from(e: SpecError) -> Self {
+        MergeError::Spec(e)
+    }
+}
+
+/// All `*.jsonl` files of a directory, name-sorted (the natural input to
+/// [`merge_shards`] when every worker wrote to one output directory).
+pub fn collect_shard_files(dir: &Path) -> Result<Vec<PathBuf>, MergeError> {
+    let mut out = Vec::new();
+    let entries = fs::read_dir(dir)
+        .map_err(|e| MergeError::Shard(ShardError::Io(format!("{dir:?}: {e}"))))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| MergeError::Shard(ShardError::Io(e.to_string())))?;
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "jsonl") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Merges shard files back into the exact in-process campaign outcome.
+///
+/// Validation: all manifests must agree on seed and spec hash (shard
+/// *granularity* may differ — a 2-way and a 3-way split of the same
+/// campaign address the same job ids and merge fine); every record must sit
+/// at its grid address; duplicates must agree bit-for-bit; and the union
+/// must cover the grid with no holes. The returned [`SpecOutcome`] is
+/// bit-identical to what [`ExperimentSpec::run`] returns for the same
+/// (normalized) spec.
+pub fn merge_shards(paths: &[PathBuf]) -> Result<SpecOutcome, MergeError> {
+    let mut files = Vec::with_capacity(paths.len());
+    for path in paths {
+        files.push((path.clone(), read_shard_file(path)?));
+    }
+    let Some((_, reference)) = files.first() else {
+        return Err(MergeError::NoShards);
+    };
+    let spec = reference.manifest.spec.clone();
+    let seed = reference.manifest.seed;
+    let hash = reference.manifest.spec_hash.clone();
+    for (path, file) in &files {
+        if file.manifest.seed != seed {
+            return Err(MergeError::SeedMismatch {
+                first: seed,
+                other: file.manifest.seed,
+                path: path.clone(),
+            });
+        }
+        if file.manifest.spec_hash != hash {
+            return Err(MergeError::SpecMismatch {
+                first: hash,
+                other: file.manifest.spec_hash.clone(),
+                path: path.clone(),
+            });
+        }
+    }
+    spec.validate()?;
+    let grid = spec.grid();
+
+    let mut by_job: BTreeMap<u64, RunRecord> = BTreeMap::new();
+    for (_, file) in &files {
+        for record in &file.records {
+            let mismatch = |message: String| MergeError::RecordMismatch {
+                job: record.job,
+                message,
+            };
+            if record.job >= grid.len() {
+                return Err(mismatch(format!(
+                    "job id out of range for the {}-job grid",
+                    grid.len()
+                )));
+            }
+            if record.seed != seed {
+                return Err(mismatch(format!(
+                    "record seed {} differs from the campaign seed {seed}",
+                    record.seed
+                )));
+            }
+            let c = grid.coords(JobId(record.job));
+            if spec.clusters[c.cluster] != record.cluster {
+                return Err(mismatch(format!(
+                    "cluster `{}` does not match grid address `{}`",
+                    record.cluster, spec.clusters[c.cluster]
+                )));
+            }
+            if spec.strategies[c.strategy] != record.strategy {
+                return Err(mismatch(format!(
+                    "strategy {:?} does not match grid address {:?}",
+                    record.strategy, spec.strategies[c.strategy]
+                )));
+            }
+            if c.scenario != record.scenario_id {
+                return Err(mismatch(format!(
+                    "scenario id {} does not match grid address {}",
+                    record.scenario_id, c.scenario
+                )));
+            }
+            if let Some(existing) = by_job.get(&record.job) {
+                let identical = existing.makespan.to_bits() == record.makespan.to_bits()
+                    && existing.work.to_bits() == record.work.to_bits()
+                    && existing.family == record.family;
+                if !identical {
+                    return Err(mismatch(
+                        "duplicate job with different results (mixed campaign outputs?)".into(),
+                    ));
+                }
+            } else {
+                by_job.insert(record.job, record.clone());
+            }
+        }
+    }
+
+    let total = grid.len();
+    if (by_job.len() as u64) < total {
+        let first: Vec<u64> = (0..total)
+            .filter(|j| !by_job.contains_key(j))
+            .take(5)
+            .collect();
+        return Err(MergeError::MissingJobs {
+            missing: total - by_job.len() as u64,
+            first,
+            total,
+        });
+    }
+
+    let strategies: Vec<MappingStrategy> = spec
+        .strategies
+        .iter()
+        .map(|s| s.to_strategy().map_err(SpecError::Strategy))
+        .collect::<Result<_, SpecError>>()?;
+    let mut clusters = Vec::with_capacity(spec.clusters.len());
+    for (ci, cluster) in spec.clusters.iter().enumerate() {
+        let mut results = Vec::with_capacity(strategies.len());
+        for (si, strategy) in strategies.iter().enumerate() {
+            let runs = (0..grid.scenarios())
+                .map(|n| {
+                    by_job[&grid
+                        .id(crate::grid::JobCoords {
+                            cluster: ci,
+                            scenario: n,
+                            strategy: si,
+                        })
+                        .0]
+                        .result()
+                })
+                .collect();
+            results.push(AlgoResults {
+                name: strategy.name().to_string(),
+                runs,
+            });
+        }
+        clusters.push(ClusterResults {
+            cluster: cluster.clone(),
+            results,
+        });
+    }
+    Ok(SpecOutcome { spec, clusters })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_file_names_are_filesystem_safe() {
+        let mut spec = ExperimentSpec::naive("a b/c", "chti", SuiteSpec::Mini, 1);
+        spec.shard = Some(ShardSpec::new(1, 2));
+        assert_eq!(shard_file_name(&spec), "a-b-c-shard-1-of-2.jsonl");
+        spec.shard = None;
+        assert_eq!(shard_file_name(&spec), "a-b-c-shard-0-of-1.jsonl");
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let spec = ExperimentSpec::naive("m", "grillon", SuiteSpec::Mini, 5);
+        let manifest = ShardManifest {
+            spec: spec.normalized(),
+            spec_hash: spec.spec_hash(),
+            seed: spec.seed,
+            shard: ShardSpec::new(1, 3),
+            threads: 4,
+        };
+        let line = serde_json::to_string(&manifest).unwrap();
+        let back: ShardManifest = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, manifest);
+    }
+
+    #[test]
+    fn merge_of_nothing_is_an_error() {
+        assert!(matches!(merge_shards(&[]), Err(MergeError::NoShards)));
+    }
+}

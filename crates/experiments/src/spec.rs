@@ -41,6 +41,7 @@ use rats_sched::{MappingStrategy, StrategyError};
 use serde::{Deserialize, Serialize, Value};
 
 use crate::campaign::{run_campaign, AlgoResults, PreparedScenario};
+use crate::grid::{JobGrid, ShardSpec};
 use crate::runner::default_threads;
 use crate::stats;
 
@@ -60,6 +61,20 @@ impl SuiteSpec {
             SuiteSpec::Paper => "paper",
             SuiteSpec::Mini => "mini",
         }
+    }
+
+    /// Number of scenarios the suite generates — known without generating a
+    /// single DAG, so job grids and merge coverage checks stay cheap.
+    pub fn len(&self) -> usize {
+        match self {
+            SuiteSpec::Paper => suite::SUITE_COUNT,
+            SuiteSpec::Mini => suite::MINI_COUNT,
+        }
+    }
+
+    /// Suites are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
     }
 }
 
@@ -214,6 +229,11 @@ pub struct ExperimentSpec {
     pub strategies: Vec<StrategySpec>,
     /// Worker threads (`None` = all cores).
     pub threads: Option<usize>,
+    /// Restrict execution to one shard of the job grid (`None` = the full
+    /// campaign). Serialized as a `[shard]` table with `index` and `count`;
+    /// excluded (like `threads`) from [`Self::spec_hash`], so every shard of
+    /// a campaign shares one hash.
+    pub shard: Option<ShardSpec>,
 }
 
 impl ExperimentSpec {
@@ -236,6 +256,7 @@ impl ExperimentSpec {
                 },
             ],
             threads: None,
+            shard: None,
         }
     }
 
@@ -277,13 +298,55 @@ impl ExperimentSpec {
         for c in &self.clusters {
             cluster_by_name(c)?;
         }
+        if let Some(shard) = self.shard {
+            shard.validate().map_err(SpecError::Invalid)?;
+        }
         Ok(())
     }
 
-    /// Executes the campaign: generate the suite, share the HCPA allocation
-    /// per scenario, evaluate every strategy on every cluster.
+    /// The job grid this spec enumerates: `clusters × scenarios ×
+    /// strategies`, with stable [`JobId`](crate::grid::JobId) addressing.
+    pub fn grid(&self) -> JobGrid {
+        JobGrid::new(self.clusters.len(), self.suite.len(), self.strategies.len())
+    }
+
+    /// The spec with execution-only fields (`shard`, `threads`) cleared —
+    /// what shard manifests embed and [`Self::spec_hash`] digests.
+    pub fn normalized(&self) -> Self {
+        let mut spec = self.clone();
+        spec.shard = None;
+        spec.threads = None;
+        spec
+    }
+
+    /// A stable content hash (FNV-1a 64, hex) of the normalized spec.
+    /// Shards of the same campaign share it; merge refuses to combine shard
+    /// files whose hashes differ.
+    pub fn spec_hash(&self) -> String {
+        let text = serde_json::to_string(&self.normalized()).expect("specs always serialize");
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in text.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("{h:016x}")
+    }
+
+    /// Executes the campaign **in-process**: generate the suite, share the
+    /// HCPA allocation per scenario, evaluate every strategy on every
+    /// cluster. A spec that selects a proper shard is rejected — partial
+    /// grids go through the shard executor
+    /// ([`shard::run_shard`](crate::shard::run_shard)), whose JSONL output
+    /// merges back to exactly what this method returns.
     pub fn run(&self) -> Result<SpecOutcome, SpecError> {
         self.validate()?;
+        if self.shard.is_some_and(|s| !s.is_full()) {
+            return Err(SpecError::Invalid(format!(
+                "spec selects shard {} — run it with the shard executor \
+                 (`campaign run`), or clear `shard` for in-process execution",
+                self.shard.expect("just checked")
+            )));
+        }
         let threads = self.threads.unwrap_or_else(default_threads);
         let strategies: Vec<MappingStrategy> = self
             .strategies
@@ -323,6 +386,9 @@ impl Serialize for ExperimentSpec {
         if let Some(threads) = self.threads {
             t.insert("threads", &threads);
         }
+        if let Some(shard) = &self.shard {
+            t.insert("shard", shard);
+        }
         t
     }
 }
@@ -346,6 +412,7 @@ impl Deserialize for ExperimentSpec {
             clusters: v.field("clusters")?,
             strategies: v.field("strategies")?,
             threads: v.field_or("threads", None)?,
+            shard: v.field_or("shard", None)?,
         })
     }
 }
@@ -435,7 +502,7 @@ impl fmt::Display for SpecError {
 
 impl std::error::Error for SpecError {}
 
-fn cluster_by_name(name: &str) -> Result<ClusterSpec, SpecError> {
+pub(crate) fn cluster_by_name(name: &str) -> Result<ClusterSpec, SpecError> {
     ClusterSpec::paper_clusters()
         .into_iter()
         .find(|c| c.name == name)
@@ -508,6 +575,64 @@ mod tests {
         assert_eq!(spec.seed, crate::campaign::BASE_SEED);
         assert_eq!(spec.suite, SuiteSpec::Mini);
         assert_eq!(spec.threads, None);
+        assert_eq!(spec.shard, None);
+    }
+
+    #[test]
+    fn shard_round_trips_toml_and_json() {
+        let mut spec = sample();
+        spec.shard = Some(ShardSpec::new(2, 5));
+        let toml = spec.to_toml();
+        assert!(toml.contains("[shard]"), "got:\n{toml}");
+        assert_eq!(ExperimentSpec::from_toml(&toml).unwrap(), spec);
+        let json = spec.to_json();
+        assert_eq!(ExperimentSpec::from_json(&json).unwrap(), spec);
+        // A hand-written document with an explicit shard table.
+        let doc = "name = \"w\"\nclusters = [\"chti\"]\n[shard]\nindex = 1\ncount = 3\n\
+                   \n[[strategies]]\nkind = \"hcpa\"\n";
+        let parsed = ExperimentSpec::from_toml(doc).unwrap();
+        assert_eq!(parsed.shard, Some(ShardSpec::new(1, 3)));
+    }
+
+    #[test]
+    fn shard_bounds_are_validated_and_gate_in_process_runs() {
+        let mut spec = ExperimentSpec::naive("s", "chti", SuiteSpec::Mini, 1);
+        spec.shard = Some(ShardSpec::new(3, 3));
+        assert!(matches!(spec.validate(), Err(SpecError::Invalid(_))));
+        spec.shard = Some(ShardSpec::new(1, 3));
+        assert!(spec.validate().is_ok());
+        // A proper shard cannot run in-process...
+        assert!(matches!(spec.run(), Err(SpecError::Invalid(_))));
+        // ...but the trivial 0/1 shard is the full campaign.
+        spec.shard = Some(ShardSpec::default());
+        spec.threads = Some(2);
+        assert!(spec.run().is_ok());
+    }
+
+    #[test]
+    fn spec_hash_ignores_execution_fields_only() {
+        let base = sample();
+        let mut sharded = base.clone();
+        sharded.shard = Some(ShardSpec::new(1, 4));
+        sharded.threads = Some(3);
+        assert_eq!(base.spec_hash(), sharded.spec_hash());
+        assert_eq!(sharded.normalized(), base.normalized());
+        let mut reseeded = base.clone();
+        reseeded.seed += 1;
+        assert_ne!(base.spec_hash(), reseeded.spec_hash());
+        let mut restrategized = base.clone();
+        restrategized.strategies.pop();
+        assert_ne!(base.spec_hash(), restrategized.spec_hash());
+    }
+
+    #[test]
+    fn grid_matches_spec_shape() {
+        let spec = sample();
+        let grid = spec.grid();
+        assert_eq!(grid.clusters(), 1);
+        assert_eq!(grid.scenarios(), SuiteSpec::Mini.len());
+        assert_eq!(grid.strategies(), 4);
+        assert_eq!(SuiteSpec::Paper.len(), 557);
     }
 
     #[test]

@@ -1,11 +1,20 @@
 //! Parameter tuning: the paper's section IV-C.
+//!
+//! Tuning sweeps are ordinary campaigns: each grid point is a
+//! [`MappingStrategy`] value, the points are evaluated by the same executor
+//! as the headline comparison ([`evaluate_strategies`]) — and therefore by
+//! the same sharded job grid — and the figures/tables are pure assemblies
+//! over the per-strategy results ([`sweep_tables`]). In-process and
+//! merged-from-shards paths share the assembly code, so they agree bit for
+//! bit.
 
 use rats_daggen::suite::AppFamily;
 use rats_platform::Platform;
 use rats_sched::MappingStrategy;
 
-use crate::campaign::PreparedScenario;
+use crate::campaign::{evaluate_strategies, AlgoResults, PreparedScenario, RunResult};
 use crate::runner::parallel_map;
+use crate::spec::StrategySpec;
 
 /// The `mindelta` grid of Figure 4 (magnitudes of the paper's negative
 /// values −0.75 … 0).
@@ -27,6 +36,65 @@ pub struct TunedParams {
     pub maxdelta: f64,
     /// Time-cost efficiency threshold.
     pub minrho: f64,
+}
+
+/// The delta-strategy grid points of Figure 4, `mindelta`-major
+/// (`MINDELTA_GRID[i] × MAXDELTA_GRID[j]` flattens to index
+/// `i * MAXDELTA_GRID.len() + j`).
+pub fn delta_strategies() -> Vec<MappingStrategy> {
+    MINDELTA_GRID
+        .iter()
+        .flat_map(|&mind| {
+            MAXDELTA_GRID
+                .iter()
+                .map(move |&maxd| MappingStrategy::rats_delta(mind, maxd))
+        })
+        .collect()
+}
+
+/// The time-cost grid points of Figure 5: every [`MINRHO_GRID`] value with
+/// packing enabled, then the same values with packing disabled.
+pub fn rho_strategies() -> Vec<MappingStrategy> {
+    [true, false]
+        .iter()
+        .flat_map(|&packing| {
+            MINRHO_GRID
+                .iter()
+                .map(move |&rho| MappingStrategy::rats_time_cost(rho, packing))
+        })
+        .collect()
+}
+
+/// The full tuning sweep as one flat strategy list — the HCPA baseline
+/// first, then [`delta_strategies`], then [`rho_strategies`] — ready to run
+/// through the campaign job grid, in-process or sharded. [`sweep_tables`]
+/// reassembles Figure 4/5 and Table IV from results in this order.
+pub fn sweep_strategies() -> Vec<MappingStrategy> {
+    let mut out = vec![MappingStrategy::Hcpa];
+    out.extend(delta_strategies());
+    out.extend(rho_strategies());
+    out
+}
+
+/// [`sweep_strategies`] in data form, ready to drop into an
+/// [`ExperimentSpec`](crate::spec::ExperimentSpec)'s strategy list.
+pub fn sweep_specs() -> Vec<StrategySpec> {
+    sweep_strategies()
+        .into_iter()
+        .map(StrategySpec::from_strategy)
+        .collect()
+}
+
+/// Mean of `makespan / baseline` over one strategy's scenario-ordered runs
+/// — the single summation both the in-process and the merged paths use, so
+/// their averages are bit-identical.
+fn mean_relative(runs: &[RunResult], base: &[f64]) -> f64 {
+    assert_eq!(runs.len(), base.len(), "misaligned sweep");
+    runs.iter()
+        .zip(base)
+        .map(|(r, &b)| r.makespan / b)
+        .sum::<f64>()
+        / base.len() as f64
 }
 
 /// Baseline (HCPA) makespans for a prepared set.
@@ -73,28 +141,23 @@ impl<'a> TuningSet<'a> {
         let runs = parallel_map(self.prepared, threads, |_, p| {
             p.evaluate(self.platform, strategy)
         });
-        runs.iter()
-            .zip(&self.base)
-            .map(|(r, &b)| r.makespan / b)
-            .sum::<f64>()
-            / self.prepared.len() as f64
+        mean_relative(&runs, &self.base)
+    }
+
+    /// Runs a grid of strategies through the shared campaign executor and
+    /// returns one average per strategy, in order.
+    fn sweep_means(&self, strategies: &[MappingStrategy], threads: usize) -> Vec<f64> {
+        evaluate_strategies(self.prepared, self.platform, strategies, threads)
+            .iter()
+            .map(|runs| mean_relative(runs, &self.base))
+            .collect()
     }
 
     /// Figure 4: the average relative makespan of the delta strategy for
     /// every `(mindelta, maxdelta)` grid point. Returns `grid[i][j]` for
     /// `MINDELTA_GRID[i]` × `MAXDELTA_GRID[j]`.
     pub fn delta_grid(&self, threads: usize) -> Vec<Vec<f64>> {
-        MINDELTA_GRID
-            .iter()
-            .map(|&mind| {
-                MAXDELTA_GRID
-                    .iter()
-                    .map(|&maxd| {
-                        self.avg_relative_makespan(MappingStrategy::rats_delta(mind, maxd), threads)
-                    })
-                    .collect()
-            })
-            .collect()
+        delta_grid_rows(&self.sweep_means(&delta_strategies(), threads))
     }
 
     /// Figure 5: the average relative makespan of the time-cost strategy as
@@ -102,18 +165,9 @@ impl<'a> TuningSet<'a> {
     /// `(with_packing, without_packing)`, one value per [`MINRHO_GRID`]
     /// entry.
     pub fn rho_curves(&self, threads: usize) -> (Vec<f64>, Vec<f64>) {
-        let curve = |packing: bool| -> Vec<f64> {
-            MINRHO_GRID
-                .iter()
-                .map(|&rho| {
-                    self.avg_relative_makespan(
-                        MappingStrategy::rats_time_cost(rho, packing),
-                        threads,
-                    )
-                })
-                .collect()
-        };
-        (curve(true), curve(false))
+        let means = self.sweep_means(&rho_strategies(), threads);
+        let (with_packing, without_packing) = means.split_at(MINRHO_GRID.len());
+        (with_packing.to_vec(), without_packing.to_vec())
     }
 
     /// Table IV for one application family on one platform: the
@@ -122,29 +176,95 @@ impl<'a> TuningSet<'a> {
     /// strategy's (packing enabled, which the paper found always
     /// preferable).
     pub fn tune_family(&self, threads: usize) -> TunedParams {
-        let mut best_delta = (f64::INFINITY, 0.0, 0.0);
-        for &mind in &MINDELTA_GRID {
-            for &maxd in &MAXDELTA_GRID {
-                let avg =
-                    self.avg_relative_makespan(MappingStrategy::rats_delta(mind, maxd), threads);
-                if avg < best_delta.0 {
-                    best_delta = (avg, mind, maxd);
-                }
+        let delta_means = self.sweep_means(&delta_strategies(), threads);
+        let packing_strategies: Vec<MappingStrategy> = MINRHO_GRID
+            .iter()
+            .map(|&rho| MappingStrategy::rats_time_cost(rho, true))
+            .collect();
+        let rho_means = self.sweep_means(&packing_strategies, threads);
+        tuned_from_means(&delta_means, &rho_means)
+    }
+}
+
+/// Folds flat `mindelta`-major delta averages into Figure 4's
+/// `grid[mindelta][maxdelta]` rows.
+fn delta_grid_rows(means: &[f64]) -> Vec<Vec<f64>> {
+    assert_eq!(means.len(), MINDELTA_GRID.len() * MAXDELTA_GRID.len());
+    means
+        .chunks(MAXDELTA_GRID.len())
+        .map(<[f64]>::to_vec)
+        .collect()
+}
+
+/// Argmin selection of Table IV from the grid averages (strict `<`, grid
+/// order — identical on every path that feeds it).
+fn tuned_from_means(delta_means: &[f64], rho_with_packing_means: &[f64]) -> TunedParams {
+    assert_eq!(delta_means.len(), MINDELTA_GRID.len() * MAXDELTA_GRID.len());
+    assert_eq!(rho_with_packing_means.len(), MINRHO_GRID.len());
+    let mut best_delta = (f64::INFINITY, 0.0, 0.0);
+    for (i, &mind) in MINDELTA_GRID.iter().enumerate() {
+        for (j, &maxd) in MAXDELTA_GRID.iter().enumerate() {
+            let avg = delta_means[i * MAXDELTA_GRID.len() + j];
+            if avg < best_delta.0 {
+                best_delta = (avg, mind, maxd);
             }
         }
-        let mut best_rho = (f64::INFINITY, MINRHO_GRID[0]);
-        for &rho in &MINRHO_GRID {
-            let avg =
-                self.avg_relative_makespan(MappingStrategy::rats_time_cost(rho, true), threads);
-            if avg < best_rho.0 {
-                best_rho = (avg, rho);
-            }
+    }
+    let mut best_rho = (f64::INFINITY, MINRHO_GRID[0]);
+    for (&rho, &avg) in MINRHO_GRID.iter().zip(rho_with_packing_means) {
+        if avg < best_rho.0 {
+            best_rho = (avg, rho);
         }
-        TunedParams {
-            mindelta: best_delta.1,
-            maxdelta: best_delta.2,
-            minrho: best_rho.1,
-        }
+    }
+    TunedParams {
+        mindelta: best_delta.1,
+        maxdelta: best_delta.2,
+        minrho: best_rho.1,
+    }
+}
+
+/// Figure 4, Figure 5 and Table IV, reassembled from per-strategy sweep
+/// results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepTables {
+    /// Figure 4's `grid[mindelta][maxdelta]` of average relative makespans.
+    pub delta_grid: Vec<Vec<f64>>,
+    /// Figure 5's curve with packing enabled, one value per [`MINRHO_GRID`]
+    /// entry.
+    pub rho_with_packing: Vec<f64>,
+    /// Figure 5's curve with packing disabled.
+    pub rho_without_packing: Vec<f64>,
+    /// Table IV's tuned parameter triple.
+    pub tuned: TunedParams,
+}
+
+/// Assembles [`SweepTables`] from scenario-aligned results in
+/// [`sweep_strategies`] order (`results[0]` is the HCPA baseline) — e.g.
+/// the merged output of a sharded tuning campaign. Bit-identical to the
+/// in-process [`TuningSet`] sweeps over the same scenarios.
+///
+/// # Panics
+/// Panics if the result list does not have the sweep's shape.
+pub fn sweep_tables(results: &[AlgoResults]) -> SweepTables {
+    let n_delta = MINDELTA_GRID.len() * MAXDELTA_GRID.len();
+    let n_rho = MINRHO_GRID.len();
+    assert_eq!(
+        results.len(),
+        1 + n_delta + 2 * n_rho,
+        "results are not in sweep_strategies() order"
+    );
+    let base: Vec<f64> = results[0].makespans();
+    let means: Vec<f64> = results[1..]
+        .iter()
+        .map(|algo| mean_relative(&algo.runs, &base))
+        .collect();
+    let (delta_means, rho_means) = means.split_at(n_delta);
+    let (rho_with, rho_without) = rho_means.split_at(n_rho);
+    SweepTables {
+        delta_grid: delta_grid_rows(delta_means),
+        rho_with_packing: rho_with.to_vec(),
+        rho_without_packing: rho_without.to_vec(),
+        tuned: tuned_from_means(delta_means, rho_with),
     }
 }
 
@@ -216,6 +336,60 @@ mod tests {
         assert_eq!(MINDELTA_GRID.len(), 4);
         assert_eq!(MAXDELTA_GRID.len(), 5);
         assert_eq!(MINRHO_GRID.len(), 6);
+    }
+
+    #[test]
+    fn sweep_strategy_list_has_the_documented_shape() {
+        let sweep = sweep_strategies();
+        assert_eq!(sweep.len(), 1 + 4 * 5 + 2 * 6);
+        assert_eq!(sweep[0], MappingStrategy::Hcpa);
+        // mindelta-major delta block: the second entry moves maxdelta.
+        assert_eq!(sweep[1], MappingStrategy::rats_delta(0.0, 0.0));
+        assert_eq!(sweep[2], MappingStrategy::rats_delta(0.0, 0.25));
+        // rho block: packing-enabled first.
+        assert_eq!(sweep[21], MappingStrategy::rats_time_cost(0.2, true));
+        assert_eq!(sweep[27], MappingStrategy::rats_time_cost(0.2, false));
+        // The data form mirrors the strategies one-to-one.
+        let specs = sweep_specs();
+        for (spec, strategy) in specs.iter().zip(&sweep) {
+            assert_eq!(spec.to_strategy().unwrap(), *strategy);
+        }
+    }
+
+    #[test]
+    fn sweep_tables_match_in_process_sweeps_bit_for_bit() {
+        let platform = Platform::from_spec(&ClusterSpec::chti());
+        let prepared: Vec<PreparedScenario> =
+            PreparedScenario::prepare(mini_suite(&CostParams::tiny(), 8), &platform, 2)
+                .into_iter()
+                .take(3)
+                .collect();
+        let strategies = sweep_strategies();
+        let results: Vec<AlgoResults> = strategies
+            .iter()
+            .zip(evaluate_strategies(&prepared, &platform, &strategies, 2))
+            .map(|(s, runs)| AlgoResults {
+                name: s.name().to_string(),
+                runs,
+            })
+            .collect();
+        let tables = sweep_tables(&results);
+
+        let set = TuningSet::new(&prepared, &platform, 2);
+        let grid = set.delta_grid(2);
+        for (row_a, row_b) in tables.delta_grid.iter().zip(&grid) {
+            for (a, b) in row_a.iter().zip(row_b) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        let (with_packing, without_packing) = set.rho_curves(2);
+        for (a, b) in tables.rho_with_packing.iter().zip(&with_packing) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in tables.rho_without_packing.iter().zip(&without_packing) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(tables.tuned, set.tune_family(2));
     }
 
     #[test]

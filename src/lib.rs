@@ -16,7 +16,11 @@
 //! * [`sched`] — CPA/HCPA allocation and the pluggable mapping policies,
 //! * [`sim`] — discrete-event schedule execution,
 //! * [`experiments`] — the paper's evaluation campaign, driven by
-//!   serializable [`experiments::spec::ExperimentSpec`]s.
+//!   serializable [`experiments::spec::ExperimentSpec`]s and executable as
+//!   sharded, resumable jobs ([`experiments::shard`]).
+//!
+//! Single [`Run`]s serialize too: [`RunArtifact`] is the JSONL projection
+//! of a run (provenance + simulated numbers), round-trippable bit-exactly.
 //!
 //! ## Quickstart
 //!
@@ -60,12 +64,15 @@ pub use rats_sim as sim;
 pub use rats_simnet as simnet;
 
 mod pipeline;
+mod record;
 
 pub use pipeline::{Pipeline, Provenance, Run};
+pub use record::RunArtifact;
 
 /// Convenient single-import surface for the most common types.
 pub mod prelude {
     pub use crate::pipeline::{Pipeline, Provenance, Run};
+    pub use crate::record::RunArtifact;
     pub use rats_dag::{EdgeId, TaskGraph, TaskId};
     pub use rats_daggen::{fft_dag, irregular_dag, layered_dag, strassen_dag, DagParams};
     pub use rats_model::{AmdahlLaw, CostParams, TaskCost};

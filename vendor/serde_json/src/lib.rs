@@ -86,6 +86,12 @@ fn write_float(out: &mut String, f: f64) {
     if f.fract() == 0.0 && f.abs() < 1e15 {
         // Keep a decimal point so floats survive the round trip as floats.
         out.push_str(&format!("{f:.1}"));
+    } else if f != 0.0 && (f.abs() >= 1e15 || f.abs() < 1e-6) {
+        // Exponent form for extreme magnitudes: plain `Display` prints the
+        // full digit string, which would read back as a (possibly
+        // overflowing) integer. `{:e}` is shortest-round-trip, so the bit
+        // pattern survives.
+        out.push_str(&format!("{f:e}"));
     } else {
         out.push_str(&f.to_string());
     }
@@ -344,6 +350,27 @@ mod tests {
         let text = to_string(&v).unwrap();
         assert_eq!(text, "1.0");
         assert_eq!(from_str::<Value>(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly_across_magnitudes() {
+        for f in [
+            0.0,
+            -0.0,
+            1.0 / 3.0,
+            1e16,
+            9.999999999999999e301,
+            -2.5e-19,
+            f64::MIN_POSITIVE,
+            f64::EPSILON,
+            f64::MAX,
+        ] {
+            let text = to_string(&Value::Float(f)).unwrap();
+            let Value::Float(back) = from_str::<Value>(&text).unwrap() else {
+                panic!("{f} came back as a non-float from {text:?}");
+            };
+            assert_eq!(back.to_bits(), f.to_bits(), "{f} via {text:?}");
+        }
     }
 
     #[test]

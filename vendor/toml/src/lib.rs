@@ -73,6 +73,10 @@ fn inline(v: &Value) -> Result<String, Error> {
         Value::Float(f) => {
             if f.fract() == 0.0 && f.abs() < 1e15 {
                 format!("{f:.1}")
+            } else if *f != 0.0 && (f.abs() >= 1e15 || f.abs() < 1e-6) {
+                // Exponent form keeps extreme magnitudes round-trippable
+                // (plain `Display` digits would read back as integers).
+                format!("{f:e}")
             } else {
                 f.to_string()
             }
