@@ -24,11 +24,13 @@
 //! functions of a `u64` seed.
 
 mod fft;
+pub mod population;
 mod random;
 mod strassen;
 pub mod suite;
 
 pub use fft::{fft_dag, fft_task_count};
+pub use population::{read_population, write_population, Population, PopulationError};
 pub use random::{irregular_dag, layered_dag, DagParams};
 pub use strassen::{strassen_dag, STRASSEN_TASKS};
 pub use suite::{paper_suite, AppFamily, Scenario};

@@ -1,0 +1,412 @@
+//! Runs declarative campaigns from TOML or JSON spec files — in one
+//! process, sharded by hand, or dispatched across a fault-tolerant
+//! multi-worker pool.
+//!
+//! ```text
+//! campaign <spec.toml|spec.json> [--threads N]
+//!     run the whole campaign in-process and print the report
+//!
+//! campaign run <spec> [--shard I/N] [--out DIR] [--threads N]
+//!     execute one shard of the campaign's job grid, appending JSONL
+//!     records to DIR (default ./shards). Re-running resumes: jobs already
+//!     on disk are skipped.
+//!
+//! campaign merge <DIR|file.jsonl ...> [--figures]
+//!     validate shard files (coverage, seed, spec hash) and print the
+//!     report reassembled from them — bit-identical to the in-process run.
+//!     Directories are searched recursively one level (the dispatch
+//!     layout). --figures additionally renders the relative series.
+//!
+//! campaign dispatch <spec> [--inventory hosts.toml] [--workers N]
+//!         [--out DIR] [--oversub K] [--threads N] [--beat-ms MS]
+//!         [--stale-ms MS] [--poll-ms MS] [--timeout-ms MS] [--no-cache]
+//!         [--chaos claim|manifest|partial]
+//!     plan shard counts and thread budgets from the host inventory, spawn
+//!     local `campaign worker` processes, watch their lease heartbeats,
+//!     reclaim and re-dispatch shards from dead workers, then merge and
+//!     print the report — bit-identical to the in-process run.
+//!
+//! campaign worker <ROOT> [--worker-id W] [--threads N] [--beat-ms MS]
+//!         [--poll-ms MS] [--idle-timeout-ms MS] [--parent-pid PID]
+//!     join the campaign rooted at ROOT (created by `campaign dispatch`);
+//!     run on any host that shares the directory. --parent-pid makes the
+//!     worker exit if that process dies (the dispatcher passes its own
+//!     pid so killed dispatches do not leave orphan pollers).
+//!
+//! campaign --print-template
+//! ```
+
+use std::path::PathBuf;
+
+use rats_dispatch::worker::{run_worker, ChaosPhase, WorkerConfig};
+use rats_dispatch::{dispatch, DispatchConfig, HostInventory};
+use rats_experiments::grid::ShardSpec;
+use rats_experiments::shard::{merge_shards, run_shard};
+use rats_experiments::spec::{ExperimentSpec, SuiteSpec};
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("campaign: {message}");
+    std::process::exit(1);
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: campaign <spec.toml|spec.json> [--threads N]\n\
+         \x20      campaign run <spec> [--shard I/N] [--out DIR] [--threads N]\n\
+         \x20      campaign merge <DIR|file.jsonl ...> [--figures]\n\
+         \x20      campaign dispatch <spec> [--inventory hosts.toml] [--workers N]\n\
+         \x20                        [--out DIR] [--oversub K] [--threads N]\n\
+         \x20                        [--beat-ms MS] [--stale-ms MS] [--poll-ms MS]\n\
+         \x20                        [--timeout-ms MS] [--no-cache] [--chaos PHASE]\n\
+         \x20      campaign worker <ROOT> [--worker-id W] [--threads N]\n\
+         \x20                        [--beat-ms MS] [--poll-ms MS] [--idle-timeout-ms MS]\n\
+         \x20      campaign --print-template"
+    );
+    std::process::exit(2);
+}
+
+fn unknown(what: &str, value: &str) -> ! {
+    eprintln!("campaign: unknown {what} `{value}`\n");
+    usage();
+}
+
+fn load_spec(path: &str) -> ExperimentSpec {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(format_args!("cannot read spec {path:?}: {e}")));
+    if path.ends_with(".json") {
+        ExperimentSpec::from_json(&text)
+    } else {
+        ExperimentSpec::from_toml(&text)
+    }
+    .unwrap_or_else(|e| fail(e))
+}
+
+fn parse_shard(text: &str) -> ShardSpec {
+    let parsed = text.split_once('/').and_then(|(i, n)| {
+        Some(ShardSpec::new(
+            i.trim().parse().ok()?,
+            n.trim().parse().ok()?,
+        ))
+    });
+    let shard = parsed
+        .unwrap_or_else(|| fail(format_args!("--shard expects I/N (e.g. 0/4), got {text:?}")));
+    shard
+        .validate()
+        .unwrap_or_else(|e| fail(format_args!("--shard {text}: {e}")));
+    shard
+}
+
+fn parse_threads(value: Option<String>) -> usize {
+    value
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| fail("--threads needs a positive number"))
+}
+
+fn parse_ms(flag: &str, value: Option<String>) -> u64 {
+    value
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| fail(format_args!("{flag} needs a millisecond count")))
+}
+
+/// Whether a first argument plausibly names a spec file (as opposed to a
+/// mistyped subcommand): it parses as a path that exists, or carries a
+/// spec extension.
+fn looks_like_spec(arg: &str) -> bool {
+    arg.ends_with(".toml") || arg.ends_with(".json") || std::path::Path::new(arg).is_file()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None => usage(),
+        Some("--help" | "-h") => usage(),
+        Some("--print-template") => {
+            let template = ExperimentSpec::naive(
+                "naive-grillon",
+                "grillon",
+                SuiteSpec::Mini,
+                rats_experiments::campaign::BASE_SEED,
+            );
+            print!("{}", template.to_toml());
+        }
+        Some("run") => cmd_run(&args[1..]),
+        Some("merge") => cmd_merge(&args[1..]),
+        Some("dispatch") => cmd_dispatch(&args[1..]),
+        Some("worker") => cmd_worker(&args[1..]),
+        Some(flag) if flag.starts_with('-') => unknown("flag", flag),
+        Some(spec_path) if looks_like_spec(spec_path) => cmd_in_process(spec_path, &args[1..]),
+        Some(other) => unknown("subcommand", other),
+    }
+}
+
+fn cmd_in_process(spec_path: &str, rest: &[String]) {
+    let mut threads = None;
+    let mut rest = rest.iter().cloned();
+    while let Some(a) = rest.next() {
+        match a.as_str() {
+            "--threads" => threads = Some(parse_threads(rest.next())),
+            other => unknown("flag", other),
+        }
+    }
+    let mut spec = load_spec(spec_path);
+    if threads.is_some() {
+        spec.threads = threads;
+    }
+    let outcome = spec.run().unwrap_or_else(|e| fail(e));
+    print!("{}", outcome.render());
+}
+
+fn cmd_run(args: &[String]) {
+    let mut spec_path = None;
+    let mut out = PathBuf::from("shards");
+    let mut shard = None;
+    let mut threads = None;
+    let mut rest = args.iter().cloned();
+    while let Some(a) = rest.next() {
+        match a.as_str() {
+            "--shard" => {
+                shard = Some(parse_shard(
+                    &rest.next().unwrap_or_else(|| fail("--shard needs I/N")),
+                ))
+            }
+            "--out" => {
+                out = PathBuf::from(
+                    rest.next()
+                        .unwrap_or_else(|| fail("--out needs a directory")),
+                )
+            }
+            "--threads" => threads = Some(parse_threads(rest.next())),
+            other if spec_path.is_none() && !other.starts_with('-') => {
+                spec_path = Some(other.to_string())
+            }
+            other => unknown("flag", other),
+        }
+    }
+    let mut spec = load_spec(&spec_path.unwrap_or_else(|| usage()));
+    if let Some(shard) = shard {
+        spec.shard = Some(shard);
+    }
+    let run = run_shard(&spec, &out, threads).unwrap_or_else(|e| fail(e));
+    eprintln!(
+        "campaign: shard {} — {} jobs executed, {} resumed from disk, {} total → {:?}",
+        spec.shard.unwrap_or_default(),
+        run.executed,
+        run.skipped,
+        run.total,
+        run.path
+    );
+}
+
+fn cmd_merge(args: &[String]) {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut figures = false;
+    for a in args {
+        match a.as_str() {
+            "--figures" => figures = true,
+            other if other.starts_with('-') => unknown("flag", other),
+            other => {
+                let p = PathBuf::from(other);
+                if p.is_dir() {
+                    // Collects flat shard directories and the dispatch
+                    // layout alike (per-worker directories one level deep).
+                    paths.extend(
+                        rats_dispatch::dispatcher::collect_shard_files_recursive(&p)
+                            .unwrap_or_else(|e| fail(e)),
+                    );
+                } else {
+                    paths.push(p);
+                }
+            }
+        }
+    }
+    if paths.is_empty() {
+        usage();
+    }
+    let outcome = merge_shards(&paths).unwrap_or_else(|e| fail(e));
+    print!("{}", outcome.render());
+    if figures {
+        // A tuning sweep is recognized by its exact strategy list, not by
+        // a length coincidence.
+        let is_sweep = outcome.spec.strategies == rats_experiments::tuning::sweep_specs();
+        for cluster in &outcome.clusters {
+            if is_sweep {
+                print!(
+                    "\n{}",
+                    rats_experiments::artifacts::render_sweep(&cluster.cluster, &cluster.results)
+                );
+            } else if cluster.results.len() >= 2 {
+                print!(
+                    "\n{}",
+                    rats_experiments::artifacts::render_relative_pair(
+                        &format!("relative makespan ({})", cluster.cluster),
+                        &format!("relative work ({})", cluster.cluster),
+                        &cluster.results,
+                    )
+                );
+            }
+        }
+    }
+}
+
+fn cmd_dispatch(args: &[String]) {
+    let mut spec_path = None;
+    let mut inventory_path: Option<String> = None;
+    let mut workers: Option<usize> = None;
+    let mut cfg = DispatchConfig::new(PathBuf::from("dispatch"), HostInventory::localhost(1, 1));
+    let mut rest = args.iter().cloned();
+    while let Some(a) = rest.next() {
+        match a.as_str() {
+            "--inventory" => {
+                inventory_path = Some(
+                    rest.next()
+                        .unwrap_or_else(|| fail("--inventory needs a file")),
+                )
+            }
+            "--workers" => {
+                workers = Some(
+                    rest.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| fail("--workers needs a positive number")),
+                )
+            }
+            "--out" => {
+                cfg.out = PathBuf::from(
+                    rest.next()
+                        .unwrap_or_else(|| fail("--out needs a directory")),
+                )
+            }
+            "--oversub" => {
+                cfg.oversub = rest
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| fail("--oversub needs a positive number"))
+            }
+            "--threads" => cfg.threads_override = Some(parse_threads(rest.next())),
+            "--beat-ms" => cfg.beat_ms = parse_ms("--beat-ms", rest.next()),
+            "--stale-ms" => cfg.stale_ms = parse_ms("--stale-ms", rest.next()),
+            "--poll-ms" => cfg.poll_ms = parse_ms("--poll-ms", rest.next()),
+            "--timeout-ms" => cfg.timeout_ms = parse_ms("--timeout-ms", rest.next()),
+            "--no-cache" => cfg.use_cache = false,
+            "--chaos" => {
+                let phase = rest.next().unwrap_or_else(|| fail("--chaos needs a phase"));
+                cfg.chaos = Some(ChaosPhase::parse(&phase).unwrap_or_else(|| {
+                    fail(format_args!(
+                        "--chaos expects claim, manifest or partial, got `{phase}`"
+                    ))
+                }));
+            }
+            other if spec_path.is_none() && !other.starts_with('-') => {
+                spec_path = Some(other.to_string())
+            }
+            other => unknown("flag", other),
+        }
+    }
+    let spec = load_spec(&spec_path.unwrap_or_else(|| usage()));
+    cfg.inventory = match (&inventory_path, workers) {
+        (Some(path), _) => {
+            if workers.is_some() {
+                fail("--workers and --inventory are mutually exclusive");
+            }
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(format_args!("cannot read inventory {path:?}: {e}")));
+            HostInventory::from_toml(&text).unwrap_or_else(|e| fail(e))
+        }
+        (None, n) => {
+            let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+            HostInventory::localhost(cores, n.unwrap_or_else(|| cores.clamp(1, 4)))
+        }
+    };
+    let report = dispatch(&spec, &cfg).unwrap_or_else(|e| fail(e));
+    eprintln!(
+        "campaign: dispatched {} jobs as {} shards over {} workers \
+         ({} spawned, {} respawned, {} leases reclaimed, cache {}) → {:?}",
+        report.plan.jobs,
+        report.plan.shard_count,
+        report.plan.workers.len(),
+        report.spawned,
+        report.respawned,
+        report.reclaimed,
+        if report.cache_written {
+            "written"
+        } else {
+            "reused"
+        },
+        report.root
+    );
+    print!("{}", report.outcome.render());
+}
+
+fn cmd_worker(args: &[String]) {
+    let mut root: Option<String> = None;
+    let mut worker_id: Option<String> = None;
+    let mut threads = None;
+    let mut beat_ms = None;
+    let mut poll_ms = None;
+    let mut idle_timeout_ms = None;
+    let mut parent_pid = None;
+    let mut chaos = None;
+    let mut rest = args.iter().cloned();
+    while let Some(a) = rest.next() {
+        match a.as_str() {
+            "--worker-id" => {
+                worker_id = Some(
+                    rest.next()
+                        .unwrap_or_else(|| fail("--worker-id needs a name")),
+                )
+            }
+            "--threads" => threads = Some(parse_threads(rest.next())),
+            "--beat-ms" => beat_ms = Some(parse_ms("--beat-ms", rest.next())),
+            "--poll-ms" => poll_ms = Some(parse_ms("--poll-ms", rest.next())),
+            "--idle-timeout-ms" => {
+                idle_timeout_ms = Some(parse_ms("--idle-timeout-ms", rest.next()))
+            }
+            "--parent-pid" => {
+                parent_pid = Some(
+                    rest.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| fail("--parent-pid needs a process id")),
+                )
+            }
+            "--chaos" => {
+                let phase = rest.next().unwrap_or_else(|| fail("--chaos needs a phase"));
+                chaos = Some(ChaosPhase::parse(&phase).unwrap_or_else(|| {
+                    fail(format_args!(
+                        "--chaos expects claim, manifest or partial, got `{phase}`"
+                    ))
+                }));
+            }
+            other if root.is_none() && !other.starts_with('-') => root = Some(other.to_string()),
+            other => unknown("flag", other),
+        }
+    }
+    let root = root.unwrap_or_else(|| usage());
+    let default_id = format!("w{}", std::process::id());
+    let mut cfg = WorkerConfig::new(root, worker_id.as_deref().unwrap_or(&default_id));
+    cfg.threads =
+        threads.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |c| c.get()));
+    if let Some(ms) = beat_ms {
+        cfg.beat_ms = ms;
+    }
+    if let Some(ms) = poll_ms {
+        cfg.poll_ms = ms;
+    }
+    if let Some(ms) = idle_timeout_ms {
+        cfg.idle_timeout_ms = ms;
+    }
+    cfg.parent_pid = parent_pid;
+    cfg.chaos = chaos;
+    let report = run_worker(&cfg).unwrap_or_else(|e| fail(e));
+    eprintln!(
+        "campaign: worker `{}` done — {} shard jobs completed, {} grid jobs executed, \
+         {} resumed from disk, {} leases lost, scenario cache {}",
+        cfg.worker_id,
+        report.jobs_done,
+        report.executed,
+        report.resumed,
+        report.leases_lost,
+        if report.used_cache { "hit" } else { "miss" }
+    );
+}

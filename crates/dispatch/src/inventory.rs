@@ -1,0 +1,452 @@
+//! Host inventories and capacity-weighted dispatch planning.
+//!
+//! An inventory describes the machines available to a campaign as plain
+//! data — TOML on disk, mirroring how `ExperimentSpec` treats campaigns:
+//!
+//! ```text
+//! [[hosts]]
+//! name = "alpha"
+//! cores = 16
+//! workers = 2        # worker processes on this host (default 1)
+//! weight = 2.0       # relative capacity (default: cores)
+//!
+//! [[hosts]]
+//! name = "beta"
+//! cores = 8
+//! local = false      # dispatcher prints the worker command instead of
+//!                    # spawning it (shared-filesystem multi-host setup)
+//! ```
+//!
+//! [`HostInventory::plan`] turns capacity weights into a [`DispatchPlan`]:
+//! how many shards to cut the job grid into, and one [`WorkerPlan`] per
+//! worker process with its thread budget. Shard *count* is the balancing
+//! knob — the queue hands shards out dynamically, so a 2×-weight host ends
+//! up with ≈2× the shards without any static assignment; the plan only has
+//! to make shards fine-grained enough that the smallest worker still gets
+//! several (the star-platform observation of arXiv:cs/0610131: adapt the
+//! partition to observed capacity, don't fix it up front).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize, Value};
+
+/// One machine of the inventory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostSpec {
+    /// Host name (becomes the worker-id prefix; keep it short).
+    pub name: String,
+    /// Cores available to campaign workers on this host.
+    pub cores: usize,
+    /// Worker processes to run on this host.
+    pub workers: usize,
+    /// Relative capacity weight (defaults to `cores`).
+    pub weight: f64,
+    /// Whether the dispatcher should spawn this host's workers itself
+    /// (`true`, the single-host case) or leave them to the operator
+    /// (`false`: the host reaches the queue via a shared directory).
+    pub local: bool,
+}
+
+impl HostSpec {
+    /// A local host with one worker per call site's choosing.
+    pub fn local(name: &str, cores: usize, workers: usize) -> Self {
+        Self {
+            name: name.to_string(),
+            cores,
+            workers,
+            weight: cores as f64,
+            local: true,
+        }
+    }
+}
+
+impl Serialize for HostSpec {
+    fn serialize(&self) -> Value {
+        let mut t = Value::table();
+        t.insert("name", &self.name)
+            .insert("cores", &self.cores)
+            .insert("workers", &self.workers)
+            .insert("weight", &self.weight)
+            .insert("local", &self.local);
+        t
+    }
+}
+
+impl Deserialize for HostSpec {
+    fn deserialize(v: &Value) -> Result<Self, serde::Error> {
+        let name: String = v.field("name")?;
+        let cores: usize = v.field("cores")?;
+        Ok(Self {
+            name,
+            cores,
+            workers: v.field_or("workers", 1)?,
+            weight: v.field_or("weight", cores as f64)?,
+            local: v.field_or("local", true)?,
+        })
+    }
+}
+
+/// The machines a campaign may use.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostInventory {
+    /// The hosts, in declaration order.
+    pub hosts: Vec<HostSpec>,
+}
+
+/// An inventory validation or parse failure. `key` names the offending
+/// TOML key (`hosts[1].cores` style) so a hand-edited file can be fixed
+/// without guesswork.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InventoryError {
+    /// Dotted path of the key at fault (empty when the document as a whole
+    /// failed to parse).
+    pub key: String,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+impl InventoryError {
+    fn new(key: impl Into<String>, message: impl Into<String>) -> Self {
+        Self {
+            key: key.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for InventoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.key.is_empty() {
+            write!(f, "invalid inventory: {}", self.message)
+        } else {
+            write!(f, "invalid inventory: key `{}`: {}", self.key, self.message)
+        }
+    }
+}
+
+impl std::error::Error for InventoryError {}
+
+impl Serialize for HostInventory {
+    fn serialize(&self) -> Value {
+        let mut t = Value::table();
+        t.insert("hosts", &self.hosts);
+        t
+    }
+}
+
+impl HostInventory {
+    /// The implicit single-host inventory: `workers` local worker processes
+    /// sharing `cores` cores.
+    pub fn localhost(cores: usize, workers: usize) -> Self {
+        Self {
+            hosts: vec![HostSpec::local("local", cores.max(1), workers.max(1))],
+        }
+    }
+
+    /// Parses and validates an inventory from TOML text. Errors name the
+    /// offending key.
+    pub fn from_toml(text: &str) -> Result<Self, InventoryError> {
+        let doc: Value =
+            toml::from_str(text).map_err(|e| InventoryError::new("", e.to_string()))?;
+        Self::from_value(&doc)
+    }
+
+    /// Parses and validates an inventory from an already-parsed document.
+    pub fn from_value(doc: &Value) -> Result<Self, InventoryError> {
+        let Some(hosts_value) = doc.get("hosts") else {
+            return Err(InventoryError::new(
+                "hosts",
+                "missing — an inventory needs at least one [[hosts]] entry",
+            ));
+        };
+        let Value::Array(items) = hosts_value else {
+            return Err(InventoryError::new(
+                "hosts",
+                "must be an array of tables ([[hosts]])",
+            ));
+        };
+        let mut hosts = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            let host = HostSpec::deserialize(item)
+                .map_err(|e| InventoryError::new(format!("hosts[{i}]"), e.to_string()))?;
+            hosts.push(host);
+        }
+        let inventory = Self { hosts };
+        inventory.validate()?;
+        Ok(inventory)
+    }
+
+    /// Checks every host entry; the error names the bad key.
+    pub fn validate(&self) -> Result<(), InventoryError> {
+        if self.hosts.is_empty() {
+            return Err(InventoryError::new(
+                "hosts",
+                "an inventory needs at least one host",
+            ));
+        }
+        for (i, h) in self.hosts.iter().enumerate() {
+            let key = |field: &str| format!("hosts[{i}].{field}");
+            if h.name.trim().is_empty() {
+                return Err(InventoryError::new(key("name"), "must not be empty"));
+            }
+            if h.cores == 0 {
+                return Err(InventoryError::new(key("cores"), "must be at least 1"));
+            }
+            if h.workers == 0 {
+                return Err(InventoryError::new(key("workers"), "must be at least 1"));
+            }
+            if !(h.weight.is_finite() && h.weight > 0.0) {
+                return Err(InventoryError::new(
+                    key("weight"),
+                    format!("must be a positive finite number, got {}", h.weight),
+                ));
+            }
+            if self.hosts[..i].iter().any(|other| other.name == h.name) {
+                return Err(InventoryError::new(
+                    key("name"),
+                    format!("duplicate host name `{}`", h.name),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total worker processes across all hosts.
+    pub fn total_workers(&self) -> usize {
+        self.hosts.iter().map(|h| h.workers).sum()
+    }
+
+    /// Plans a dispatch for a `jobs`-job grid: the shard count and one
+    /// [`WorkerPlan`] per worker process. `oversub` is the target number of
+    /// shards for the *least*-capable worker (≥ 1); heavier workers get
+    /// proportionally more through dynamic queue draining.
+    pub fn plan(&self, jobs: u64, oversub: usize) -> Result<DispatchPlan, InventoryError> {
+        self.validate()?;
+        if jobs == 0 {
+            return Err(InventoryError::new("", "cannot plan an empty job grid"));
+        }
+        let oversub = oversub.max(1);
+        let mut workers = Vec::with_capacity(self.total_workers());
+        for host in &self.hosts {
+            let threads = (host.cores / host.workers).max(1);
+            let weight = host.weight / host.workers as f64;
+            for w in 0..host.workers {
+                workers.push(WorkerPlan {
+                    host: host.name.clone(),
+                    id: crate::sanitize(&format!("{}-w{w}", host.name)),
+                    threads,
+                    weight,
+                    local: host.local,
+                });
+            }
+        }
+        let total_weight: f64 = workers.iter().map(|w| w.weight).sum();
+        let min_weight = workers
+            .iter()
+            .map(|w| w.weight)
+            .fold(f64::INFINITY, f64::min);
+        // Enough shards that the least-capable worker expects ≈ `oversub` of
+        // them; never fewer shards than workers (when the grid has that
+        // many jobs), never more than jobs.
+        let raw = (oversub as f64 * total_weight / min_weight).ceil() as u64;
+        let min_shards = (workers.len() as u64).min(jobs);
+        let shard_count = raw.clamp(min_shards, jobs) as usize;
+        Ok(DispatchPlan {
+            shard_count,
+            jobs,
+            workers,
+        })
+    }
+}
+
+/// One planned worker process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerPlan {
+    /// Host the worker belongs to.
+    pub host: String,
+    /// Worker id (unique across the plan, filesystem-safe).
+    pub id: String,
+    /// Worker thread budget (cores / workers on its host).
+    pub threads: usize,
+    /// Per-worker capacity weight (host weight / host workers).
+    pub weight: f64,
+    /// Whether the dispatcher spawns this worker locally.
+    pub local: bool,
+}
+
+/// The planned decomposition of a campaign across a worker pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DispatchPlan {
+    /// How many shards the job grid is cut into.
+    pub shard_count: usize,
+    /// Total jobs in the grid (for reporting).
+    pub jobs: u64,
+    /// Every worker process, in host order.
+    pub workers: Vec<WorkerPlan>,
+}
+
+impl DispatchPlan {
+    /// The worker plans the dispatcher spawns itself.
+    pub fn local_workers(&self) -> impl Iterator<Item = &WorkerPlan> {
+        self.workers.iter().filter(|w| w.local)
+    }
+
+    /// The worker plans left to the operator (non-local hosts).
+    pub fn remote_workers(&self) -> impl Iterator<Item = &WorkerPlan> {
+        self.workers.iter().filter(|w| !w.local)
+    }
+
+    /// Human-readable plan summary, including the `campaign worker` command
+    /// to run for every non-local worker.
+    pub fn render(&self, root: &std::path::Path) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "plan: {} jobs in {} shards across {} workers\n",
+            self.jobs,
+            self.shard_count,
+            self.workers.len()
+        );
+        for w in &self.workers {
+            let _ = writeln!(
+                out,
+                "  {:<12} host {:<10} threads {:<3} weight {:.2}{}",
+                w.id,
+                w.host,
+                w.threads,
+                w.weight,
+                if w.local { "" } else { "  (remote)" }
+            );
+        }
+        let remote: Vec<&WorkerPlan> = self.remote_workers().collect();
+        if !remote.is_empty() {
+            let _ = writeln!(
+                out,
+                "start each remote worker on its host (shared filesystem required):"
+            );
+            for w in remote {
+                let _ = writeln!(
+                    out,
+                    "  campaign worker {} --worker-id {} --threads {}",
+                    root.display(),
+                    w.id,
+                    w.threads
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toml_parsing_and_defaults() {
+        let inv = HostInventory::from_toml(
+            "[[hosts]]\nname = \"alpha\"\ncores = 16\nworkers = 2\n\
+             [[hosts]]\nname = \"beta\"\ncores = 8\nlocal = false\n",
+        )
+        .unwrap();
+        assert_eq!(inv.hosts.len(), 2);
+        assert_eq!(inv.hosts[0].workers, 2);
+        assert_eq!(inv.hosts[0].weight, 16.0);
+        assert!(inv.hosts[0].local);
+        assert_eq!(inv.hosts[1].workers, 1);
+        assert!(!inv.hosts[1].local);
+        assert_eq!(inv.total_workers(), 3);
+    }
+
+    #[test]
+    fn errors_name_the_offending_key() {
+        let e = HostInventory::from_toml("x = 1").unwrap_err();
+        assert_eq!(e.key, "hosts");
+        let e = HostInventory::from_toml("[[hosts]]\ncores = 4\n").unwrap_err();
+        assert_eq!(e.key, "hosts[0]");
+        assert!(e.message.contains("name"), "{e}");
+        let e = HostInventory::from_toml("[[hosts]]\nname = \"a\"\ncores = 0\n").unwrap_err();
+        assert_eq!(e.key, "hosts[0].cores", "{e}");
+        let e = HostInventory::from_toml("[[hosts]]\nname = \"a\"\ncores = 4\nweight = -1.0\n")
+            .unwrap_err();
+        assert_eq!(e.key, "hosts[0].weight", "{e}");
+        let e = HostInventory::from_toml(
+            "[[hosts]]\nname = \"a\"\ncores = 4\n[[hosts]]\nname = \"a\"\ncores = 2\n",
+        )
+        .unwrap_err();
+        assert_eq!(e.key, "hosts[1].name", "{e}");
+        assert!(e.message.contains("duplicate"), "{e}");
+    }
+
+    #[test]
+    fn homogeneous_plan_oversubscribes_evenly() {
+        let inv = HostInventory::localhost(8, 4);
+        let plan = inv.plan(1000, 4).unwrap();
+        assert_eq!(plan.workers.len(), 4);
+        assert_eq!(plan.shard_count, 16, "4 workers × oversub 4");
+        for w in &plan.workers {
+            assert_eq!(w.threads, 2);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_plan_scales_with_weights() {
+        let inv = HostInventory {
+            hosts: vec![
+                HostSpec {
+                    weight: 3.0,
+                    ..HostSpec::local("big", 12, 1)
+                },
+                HostSpec {
+                    weight: 1.0,
+                    ..HostSpec::local("small", 4, 1)
+                },
+            ],
+        };
+        let plan = inv.plan(1000, 4).unwrap();
+        // min weight 1, total 4 → 16 shards: the small worker expects ~4,
+        // the big one ~12.
+        assert_eq!(plan.shard_count, 16);
+        assert_eq!(plan.workers[0].threads, 12);
+        assert_eq!(plan.workers[1].threads, 4);
+    }
+
+    #[test]
+    fn plan_is_clamped_to_the_grid() {
+        let inv = HostInventory::localhost(4, 2);
+        assert_eq!(inv.plan(3, 8).unwrap().shard_count, 3);
+        assert_eq!(inv.plan(1, 8).unwrap().shard_count, 1);
+        assert!(inv.plan(0, 8).is_err());
+        // Never fewer shards than workers (when the grid allows).
+        let one = HostInventory::localhost(4, 4).plan(100, 1).unwrap();
+        assert!(one.shard_count >= 4);
+    }
+
+    #[test]
+    fn worker_ids_are_unique_and_safe() {
+        let inv = HostInventory {
+            hosts: vec![HostSpec::local("node a", 4, 2), HostSpec::local("b", 2, 1)],
+        };
+        let plan = inv.plan(50, 2).unwrap();
+        let ids: Vec<&str> = plan.workers.iter().map(|w| w.id.as_str()).collect();
+        assert_eq!(ids, ["node-a-w0", "node-a-w1", "b-w0"]);
+    }
+
+    #[test]
+    fn render_lists_remote_commands() {
+        let inv = HostInventory {
+            hosts: vec![
+                HostSpec::local("a", 2, 1),
+                HostSpec {
+                    local: false,
+                    ..HostSpec::local("far", 8, 1)
+                },
+            ],
+        };
+        let plan = inv.plan(20, 2).unwrap();
+        let text = plan.render(std::path::Path::new("/shared/run"));
+        assert!(
+            text.contains("campaign worker /shared/run --worker-id far-w0"),
+            "{text}"
+        );
+    }
+}

@@ -28,8 +28,7 @@ use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-use rats_daggen::suite::{self, Scenario};
-use rats_model::CostParams;
+use rats_daggen::suite::Scenario;
 use rats_platform::Platform;
 use rats_sched::{allocate, AllocParams, MappingStrategy};
 use serde::{Deserialize, Serialize, Value};
@@ -38,9 +37,7 @@ use crate::campaign::{AlgoResults, PreparedScenario};
 use crate::grid::{JobId, ShardSpec};
 use crate::record::RunRecord;
 use crate::runner::{default_threads, parallel_map};
-use crate::spec::{
-    cluster_by_name, ClusterResults, ExperimentSpec, SpecError, SpecOutcome, SuiteSpec,
-};
+use crate::spec::{cluster_by_name, ClusterResults, ExperimentSpec, SpecError, SpecOutcome};
 
 /// Number of jobs evaluated between appends — the upper bound on work a
 /// crash can lose per cluster batch.
@@ -202,7 +199,39 @@ pub fn run_shard(
     dir: &Path,
     threads: Option<usize>,
 ) -> Result<ShardRun, ShardError> {
+    run_shard_with_scenarios(spec, dir, threads, None)
+}
+
+/// [`run_shard`] with an externally supplied scenario population.
+///
+/// `scenarios`, when given, must be exactly what
+/// [`ExperimentSpec::scenarios`] would generate for this spec (same suite,
+/// same seed — ids dense and in order); dispatch workers pass the
+/// population loaded from a shared cache so one generation serves every
+/// worker process. `None` regenerates locally.
+pub fn run_shard_with_scenarios(
+    spec: &ExperimentSpec,
+    dir: &Path,
+    threads: Option<usize>,
+    scenarios: Option<&[Scenario]>,
+) -> Result<ShardRun, ShardError> {
     spec.validate()?;
+    if let Some(provided) = scenarios {
+        let expected = spec.suite.len();
+        if provided.len() != expected {
+            return Err(ShardError::Spec(SpecError::Invalid(format!(
+                "provided scenario population has {} scenarios, suite `{}` needs {expected}",
+                provided.len(),
+                spec.suite.name()
+            ))));
+        }
+        if let Some((i, s)) = provided.iter().enumerate().find(|(i, s)| s.id != *i) {
+            return Err(ShardError::Spec(SpecError::Invalid(format!(
+                "provided scenario population has id {} at position {i} (ids must be dense)",
+                s.id
+            ))));
+        }
+    }
     let shard = spec.shard.unwrap_or_default();
     let threads = threads
         .or(spec.threads)
@@ -269,14 +298,22 @@ pub fn run_shard(
         }
         done.extend(loaded.records.iter().map(|r| r.job));
     } else {
-        // `create` truncates, which is exactly right for the
-        // crashed-before-manifest recovery path.
-        let mut file = fs::File::create(&path)?;
-        writeln!(
-            file,
-            "{}",
-            serde_json::to_string(&manifest).expect("manifests always serialize")
-        )?;
+        // The manifest line lands via a temp file + rename, so no crash
+        // window can leave an empty or torn-line-1 shard file behind: a
+        // shard file either does not exist yet or starts with a complete
+        // manifest. (The truncated-single-line recovery above remains for
+        // files written by older builds.) The rename also truncates any
+        // pre-manifest wreck this resume just decided to restart.
+        let tmp = path.with_extension("jsonl.tmp");
+        {
+            let mut file = fs::File::create(&tmp)?;
+            writeln!(
+                file,
+                "{}",
+                serde_json::to_string(&manifest).expect("manifests always serialize")
+            )?;
+        }
+        fs::rename(&tmp, &path)?;
     }
 
     let grid = spec.grid();
@@ -300,10 +337,13 @@ pub fn run_shard(
         .iter()
         .map(|s| s.to_strategy().map_err(SpecError::Strategy))
         .collect::<Result<_, _>>()?;
-    let cost = CostParams::paper();
-    let scenarios: Vec<Scenario> = match spec.suite {
-        SuiteSpec::Paper => suite::paper_suite(&cost, spec.seed),
-        SuiteSpec::Mini => suite::mini_suite(&cost, spec.seed),
+    let generated: Vec<Scenario>;
+    let scenarios: &[Scenario] = match scenarios {
+        Some(provided) => provided,
+        None => {
+            generated = spec.scenarios();
+            &generated
+        }
     };
     assert_eq!(
         scenarios.len(),
@@ -718,6 +758,7 @@ pub fn merge_shards(paths: &[PathBuf]) -> Result<SpecOutcome, MergeError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::SuiteSpec;
 
     #[test]
     fn shard_file_names_are_filesystem_safe() {

@@ -34,7 +34,7 @@
 
 use std::fmt;
 
-use rats_daggen::suite;
+use rats_daggen::suite::{self, Scenario};
 use rats_model::CostParams;
 use rats_platform::{ClusterSpec, Platform};
 use rats_sched::{MappingStrategy, StrategyError};
@@ -75,6 +75,11 @@ impl SuiteSpec {
     /// Suites are never empty.
     pub fn is_empty(&self) -> bool {
         false
+    }
+
+    /// The suite's stable tag (what [`ExperimentSpec`] documents serialize).
+    pub fn name(&self) -> &'static str {
+        self.as_str()
     }
 }
 
@@ -332,6 +337,18 @@ impl ExperimentSpec {
         format!("{h:016x}")
     }
 
+    /// Generates the spec's scenario population (deterministic in
+    /// `(suite, seed)`). Workers that share a population cache (see the
+    /// `rats-dispatch` crate) load the serialized form instead of calling
+    /// this — the two paths produce bit-identical scenarios.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let cost = CostParams::paper();
+        match self.suite {
+            SuiteSpec::Paper => suite::paper_suite(&cost, self.seed),
+            SuiteSpec::Mini => suite::mini_suite(&cost, self.seed),
+        }
+    }
+
     /// Executes the campaign **in-process**: generate the suite, share the
     /// HCPA allocation per scenario, evaluate every strategy on every
     /// cluster. A spec that selects a proper shard is rejected — partial
@@ -353,15 +370,10 @@ impl ExperimentSpec {
             .iter()
             .map(|s| s.to_strategy().map_err(SpecError::Strategy))
             .collect::<Result<_, _>>()?;
-        let cost = CostParams::paper();
         let mut clusters = Vec::new();
         for name in &self.clusters {
             let platform = Platform::from_spec(&cluster_by_name(name)?);
-            let scenarios = match self.suite {
-                SuiteSpec::Paper => suite::paper_suite(&cost, self.seed),
-                SuiteSpec::Mini => suite::mini_suite(&cost, self.seed),
-            };
-            let prepared = PreparedScenario::prepare(scenarios, &platform, threads);
+            let prepared = PreparedScenario::prepare(self.scenarios(), &platform, threads);
             let results = run_campaign(&prepared, &platform, &strategies, threads);
             clusters.push(ClusterResults {
                 cluster: name.clone(),

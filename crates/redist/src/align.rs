@@ -2,7 +2,7 @@
 
 use rats_platform::ProcSet;
 
-use crate::block::block_interval;
+use crate::block::{block_interval, block_owner_range};
 
 /// Reorders the members of `dst` so that processors shared with `src` keep
 /// as much of their data as possible ("our redistribution algorithm tries to
@@ -15,9 +15,20 @@ use crate::block::block_interval;
 /// members and sizes this produces exactly the source order, making the
 /// redistribution completely free.
 ///
+/// The greedy choice for source rank `i` only ever lands on a destination
+/// rank whose block intersects `i`'s sending interval — a contiguous run of
+/// ranks ([`block_owner_range`]), `O(1 + q/p)` long. The scan below visits
+/// only that run (±1 rank of slack for boundary rounding) plus one cursor
+/// over the lowest free rank, replacing the former `O(p·q)` all-ranks scan
+/// with `O(p + q)` interval work on top of an `O((p+q)·log q)` sorted rank
+/// lookup, while reproducing the original greedy's choices **exactly** —
+/// pinned by a parity proptest against the reference implementation kept in
+/// the test module.
+///
 /// Returns the reordered destination set (same members as `dst`).
 pub fn align_for_self_comm(src: &ProcSet, dst: &ProcSet) -> ProcSet {
     let q = dst.len();
+    let p = src.len();
     if q == 0 || src.is_empty() {
         return dst.clone();
     }
@@ -29,7 +40,7 @@ pub fn align_for_self_comm(src: &ProcSet, dst: &ProcSet) -> ProcSet {
     if q == 1 {
         return dst.clone();
     }
-    if src.len() == q && src.same_members(dst) {
+    if p == q && src.same_members(dst) {
         return src.clone();
     }
     // Work on a normalized dataset of 1.0 bytes — only ratios matter.
@@ -37,34 +48,66 @@ pub fn align_for_self_comm(src: &ProcSet, dst: &ProcSet) -> ProcSet {
     let mut assigned: Vec<Option<u32>> = vec![None; q as usize];
     let mut placed: Vec<bool> = vec![false; q as usize]; // per dst member (by dst rank)
 
+    // Sorted (member, rank) pairs make the per-sender rank lookup
+    // O(log q) instead of the former O(q) linear `rank_of` scan; the
+    // membership bitmask screens out non-shared senders in O(1) first.
+    let mut dst_ranks: Vec<(u32, u32)> = dst.iter().zip(0u32..).collect();
+    dst_ranks.sort_unstable();
+    let shared_mask = match (src.mask(), dst.mask()) {
+        (Some(a), Some(b)) => Some(a & b),
+        _ => None,
+    };
+
+    // Lowest unassigned destination rank; only moves forward. It seeds the
+    // running best exactly like the reference greedy's full scan did (the
+    // first free rank becomes the initial candidate, and zero-overlap ranks
+    // can never displace it), which matters for its epsilon tie rule.
+    let mut first_free: u32 = 0;
+
     // Shared processors in source-rank order.
     for (i, proc) in src.iter().enumerate() {
-        let Some(orig_rank) = dst.rank_of(proc) else {
-            continue;
-        };
-        let (slo, shi) = block_interval(m, src.len(), i as u32);
-        // Best free destination rank by overlap with the sending interval;
-        // ties broken toward the lowest rank for determinism.
-        let mut best: Option<(f64, u32)> = None;
-        for j in 0..q {
-            if assigned[j as usize].is_some() {
+        if let Some(mask) = shared_mask {
+            if proc < 64 && mask & (1u64 << proc) == 0 {
                 continue;
             }
+        }
+        let Ok(pos) = dst_ranks.binary_search_by_key(&proc, |&(member, _)| member) else {
+            continue;
+        };
+        let orig_rank = dst_ranks[pos].1 as usize;
+        let (slo, shi) = block_interval(m, p, i as u32);
+        while first_free < q && assigned[first_free as usize].is_some() {
+            first_free += 1;
+        }
+        if first_free >= q {
+            break; // Every destination rank is taken; nothing left to place.
+        }
+        let overlap_at = |j: u32| {
             let (dlo, dhi) = block_interval(m, q, j);
-            let overlap = (shi.min(dhi) - slo.max(dlo)).max(0.0);
-            let better = match best {
-                None => true,
-                Some((b, _)) => overlap > b + 1e-15,
-            };
-            if better {
-                best = Some((overlap, j));
+            (shi.min(dhi) - slo.max(dlo)).max(0.0)
+        };
+        // Seed with the lowest free rank, then let only the ranks whose
+        // blocks can intersect the sending interval compete (±1 rank of
+        // slack covers division-rounding at block boundaries; every rank
+        // outside has exactly zero overlap and loses to the seed).
+        let mut best = (overlap_at(first_free), first_free);
+        let (range_lo, range_hi) =
+            block_owner_range(m, q, slo, shi).expect("sender intervals are non-empty");
+        let range_lo = range_lo.saturating_sub(1).max(first_free);
+        let range_hi = (range_hi + 1).min(q - 1);
+        for j in range_lo..=range_hi {
+            if j == first_free || assigned[j as usize].is_some() {
+                continue;
+            }
+            let overlap = overlap_at(j);
+            if overlap > best.0 + 1e-15 {
+                best = (overlap, j);
             }
         }
-        if let Some((overlap, j)) = best {
-            if overlap > 0.0 {
-                assigned[j as usize] = Some(proc);
-                placed[orig_rank] = true;
-            }
+        let (overlap, j) = best;
+        if overlap > 0.0 {
+            assigned[j as usize] = Some(proc);
+            placed[orig_rank] = true;
         }
     }
 
@@ -97,6 +140,70 @@ mod tests {
     use proptest::prelude::*;
     use rand::seq::SliceRandom;
     use rand::SeedableRng;
+
+    /// The pre-optimization greedy, kept verbatim as the parity reference:
+    /// for every shared processor it scanned **all** `q` destination ranks
+    /// (`O(p·q)` total). The fast path must reproduce its output exactly.
+    fn align_reference(src: &ProcSet, dst: &ProcSet) -> ProcSet {
+        let q = dst.len();
+        if q == 0 || src.is_empty() {
+            return dst.clone();
+        }
+        if q == 1 {
+            return dst.clone();
+        }
+        if src.len() == q && src.same_members(dst) {
+            return src.clone();
+        }
+        let m = 1.0;
+        let mut assigned: Vec<Option<u32>> = vec![None; q as usize];
+        let mut placed: Vec<bool> = vec![false; q as usize];
+
+        for (i, proc) in src.iter().enumerate() {
+            let Some(orig_rank) = dst.rank_of(proc) else {
+                continue;
+            };
+            let (slo, shi) = block_interval(m, src.len(), i as u32);
+            let mut best: Option<(f64, u32)> = None;
+            for j in 0..q {
+                if assigned[j as usize].is_some() {
+                    continue;
+                }
+                let (dlo, dhi) = block_interval(m, q, j);
+                let overlap = (shi.min(dhi) - slo.max(dlo)).max(0.0);
+                let better = match best {
+                    None => true,
+                    Some((b, _)) => overlap > b + 1e-15,
+                };
+                if better {
+                    best = Some((overlap, j));
+                }
+            }
+            if let Some((overlap, j)) = best {
+                if overlap > 0.0 {
+                    assigned[j as usize] = Some(proc);
+                    placed[orig_rank] = true;
+                }
+            }
+        }
+
+        let mut rest = dst
+            .iter()
+            .enumerate()
+            .filter(|(r, _)| !placed[*r])
+            .map(|(_, p)| p);
+        let members: Vec<u32> = assigned
+            .into_iter()
+            .map(|slot| slot.unwrap_or_else(|| rest.next().expect("rank count matches")))
+            .collect();
+        let candidate = ProcSet::new(members);
+        let self_bytes = |d: &ProcSet| redistribute(m, src, d).self_bytes;
+        if self_bytes(&candidate) >= self_bytes(dst) {
+            candidate
+        } else {
+            dst.clone()
+        }
+    }
 
     #[test]
     fn identical_members_align_to_identity() {
@@ -138,7 +245,52 @@ mod tests {
         assert!(aligned.same_members(&dst));
     }
 
+    #[test]
+    fn matches_reference_on_large_sets_beyond_the_mask() {
+        // Members ≥ 64 disable the bitmask; the sorted lookup must carry
+        // the fast path alone.
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let mut pool: Vec<u32> = (0..200).collect();
+            pool.shuffle(&mut rng);
+            let p = rng.random_range(1..96);
+            let src = ProcSet::new(pool[..p].to_vec());
+            pool.shuffle(&mut rng);
+            let q = rng.random_range(1..96);
+            let dst = ProcSet::new(pool[..q].to_vec());
+            let fast = align_for_self_comm(&src, &dst);
+            let slow = align_reference(&src, &dst);
+            assert_eq!(fast.as_slice(), slow.as_slice(), "p={p} q={q}");
+        }
+    }
+
     proptest! {
+        /// The interval-restricted scan reproduces the full-scan greedy
+        /// bit for bit — same members, same order, every time.
+        #[test]
+        fn fast_path_matches_reference_greedy(
+            p in 1u32..28,
+            q in 2u32..28,
+            overlap_bias in 0u32..3,
+            seed in 0u64..800,
+        ) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            // overlap_bias narrows the universe so src/dst share many,
+            // some, or almost no members.
+            let universe = 8 + overlap_bias * 20;
+            let mut all: Vec<u32> = (0..universe.max(p.max(q))).collect();
+            all.shuffle(&mut rng);
+            let src = ProcSet::new(all[..p as usize].to_vec());
+            let mut pool = all.clone();
+            pool.shuffle(&mut rng);
+            let dst = ProcSet::new(pool[..q as usize].to_vec());
+
+            let fast = align_for_self_comm(&src, &dst);
+            let slow = align_reference(&src, &dst);
+            prop_assert_eq!(fast.as_slice(), slow.as_slice());
+        }
+
         /// Aligned destination never does worse (in self bytes) than the
         /// original order, and keeps exactly the same members.
         #[test]

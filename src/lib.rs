@@ -17,7 +17,10 @@
 //! * [`sim`] — discrete-event schedule execution,
 //! * [`experiments`] — the paper's evaluation campaign, driven by
 //!   serializable [`experiments::spec::ExperimentSpec`]s and executable as
-//!   sharded, resumable jobs ([`experiments::shard`]).
+//!   sharded, resumable jobs ([`experiments::shard`]),
+//! * [`dispatch`] — fault-tolerant multi-worker dispatch of those shards
+//!   over a filesystem work queue (host inventories, lease heartbeats,
+//!   shared scenario cache; the `campaign dispatch` subcommand).
 //!
 //! Single [`Run`]s serialize too: [`RunArtifact`] is the JSONL projection
 //! of a run (provenance + simulated numbers), round-trippable bit-exactly.
@@ -55,6 +58,7 @@
 
 pub use rats_dag as dag;
 pub use rats_daggen as daggen;
+pub use rats_dispatch as dispatch;
 pub use rats_experiments as experiments;
 pub use rats_model as model;
 pub use rats_platform as platform;
