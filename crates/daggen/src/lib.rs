@@ -26,14 +26,16 @@
 mod fft;
 pub mod population;
 mod random;
+mod shapes;
 mod strassen;
 pub mod suite;
 
 pub use fft::{fft_dag, fft_task_count};
-pub use population::{read_population, write_population, Population, PopulationError};
+pub use population::{fnv1a, read_population, write_population, Population, PopulationError};
 pub use random::{irregular_dag, layered_dag, DagParams};
+pub use shapes::{chain_dag, fork_join_dag, in_tree_dag, out_tree_dag, tree_task_count};
 pub use strassen::{strassen_dag, STRASSEN_TASKS};
-pub use suite::{paper_suite, AppFamily, Scenario};
+pub use suite::{paper_suite, scenario_seed, AppFamily, Scenario};
 
 use rand::rngs::StdRng;
 

@@ -68,8 +68,11 @@ pub struct Population {
     pub scenarios: Vec<Scenario>,
 }
 
-/// FNV-1a 64 over raw bytes (same digest the campaign spec hashing uses).
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// FNV-1a 64 over raw bytes — the content digest protecting population
+/// files, also reused by `rats-workloads` for custom suite tags (and the
+/// same algorithm the campaign spec hashing uses), so a format change
+/// moves every dependent digest in lockstep.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);

@@ -1,0 +1,243 @@
+//! Regular DAG shapes beyond the paper's families: chains, fork-joins and
+//! in/out-trees.
+//!
+//! These are the classic structured-workflow skeletons the workload
+//! synthesis subsystem (`rats-workloads`) composes into custom scenario
+//! populations: a **chain** is the pure-pipeline extreme (no task
+//! parallelism at all), a **fork-join** alternates serial synchronization
+//! points with wide parallel stages, an **out-tree** is a recursive
+//! decomposition (one root fanning out) and an **in-tree** the matching
+//! reduction (leaves folding into one exit). All of them follow the paper's
+//! leveled-cost rule — every task of a level draws the same cost, so all
+//! transfers between two levels carry the same amount of data — and are
+//! deterministic functions of a `u64` seed.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rats_dag::{TaskGraph, TaskId};
+use rats_model::CostParams;
+
+use crate::assign_level_costs;
+
+/// A linear chain of `n` tasks: `t0 → t1 → … → t(n-1)`.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn chain_dag(n: u32, cost: &CostParams, seed: u64) -> TaskGraph {
+    assert!(n > 0, "a chain needs at least one task");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = TaskGraph::with_capacity(n as usize, n.saturating_sub(1) as usize);
+    let mut prev: Option<TaskId> = None;
+    for i in 0..n {
+        let t = g.add_task(format!("c{i}"), rats_model::TaskCost::zero());
+        if let Some(p) = prev {
+            g.add_edge(p, t, 0.0);
+        }
+        prev = Some(t);
+    }
+    assign_level_costs(&mut g, cost, &mut rng);
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+/// A fork-join graph: `stages` parallel sections of `branches` tasks each,
+/// separated by single synchronization tasks (`fork → {branch…} → join`,
+/// with each join forking the next stage).
+///
+/// # Panics
+/// Panics if `stages == 0` or `branches == 0`.
+pub fn fork_join_dag(stages: u32, branches: u32, cost: &CostParams, seed: u64) -> TaskGraph {
+    assert!(stages > 0, "a fork-join needs at least one stage");
+    assert!(branches > 0, "a fork-join stage needs at least one branch");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tasks = 1 + stages as usize * (branches as usize + 1);
+    let mut g = TaskGraph::with_capacity(tasks, 2 * tasks);
+    let mut sync = g.add_task("fork0", rats_model::TaskCost::zero());
+    for s in 0..stages {
+        let stage: Vec<TaskId> = (0..branches)
+            .map(|b| g.add_task(format!("s{s}b{b}"), rats_model::TaskCost::zero()))
+            .collect();
+        let join = g.add_task(format!("join{s}"), rats_model::TaskCost::zero());
+        for &b in &stage {
+            g.add_edge(sync, b, 0.0);
+            g.add_edge(b, join, 0.0);
+        }
+        sync = join;
+    }
+    assign_level_costs(&mut g, cost, &mut rng);
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+/// The number of tasks of a full `arity`-ary tree of the given `depth`
+/// (depth 0 = a single root): `1 + arity + arity² + … + arity^depth`.
+pub fn tree_task_count(arity: u32, depth: u32) -> usize {
+    let mut total = 0usize;
+    let mut level = 1usize;
+    for _ in 0..=depth {
+        total += level;
+        level *= arity as usize;
+    }
+    total
+}
+
+/// An out-tree (recursive decomposition): a root at level 0, every task of
+/// level `l < depth` fanning out to `arity` children.
+///
+/// # Panics
+/// Panics if `arity == 0`.
+pub fn out_tree_dag(arity: u32, depth: u32, cost: &CostParams, seed: u64) -> TaskGraph {
+    assert!(arity > 0, "a tree needs a positive arity");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = TaskGraph::with_capacity(tree_task_count(arity, depth), 0);
+    let mut frontier = vec![g.add_task("r", rats_model::TaskCost::zero())];
+    for l in 1..=depth {
+        let mut next = Vec::with_capacity(frontier.len() * arity as usize);
+        for (pi, &parent) in frontier.iter().enumerate() {
+            for a in 0..arity {
+                let t = g.add_task(format!("o{l}_{pi}_{a}"), rats_model::TaskCost::zero());
+                g.add_edge(parent, t, 0.0);
+                next.push(t);
+            }
+        }
+        frontier = next;
+    }
+    assign_level_costs(&mut g, cost, &mut rng);
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+/// An in-tree (reduction): `arity^depth` leaves at level 0, every `arity`
+/// tasks of a level folding into one task of the next, down to a single
+/// exit.
+///
+/// # Panics
+/// Panics if `arity == 0`.
+pub fn in_tree_dag(arity: u32, depth: u32, cost: &CostParams, seed: u64) -> TaskGraph {
+    assert!(arity > 0, "a tree needs a positive arity");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = TaskGraph::with_capacity(tree_task_count(arity, depth), 0);
+    let leaves = (arity as usize).pow(depth);
+    let mut frontier: Vec<TaskId> = (0..leaves)
+        .map(|i| g.add_task(format!("i0_{i}"), rats_model::TaskCost::zero()))
+        .collect();
+    // Exactly `depth` reduction levels (arity^depth leaves fold to one for
+    // arity ≥ 2; arity 1 degenerates to a depth+1 chain, mirroring the
+    // out-tree and `tree_task_count`).
+    for level in 1..=depth {
+        let mut next = Vec::with_capacity(frontier.len().div_ceil(arity as usize));
+        for (gi, group) in frontier.chunks(arity as usize).enumerate() {
+            let t = g.add_task(format!("i{level}_{gi}"), rats_model::TaskCost::zero());
+            for &leaf in group {
+                g.add_edge(leaf, t, 0.0);
+            }
+            next.push(t);
+        }
+        frontier = next;
+    }
+    assign_level_costs(&mut g, cost, &mut rng);
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_is_a_chain() {
+        let g = chain_dag(7, &CostParams::tiny(), 3);
+        assert_eq!(g.num_tasks(), 7);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.entries().len(), 1);
+        assert_eq!(g.exits().len(), 1);
+        assert_eq!(g.tasks_by_level().len(), 7);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let g = fork_join_dag(3, 5, &CostParams::tiny(), 4);
+        assert_eq!(g.num_tasks(), 1 + 3 * (5 + 1));
+        assert_eq!(g.entries().len(), 1);
+        assert_eq!(g.exits().len(), 1);
+        // fork, stage, join, stage, join, stage, join = 7 levels.
+        assert_eq!(g.tasks_by_level().len(), 7);
+        let widths: Vec<usize> = g.tasks_by_level().iter().map(Vec::len).collect();
+        assert_eq!(widths, vec![1, 5, 1, 5, 1, 5, 1]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn out_tree_fans_out() {
+        let g = out_tree_dag(3, 2, &CostParams::tiny(), 5);
+        assert_eq!(g.num_tasks(), tree_task_count(3, 2));
+        assert_eq!(g.num_tasks(), 1 + 3 + 9);
+        assert_eq!(g.entries().len(), 1);
+        assert_eq!(g.exits().len(), 9);
+        for t in g.task_ids() {
+            assert!(g.in_degree(t) <= 1, "trees have at most one parent");
+        }
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn in_tree_reduces() {
+        let g = in_tree_dag(2, 3, &CostParams::tiny(), 6);
+        assert_eq!(g.num_tasks(), tree_task_count(2, 3));
+        assert_eq!(g.entries().len(), 8);
+        assert_eq!(g.exits().len(), 1);
+        for t in g.task_ids() {
+            assert!(g.out_degree(t) <= 1, "reductions have at most one child");
+        }
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn degenerate_depths_are_single_tasks() {
+        assert_eq!(out_tree_dag(4, 0, &CostParams::tiny(), 1).num_tasks(), 1);
+        assert_eq!(in_tree_dag(4, 0, &CostParams::tiny(), 1).num_tasks(), 1);
+        assert_eq!(chain_dag(1, &CostParams::tiny(), 1).num_tasks(), 1);
+    }
+
+    #[test]
+    fn arity_one_trees_are_chains_of_depth_plus_one() {
+        // Both tree orientations must honor `depth` even at arity 1 (the
+        // degenerate chain), matching tree_task_count.
+        assert_eq!(tree_task_count(1, 5), 6);
+        let out = out_tree_dag(1, 5, &CostParams::tiny(), 2);
+        let inn = in_tree_dag(1, 5, &CostParams::tiny(), 2);
+        assert_eq!(out.num_tasks(), 6);
+        assert_eq!(inn.num_tasks(), 6);
+        assert_eq!(inn.tasks_by_level().len(), 6);
+        out.validate().unwrap();
+        inn.validate().unwrap();
+    }
+
+    #[test]
+    fn shapes_are_deterministic() {
+        for seed in [0u64, 9, 77] {
+            let a = fork_join_dag(2, 4, &CostParams::tiny(), seed);
+            let b = fork_join_dag(2, 4, &CostParams::tiny(), seed);
+            for (x, y) in a.task_ids().zip(b.task_ids()) {
+                assert_eq!(a.task(x).cost, b.task(y).cost);
+            }
+            for (x, y) in a.edge_ids().zip(b.edge_ids()) {
+                assert_eq!(a.edge(x), b.edge(y));
+            }
+        }
+    }
+
+    #[test]
+    fn level_costs_are_shared_within_levels() {
+        let g = in_tree_dag(2, 4, &CostParams::tiny(), 11);
+        let levels = g.levels();
+        for a in g.task_ids() {
+            for b in g.task_ids() {
+                if levels[a.index()] == levels[b.index()] {
+                    assert_eq!(g.task(a).cost, g.task(b).cost);
+                }
+            }
+        }
+    }
+}

@@ -5,8 +5,9 @@ use rats_model::CostParams;
 
 use crate::{fft_dag, irregular_dag, layered_dag, strassen_dag, DagParams};
 
-/// The four application families of the evaluation (the paper's Table IV
-/// groups tuning results by these).
+/// The application families scenarios are tagged with: the paper's four
+/// (the paper's Table IV groups tuning results by those) plus the
+/// structured-workflow shapes custom populations can draw on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AppFamily {
     /// FFT task graphs.
@@ -17,24 +18,51 @@ pub enum AppFamily {
     Layered,
     /// Irregular random DAGs ("Random" in the paper's Table IV).
     Irregular,
+    /// Fork-join graphs (wide parallel stages between sync points).
+    ForkJoin,
+    /// Linear chains (the zero-task-parallelism extreme).
+    Chain,
+    /// Out-trees (recursive decomposition fan-out).
+    OutTree,
+    /// In-trees (reduction fan-in).
+    InTree,
 }
 
 impl AppFamily {
-    /// All four families in the paper's Table IV column order.
-    pub const ALL: [AppFamily; 4] = [
+    /// The paper's four families, in Table IV column order — what the
+    /// paper/mini suites generate and the paper-shaped artifacts iterate.
+    pub const PAPER: [AppFamily; 4] = [
         AppFamily::Fft,
         AppFamily::Strassen,
         AppFamily::Layered,
         AppFamily::Irregular,
     ];
 
-    /// Display name as used in the paper.
+    /// Every family, the paper's four first in Table IV column order.
+    pub const ALL: [AppFamily; 8] = [
+        AppFamily::Fft,
+        AppFamily::Strassen,
+        AppFamily::Layered,
+        AppFamily::Irregular,
+        AppFamily::ForkJoin,
+        AppFamily::Chain,
+        AppFamily::OutTree,
+        AppFamily::InTree,
+    ];
+
+    /// Display name, as used in the paper for its four families. Names are
+    /// single tokens: the population text format stores them as one
+    /// whitespace-separated field.
     pub fn name(self) -> &'static str {
         match self {
             AppFamily::Fft => "FFT",
             AppFamily::Strassen => "Strassen",
             AppFamily::Layered => "Layered",
             AppFamily::Irregular => "Random",
+            AppFamily::ForkJoin => "ForkJoin",
+            AppFamily::Chain => "Chain",
+            AppFamily::OutTree => "OutTree",
+            AppFamily::InTree => "InTree",
         }
     }
 
@@ -66,7 +94,12 @@ fn mix(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-fn scenario_seed(base: u64, index: usize) -> u64 {
+/// The stable per-scenario seed stream every suite generator draws from:
+/// scenario `index` of a population seeded with `base` always generates
+/// under `scenario_seed(base, index)`, so populations are reproducible
+/// per-scenario (a shard can regenerate scenario 0 without touching the
+/// other 556). Custom populations (`rats-workloads`) use the same stream.
+pub fn scenario_seed(base: u64, index: usize) -> u64 {
     mix(base ^ mix(index as u64))
 }
 
@@ -302,7 +335,7 @@ mod tests {
     #[test]
     fn mini_suite_covers_all_families() {
         let mini = mini_suite(&CostParams::tiny(), 3);
-        for f in AppFamily::ALL {
+        for f in AppFamily::PAPER {
             assert!(mini.iter().any(|s| s.family == f), "missing {f:?}");
         }
         assert!(mini.len() < 20);

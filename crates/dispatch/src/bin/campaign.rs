@@ -33,6 +33,17 @@
 //!     worker exit if that process dies (the dispatcher passes its own
 //!     pid so killed dispatches do not leave orphan pollers).
 //!
+//! campaign describe <spec>
+//!     validate the spec and print its identity (suite tag, spec hash),
+//!     job-grid shape and population census — per-family scenario counts
+//!     and generated cluster inventory — without generating a single DAG.
+//!
+//! campaign status <ROOT> [--stale-ms MS]
+//!     read-only scan of a dispatched campaign's queue directory: per-job
+//!     state (todo/claimed/done), stale-lease hints (mtime-based, default
+//!     threshold 30000 ms) and a completed/total progress line. Safe to
+//!     run while the dispatcher and workers are live.
+//!
 //! campaign --print-template
 //! ```
 
@@ -60,6 +71,8 @@ fn usage() -> ! {
          \x20                        [--timeout-ms MS] [--no-cache] [--chaos PHASE]\n\
          \x20      campaign worker <ROOT> [--worker-id W] [--threads N]\n\
          \x20                        [--beat-ms MS] [--poll-ms MS] [--idle-timeout-ms MS]\n\
+         \x20      campaign describe <spec>\n\
+         \x20      campaign status <ROOT> [--stale-ms MS]\n\
          \x20      campaign --print-template"
     );
     std::process::exit(2);
@@ -134,6 +147,8 @@ fn main() {
         Some("merge") => cmd_merge(&args[1..]),
         Some("dispatch") => cmd_dispatch(&args[1..]),
         Some("worker") => cmd_worker(&args[1..]),
+        Some("describe") => cmd_describe(&args[1..]),
+        Some("status") => cmd_status(&args[1..]),
         Some(flag) if flag.starts_with('-') => unknown("flag", flag),
         Some(spec_path) if looks_like_spec(spec_path) => cmd_in_process(spec_path, &args[1..]),
         Some(other) => unknown("subcommand", other),
@@ -337,6 +352,59 @@ fn cmd_dispatch(args: &[String]) {
         report.root
     );
     print!("{}", report.outcome.render());
+}
+
+fn cmd_describe(args: &[String]) {
+    let mut spec_path = None;
+    for a in args {
+        match a.as_str() {
+            other if spec_path.is_none() && !other.starts_with('-') => {
+                spec_path = Some(other.to_string())
+            }
+            other => unknown("flag", other),
+        }
+    }
+    let spec = load_spec(&spec_path.unwrap_or_else(|| usage()));
+    spec.validate().unwrap_or_else(|e| fail(e));
+    let grid = spec.grid();
+    println!(
+        "campaign `{}` — suite {}, seed {}, spec hash {}",
+        spec.name,
+        spec.suite.name(),
+        spec.seed,
+        spec.spec_hash()
+    );
+    println!(
+        "grid: {} clusters x {} scenarios x {} strategies = {} jobs",
+        grid.clusters(),
+        grid.scenarios(),
+        grid.strategies(),
+        grid.len()
+    );
+    let strategies: Vec<&str> = spec
+        .strategies
+        .iter()
+        .map(|s| s.to_strategy().expect("spec validated").name())
+        .collect();
+    println!("strategies: {}", strategies.join(", "));
+    println!("clusters: {}", spec.clusters.join(", "));
+    print!("{}", spec.suite.census());
+}
+
+fn cmd_status(args: &[String]) {
+    let mut root: Option<String> = None;
+    let mut stale_ms = 30_000u64;
+    let mut rest = args.iter().cloned();
+    while let Some(a) = rest.next() {
+        match a.as_str() {
+            "--stale-ms" => stale_ms = parse_ms("--stale-ms", rest.next()),
+            other if root.is_none() && !other.starts_with('-') => root = Some(other.to_string()),
+            other => unknown("flag", other),
+        }
+    }
+    let root = PathBuf::from(root.unwrap_or_else(|| usage()));
+    let status = rats_dispatch::campaign_status(&root, stale_ms).unwrap_or_else(|e| fail(e));
+    println!("{status}");
 }
 
 fn cmd_worker(args: &[String]) {

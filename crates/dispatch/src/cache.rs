@@ -36,7 +36,7 @@ pub fn ensure_cache(root: &Path, spec: &ExperimentSpec) -> Result<(PathBuf, bool
         return Ok((path, false));
     }
     let scenarios = spec.scenarios();
-    let text = write_population(&scenarios, spec.seed, spec.suite.name());
+    let text = write_population(&scenarios, spec.seed, &spec.suite.name());
     let tmp = root.join(format!("{CACHE_FILE}.tmp-{}", std::process::id()));
     fs::write(&tmp, &text)?;
     fs::rename(&tmp, &path)?;

@@ -23,6 +23,9 @@
 //!   (`rats_daggen::population`), and read back by every worker.
 //! * [`worker`] — the worker loop: claim → adopt partial output from dead
 //!   predecessors → execute via the durable shard engine → mark done.
+//! * [`status`] — read-only observability: scan a campaign's queue
+//!   directory and report per-job state, stale-lease hints and progress
+//!   (the `campaign status` subcommand) without touching anything.
 //! * [`dispatcher`] — the orchestrator: plans from an inventory, spawns
 //!   local `campaign worker` processes, watches heartbeats, reclaims and
 //!   re-dispatches shards from dead or straggling workers, and finishes
@@ -45,12 +48,14 @@ pub mod cache;
 pub mod dispatcher;
 pub mod inventory;
 pub mod queue;
+pub mod status;
 pub mod worker;
 
 pub use cache::{ensure_cache, load_cache, CACHE_FILE};
 pub use dispatcher::{campaign_root, dispatch, DispatchConfig, DispatchReport};
 pub use inventory::{DispatchPlan, HostInventory, HostSpec, InventoryError, WorkerPlan};
 pub use queue::{JobState, Lease, QueueError, QueueStatus, WorkQueue};
+pub use status::{campaign_status, CampaignStatus, JobView};
 pub use worker::{run_worker, ChaosPhase, WorkerConfig, WorkerReport};
 
 /// Errors from the dispatch layer.

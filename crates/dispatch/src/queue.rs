@@ -316,7 +316,7 @@ impl WorkQueue {
         &self.spec_hash
     }
 
-    fn job_path(&self, job: usize, state: &str) -> PathBuf {
+    pub(crate) fn job_path(&self, job: usize, state: &str) -> PathBuf {
         self.dir
             .join(format!("job-{job}-of-{}.{state}", self.shard_count))
     }

@@ -1,0 +1,265 @@
+//! Read-only campaign observability: `campaign status`.
+//!
+//! A long paper-suite dispatch runs for hours across many worker
+//! processes; the only ground truth of its progress is the queue directory.
+//! [`campaign_status`] scans it **without mutating anything** — no
+//! reclaims, no sweeps, no reseeds — and reports per-job state
+//! (todo/claimed/done), which leases look stale, and a completed/total
+//! progress line. Safe to run at any time, from any host that mounts the
+//! campaign root, while the dispatcher and workers are live.
+//!
+//! Staleness here is advisory: with only one observation to work from, the
+//! scan falls back to the claim file's mtime against the local clock
+//! (unlike the dispatcher's reclaim logic, which watches lease *content
+//! change* over time and trusts no cross-host clock). A lease flagged
+//! stale by `status` is a hint to look closer, not proof of death.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::SystemTime;
+
+use crate::queue::{QueueStatus, WorkQueue};
+use crate::worker::load_root_spec;
+use crate::DispatchError;
+
+/// One job's observed state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobView {
+    /// Waiting to be claimed.
+    Todo,
+    /// Leased; `stale` leases have not changed for longer than the
+    /// threshold (by local-clock mtime — advisory only).
+    Claimed {
+        /// Lease holders (normally one; more means a conflict in flight).
+        workers: Vec<String>,
+        /// Whether every claim file's mtime is older than the threshold.
+        stale: bool,
+    },
+    /// Completed.
+    Done,
+    /// No file in any state (a rename mid-flight, or external deletion).
+    Missing,
+}
+
+/// The scan result: aggregate counts plus one [`JobView`] per job.
+#[derive(Debug, Clone)]
+pub struct CampaignStatus {
+    /// Campaign name (from the root's spec document).
+    pub name: String,
+    /// Suite tag.
+    pub suite: String,
+    /// Workload seed.
+    pub seed: u64,
+    /// Spec hash (the queue's identity key).
+    pub spec_hash: String,
+    /// Aggregate queue counts, derived from [`Self::jobs`] so the summary
+    /// can never contradict the per-job list. Unlike the raw
+    /// [`WorkQueue::status_of`] aggregate (which lumps file-less jobs in
+    /// with claimed, the dispatcher's conservative reading), `missing`
+    /// jobs are counted on their own here.
+    pub queue: QueueStatus,
+    /// Jobs with no file in any state (a rename mid-flight, or external
+    /// deletion the dispatcher would re-seed).
+    pub missing: usize,
+    /// Per-job state, indexed by shard job number.
+    pub jobs: Vec<JobView>,
+    /// Number of leased jobs whose every claim looks stale.
+    pub stale: usize,
+    /// The campaign root that was scanned.
+    pub root: PathBuf,
+}
+
+impl CampaignStatus {
+    /// Fraction of jobs completed, in `[0, 1]`.
+    pub fn progress(&self) -> f64 {
+        if self.queue.total == 0 {
+            1.0
+        } else {
+            self.queue.done as f64 / self.queue.total as f64
+        }
+    }
+}
+
+impl fmt::Display for CampaignStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "campaign `{}` — suite {}, seed {}, spec {} at {:?}",
+            self.name, self.suite, self.seed, self.spec_hash, self.root
+        )?;
+        for (job, view) in self.jobs.iter().enumerate() {
+            let line = match view {
+                JobView::Todo => "todo".to_string(),
+                JobView::Done => "done".to_string(),
+                JobView::Missing => "missing (rename in flight or externally deleted)".into(),
+                JobView::Claimed { workers, stale } => format!(
+                    "claimed by {}{}",
+                    workers.join(", "),
+                    if *stale { "  [stale?]" } else { "" }
+                ),
+            };
+            writeln!(f, "  job {job:>4}/{}  {line}", self.jobs.len())?;
+        }
+        if self.stale > 0 {
+            writeln!(
+                f,
+                "stale leases: {} (mtime-based hint; the dispatcher reclaims by \
+                 observed content change)",
+                self.stale
+            )?;
+        }
+        write!(
+            f,
+            "progress: {}/{} done ({:.1} %), {} leased, {} todo",
+            self.queue.done,
+            self.queue.total,
+            self.progress() * 100.0,
+            self.queue.claimed,
+            self.queue.todo
+        )?;
+        if self.missing > 0 {
+            write!(f, ", {} missing", self.missing)?;
+        }
+        Ok(())
+    }
+}
+
+/// Scans the campaign rooted at `root` (a directory created by `campaign
+/// dispatch`, holding `spec.json` and `queue/`). Claims whose file mtime is
+/// older than `stale_ms` are flagged stale. Strictly read-only.
+pub fn campaign_status(root: &Path, stale_ms: u64) -> Result<CampaignStatus, DispatchError> {
+    let spec = load_root_spec(root)?;
+    let queue = WorkQueue::attach(root, &spec)?;
+    let files = queue.scan()?;
+    let now = SystemTime::now();
+    let is_stale = |path: &Path| -> bool {
+        fs::metadata(path)
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|mtime| now.duration_since(mtime).ok())
+            .is_some_and(|age| age.as_millis() > u128::from(stale_ms))
+    };
+    let mut jobs = Vec::with_capacity(queue.shard_count());
+    let mut stale = 0usize;
+    for job in 0..queue.shard_count() {
+        let view = match files.get(&job) {
+            Some(f) if f.done => JobView::Done,
+            Some(f) if f.todo => JobView::Todo,
+            Some(f) if !f.claims.is_empty() => {
+                let all_stale = f
+                    .claims
+                    .iter()
+                    .all(|w| is_stale(&queue.job_path(job, &format!("claim-{w}"))));
+                if all_stale {
+                    stale += 1;
+                }
+                JobView::Claimed {
+                    workers: f.claims.clone(),
+                    stale: all_stale,
+                }
+            }
+            _ => JobView::Missing,
+        };
+        jobs.push(view);
+    }
+    // Aggregate counts come from the views just built, so the report's
+    // summary and its per-job list always agree (file-less jobs count as
+    // missing, not as claimed).
+    let count = |want: fn(&JobView) -> bool| jobs.iter().filter(|v| want(v)).count();
+    let aggregate = QueueStatus {
+        total: jobs.len(),
+        todo: count(|v| matches!(v, JobView::Todo)),
+        claimed: count(|v| matches!(v, JobView::Claimed { .. })),
+        done: count(|v| matches!(v, JobView::Done)),
+    };
+    Ok(CampaignStatus {
+        name: spec.name.clone(),
+        suite: spec.suite.name(),
+        seed: spec.seed,
+        spec_hash: spec.spec_hash(),
+        queue: aggregate,
+        missing: count(|v| matches!(v, JobView::Missing)),
+        jobs,
+        stale,
+        root: root.to_path_buf(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::SPEC_FILE;
+    use rats_experiments::spec::{ExperimentSpec, SuiteSpec};
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rats-status-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn status_reports_states_without_mutating() {
+        let root = temp_root("basic");
+        let spec = ExperimentSpec::naive("st", "grillon", SuiteSpec::Mini, 3);
+        fs::write(root.join(SPEC_FILE), format!("{}\n", spec.to_json())).unwrap();
+        let queue = WorkQueue::init(&root, &spec, 3).unwrap();
+        let lease = queue.claim("w0").unwrap().unwrap();
+        let done = queue.claim("w1").unwrap().unwrap();
+        queue.mark_done(&done).unwrap();
+
+        let status = campaign_status(&root, 60_000).unwrap();
+        assert_eq!(status.queue.total, 3);
+        assert_eq!(status.queue.done, 1);
+        assert_eq!(status.queue.claimed, 1);
+        assert_eq!(status.queue.todo, 1);
+        assert_eq!(status.stale, 0, "fresh lease is not stale");
+        assert!(matches!(
+            &status.jobs[lease.job],
+            JobView::Claimed { workers, stale: false } if workers == &vec!["w0".to_string()]
+        ));
+        assert!((status.progress() - 1.0 / 3.0).abs() < 1e-12);
+        let rendered = status.to_string();
+        assert!(rendered.contains("claimed by w0"), "{rendered}");
+        assert!(rendered.contains("1/3 done"), "{rendered}");
+
+        // A zero threshold flags the live lease as stale — advisory only.
+        // (Give the claim file's mtime a moment to age past 0 ms.)
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let status = campaign_status(&root, 0).unwrap();
+        assert_eq!(status.stale, 1);
+        assert!(status.to_string().contains("[stale?]"));
+
+        // The scan mutated nothing: the same queue state is still there.
+        let again = campaign_status(&root, 60_000).unwrap();
+        assert_eq!(again.queue, status.queue);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn file_less_jobs_count_as_missing_not_leased() {
+        let root = temp_root("missing");
+        let spec = ExperimentSpec::naive("mi", "grillon", SuiteSpec::Mini, 4);
+        fs::write(root.join(SPEC_FILE), format!("{}\n", spec.to_json())).unwrap();
+        let queue = WorkQueue::init(&root, &spec, 2).unwrap();
+        fs::remove_file(queue.dir().join("job-1-of-2.todo")).unwrap();
+        let status = campaign_status(&root, 60_000).unwrap();
+        assert_eq!(status.jobs[1], JobView::Missing);
+        assert_eq!(status.missing, 1);
+        assert_eq!(status.queue.claimed, 0, "missing is not leased");
+        let rendered = status.to_string();
+        assert!(
+            rendered.contains("0 leased, 1 todo, 1 missing"),
+            "{rendered}"
+        );
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn status_rejects_a_rootless_directory() {
+        let root = temp_root("empty");
+        assert!(campaign_status(&root, 1000).is_err());
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

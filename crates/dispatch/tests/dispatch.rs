@@ -2,15 +2,18 @@
 //! worker OS processes — including workers killed mid-shard and reclaimed
 //! — merges to the bit-identical in-process outcome.
 
+mod common;
+
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
+use common::{assert_outcomes_bit_identical, temp_dir};
 use rats_dispatch::dispatcher::{campaign_root, collect_shard_files_recursive};
 use rats_dispatch::worker::{ChaosPhase, SHARDS_DIR, SPEC_FILE};
 use rats_dispatch::{dispatch, DispatchConfig, HostInventory, WorkQueue};
 use rats_experiments::shard::merge_shards;
-use rats_experiments::spec::{ExperimentSpec, SpecOutcome, SuiteSpec};
+use rats_experiments::spec::{ExperimentSpec, SuiteSpec};
 
 /// The `campaign` binary of this crate (built by cargo for us).
 fn campaign_exe() -> PathBuf {
@@ -18,10 +21,7 @@ fn campaign_exe() -> PathBuf {
 }
 
 fn temp_out(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("rats-dispatch-{tag}-{}", std::process::id()));
-    let _ = fs::remove_dir_all(&dir);
-    fs::create_dir_all(&dir).unwrap();
-    dir
+    temp_dir(&format!("dispatch-{tag}"))
 }
 
 fn mini_spec(name: &str, seed: u64) -> ExperimentSpec {
@@ -36,31 +36,6 @@ fn test_config(out: &Path, workers: usize) -> DispatchConfig {
     cfg.stale_ms = 600;
     cfg.timeout_ms = 120_000;
     cfg
-}
-
-fn assert_outcomes_bit_identical(merged: &SpecOutcome, reference: &SpecOutcome) {
-    assert_eq!(merged.clusters.len(), reference.clusters.len());
-    for (mc, rc) in merged.clusters.iter().zip(&reference.clusters) {
-        assert_eq!(mc.cluster, rc.cluster);
-        assert_eq!(mc.results.len(), rc.results.len());
-        for (ma, ra) in mc.results.iter().zip(&rc.results) {
-            assert_eq!(ma.name, ra.name);
-            assert_eq!(ma.runs.len(), ra.runs.len());
-            for (mr, rr) in ma.runs.iter().zip(&ra.runs) {
-                assert_eq!(mr.scenario_id, rr.scenario_id);
-                assert_eq!(mr.family, rr.family);
-                assert_eq!(
-                    mr.makespan.to_bits(),
-                    rr.makespan.to_bits(),
-                    "makespan differs for {} scenario {}",
-                    ma.name,
-                    mr.scenario_id
-                );
-                assert_eq!(mr.work.to_bits(), rr.work.to_bits());
-            }
-        }
-    }
-    assert_eq!(merged.render(), reference.render());
 }
 
 #[test]
@@ -80,6 +55,63 @@ fn dispatched_campaign_is_bit_identical_to_in_process() {
     assert!(report.root.join("scenarios.cache").is_file());
     let worker_dirs = fs::read_dir(report.root.join(SHARDS_DIR)).unwrap().count();
     assert!(worker_dirs >= 2, "expected multiple worker shard dirs");
+    fs::remove_dir_all(&out).unwrap();
+}
+
+/// A `SuiteSpec::Custom` campaign — synthesized families on generated
+/// star/bus/heterogeneous clusters — dispatched across two real worker
+/// processes merges to the bit-identical in-process outcome, with the
+/// custom population served from the shared cache.
+#[test]
+fn dispatched_custom_workload_is_bit_identical_to_in_process() {
+    let toml = "name = \"dispatch-custom\"\n\
+                seed = 808\n\
+                suite = \"custom\"\n\
+                total = 5\n\
+                threads = 2\n\
+                clusters = [\"edge\", \"ether\"]\n\
+                \n\
+                [[strategies]]\n\
+                kind = \"hcpa\"\n\
+                \n\
+                [[strategies]]\n\
+                kind = \"time-cost\"\n\
+                minrho = 0.5\n\
+                \n\
+                [[families]]\n\
+                kind = \"irregular\"\n\
+                count = 2\n\
+                n = [20, 30]\n\
+                width = \"uniform(0.3, 0.7)\"\n\
+                \n\
+                [[families]]\n\
+                kind = \"out-tree\"\n\
+                depth = 2\n\
+                arity = 3\n\
+                ccr = \"loguniform(0.5, 2.0)\"\n\
+                \n\
+                [[topologies]]\n\
+                name = \"edge\"\n\
+                kind = \"star\"\n\
+                procs = 9\n\
+                backbone_mbps = 250.0\n\
+                \n\
+                [[topologies]]\n\
+                name = \"ether\"\n\
+                kind = \"bus\"\n\
+                procs = 6\n\
+                backbone_mbps = 25.0\n";
+    let spec = ExperimentSpec::from_toml(toml).unwrap();
+    let reference = spec.run().unwrap();
+    let out = temp_out("custom");
+    let cfg = test_config(&out, 2);
+    let report = dispatch(&spec, &cfg).unwrap();
+    assert!(report.cache_written, "custom population cache written once");
+    assert_outcomes_bit_identical(&report.outcome, &reference);
+    // The cache on disk is the custom population, tagged by content.
+    let cache = fs::read_to_string(report.root.join("scenarios.cache")).unwrap();
+    assert!(cache.contains("suite custom-"), "tag records the workload");
+    assert!(cache.contains("OutTree"), "synthesized families serialized");
     fs::remove_dir_all(&out).unwrap();
 }
 

@@ -50,6 +50,8 @@ pub fn table2() -> String {
                 nodes_per_cabinet,
                 ..
             } => format!("{cabinets}x{nodes_per_cabinet} cab"),
+            rats_platform::TopologySpec::Star { .. } => "star".to_string(),
+            rats_platform::TopologySpec::Bus { .. } => "bus".to_string(),
         };
         let _ = writeln!(
             out,
@@ -72,7 +74,7 @@ pub fn table3(quick: bool) -> String {
     out.push_str("jump (irregular)   : 1, 2, 4\n");
     out.push_str("#samples           : 3 (random), 25 (FFT per k, Strassen)\n\n");
     let _ = writeln!(out, "realized population ({} configurations):", suite.len());
-    for f in AppFamily::ALL {
+    for f in AppFamily::PAPER {
         let n = suite.iter().filter(|s| s.family == f).count();
         let tasks: usize = suite
             .iter()
@@ -265,14 +267,14 @@ pub fn table4(quick: bool, threads: usize, thin: usize) -> String {
         }
     );
     let _ = write!(out, "{:<10}", "cluster");
-    for f in AppFamily::ALL {
+    for f in AppFamily::PAPER {
         let _ = write!(out, "{:>22}", f.name());
     }
     out.push('\n');
     for platform in clusters() {
         let prepared = prepare(&platform, quick, threads);
         let _ = write!(out, "{:<10}", platform.name());
-        for family in AppFamily::ALL {
+        for family in AppFamily::PAPER {
             let fam: Vec<PreparedScenario> = prepared
                 .iter()
                 .filter(|p| p.scenario.family == family)

@@ -50,7 +50,7 @@ pub use shard::{
     collect_shard_files, merge_shards, read_shard_file, run_shard, run_shard_with_scenarios,
     shard_file_name, MergeError, ShardError, ShardManifest, ShardRun,
 };
-pub use spec::{ExperimentSpec, SpecError, SpecOutcome, StrategySpec, SuiteSpec};
+pub use spec::{ExperimentSpec, SpecError, SpecOutcome, StrategySpec, SuiteSpec, SUITE_NAMES};
 pub use stats::{degradation_from_best, pairwise, summarize, Degradation, PairwiseCount};
 pub use tuning::{
     paper_tuned, sweep_specs, sweep_strategies, sweep_tables, tune_family, SweepTables,

@@ -37,7 +37,7 @@ use crate::campaign::{AlgoResults, PreparedScenario};
 use crate::grid::{JobId, ShardSpec};
 use crate::record::RunRecord;
 use crate::runner::{default_threads, parallel_map};
-use crate::spec::{cluster_by_name, ClusterResults, ExperimentSpec, SpecError, SpecOutcome};
+use crate::spec::{ClusterResults, ExperimentSpec, SpecError, SpecOutcome};
 
 /// Number of jobs evaluated between appends — the upper bound on work a
 /// crash can lose per cluster batch.
@@ -362,7 +362,7 @@ pub fn run_shard_with_scenarios(
         if cluster_jobs.is_empty() {
             continue;
         }
-        let platform = Platform::from_spec(&cluster_by_name(cluster_name)?);
+        let platform = Platform::from_spec(&spec.cluster_spec(cluster_name)?);
         // Step one (the shared HCPA allocation) only for the scenarios this
         // shard actually touches on this cluster.
         let needed: Vec<usize> = {

@@ -38,6 +38,7 @@ use rats_daggen::suite::{self, Scenario};
 use rats_model::CostParams;
 use rats_platform::{ClusterSpec, Platform};
 use rats_sched::{MappingStrategy, StrategyError};
+use rats_workloads::WorkloadSpec;
 use serde::{Deserialize, Serialize, Value};
 
 use crate::campaign::{run_campaign, AlgoResults, PreparedScenario};
@@ -46,20 +47,31 @@ use crate::runner::default_threads;
 use crate::stats;
 
 /// Which scenario population a campaign runs on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum SuiteSpec {
     /// The paper's full 557-configuration population.
     Paper,
     /// The smoke-test population (one scenario per family).
     #[default]
     Mini,
+    /// A synthesized population: declarative DAG families and generated
+    /// cluster topologies (see the `rats-workloads` crate). Serialized as
+    /// `suite = "custom"` plus top-level `[[families]]` / `[[topologies]]`
+    /// tables.
+    Custom(WorkloadSpec),
 }
+
+/// Every suite name a spec document may carry. The parse error for an
+/// unknown suite enumerates this list, so it can never go stale against
+/// the accepted set.
+pub const SUITE_NAMES: [&str; 3] = ["paper", "mini", "custom"];
 
 impl SuiteSpec {
     fn as_str(&self) -> &'static str {
         match self {
             SuiteSpec::Paper => "paper",
             SuiteSpec::Mini => "mini",
+            SuiteSpec::Custom(_) => "custom",
         }
     }
 
@@ -69,17 +81,48 @@ impl SuiteSpec {
         match self {
             SuiteSpec::Paper => suite::SUITE_COUNT,
             SuiteSpec::Mini => suite::MINI_COUNT,
+            SuiteSpec::Custom(w) => w.len(),
         }
     }
 
-    /// Suites are never empty.
+    /// Suites are never empty (validation rejects empty custom specs).
     pub fn is_empty(&self) -> bool {
-        false
+        self.len() == 0
     }
 
-    /// The suite's stable tag (what [`ExperimentSpec`] documents serialize).
-    pub fn name(&self) -> &'static str {
-        self.as_str()
+    /// The suite's population tag: `paper`/`mini`, or `custom-<8 hex>` —
+    /// content-derived, so two different custom workloads never share a
+    /// tag. Population cache files record and validate it.
+    pub fn name(&self) -> String {
+        match self {
+            SuiteSpec::Custom(w) => w.tag(),
+            other => other.as_str().to_string(),
+        }
+    }
+
+    /// A plain-text population census (counts per family, generated
+    /// clusters) computed from the spec alone — what `campaign describe`
+    /// prints.
+    pub fn census(&self) -> String {
+        match self {
+            SuiteSpec::Paper => format!(
+                "population: {} scenarios (paper Table III)\n  \
+                 Layered    {:>6} scenarios\n  Random     {:>6} scenarios\n  \
+                 FFT        {:>6} scenarios\n  Strassen   {:>6} scenarios\n\
+                 clusters: none generated (paper presets only)\n",
+                suite::SUITE_COUNT,
+                suite::LAYERED_COUNT,
+                suite::IRREGULAR_COUNT,
+                suite::FFT_COUNT,
+                suite::STRASSEN_COUNT
+            ),
+            SuiteSpec::Mini => format!(
+                "population: {} scenarios (mini smoke suite, all four paper \
+                 families)\nclusters: none generated (paper presets only)\n",
+                suite::MINI_COUNT
+            ),
+            SuiteSpec::Custom(w) => w.census(),
+        }
     }
 }
 
@@ -285,7 +328,9 @@ impl ExperimentSpec {
         serde_json::to_string_pretty(self).expect("specs always serialize")
     }
 
-    /// Validates the executable parts: strategies and cluster names.
+    /// Validates the executable parts: strategies, the suite (custom
+    /// workloads validate their families and topology generators) and
+    /// cluster names — paper presets or clusters the suite generates.
     pub fn validate(&self) -> Result<(), SpecError> {
         if self.strategies.is_empty() {
             return Err(SpecError::Invalid(
@@ -300,13 +345,34 @@ impl ExperimentSpec {
         for s in &self.strategies {
             s.to_strategy().map_err(SpecError::Strategy)?;
         }
+        if let SuiteSpec::Custom(w) = &self.suite {
+            w.validate().map_err(SpecError::Invalid)?;
+        }
         for c in &self.clusters {
-            cluster_by_name(c)?;
+            self.cluster_spec(c)?;
         }
         if let Some(shard) = self.shard {
             shard.validate().map_err(SpecError::Invalid)?;
         }
         Ok(())
+    }
+
+    /// Resolves a cluster name: the paper presets (`chti`, `grillon`,
+    /// `grelon`) plus — for custom suites — every cluster the workload's
+    /// topology generators emit.
+    pub fn cluster_spec(&self, name: &str) -> Result<ClusterSpec, SpecError> {
+        if let Some(c) = ClusterSpec::paper_clusters()
+            .into_iter()
+            .find(|c| c.name == name)
+        {
+            return Ok(c);
+        }
+        if let SuiteSpec::Custom(w) = &self.suite {
+            if let Some(c) = w.clusters().into_iter().find(|c| c.name == name) {
+                return Ok(c);
+            }
+        }
+        Err(SpecError::UnknownCluster(name.to_string()))
     }
 
     /// The job grid this spec enumerates: `clusters × scenarios ×
@@ -343,9 +409,10 @@ impl ExperimentSpec {
     /// this — the two paths produce bit-identical scenarios.
     pub fn scenarios(&self) -> Vec<Scenario> {
         let cost = CostParams::paper();
-        match self.suite {
+        match &self.suite {
             SuiteSpec::Paper => suite::paper_suite(&cost, self.seed),
             SuiteSpec::Mini => suite::mini_suite(&cost, self.seed),
+            SuiteSpec::Custom(w) => w.generate(&cost, self.seed),
         }
     }
 
@@ -370,10 +437,13 @@ impl ExperimentSpec {
             .iter()
             .map(|s| s.to_strategy().map_err(SpecError::Strategy))
             .collect::<Result<_, _>>()?;
+        // Generate the population once; per-cluster preparation only
+        // re-allocates (step one), it never regenerates DAGs.
+        let scenarios = self.scenarios();
         let mut clusters = Vec::new();
         for name in &self.clusters {
-            let platform = Platform::from_spec(&cluster_by_name(name)?);
-            let prepared = PreparedScenario::prepare(self.scenarios(), &platform, threads);
+            let platform = Platform::from_spec(&self.cluster_spec(name)?);
+            let prepared = PreparedScenario::prepare(scenarios.clone(), &platform, threads);
             let results = run_campaign(&prepared, &platform, &strategies, threads);
             clusters.push(ClusterResults {
                 cluster: name.clone(),
@@ -395,6 +465,16 @@ impl Serialize for ExperimentSpec {
             .insert("suite", self.suite.as_str())
             .insert("clusters", &self.clusters)
             .insert("strategies", &self.strategies);
+        if let SuiteSpec::Custom(w) = &self.suite {
+            // The workload's fields flatten into the spec document
+            // (`[[families]]`, `[[topologies]]`, `total`), keeping the TOML
+            // form within the flat table/array-of-tables subset.
+            if let Value::Table(fields) = w.serialize() {
+                for (key, value) in fields {
+                    t.insert(&key, &value);
+                }
+            }
+        }
         if let Some(threads) = self.threads {
             t.insert("threads", &threads);
         }
@@ -411,9 +491,11 @@ impl Deserialize for ExperimentSpec {
         let suite = match suite_name.as_str() {
             "paper" => SuiteSpec::Paper,
             "mini" => SuiteSpec::Mini,
+            "custom" => SuiteSpec::Custom(WorkloadSpec::deserialize(v)?),
             other => {
                 return Err(serde::Error::new(format!(
-                    "unknown suite `{other}` (expected paper/mini)"
+                    "unknown suite `{other}` (expected one of: {})",
+                    SUITE_NAMES.join(", ")
                 )))
             }
         };
@@ -456,7 +538,7 @@ impl SpecOutcome {
         let mut out = format!(
             "# campaign `{}` — suite {}, seed {}\n",
             self.spec.name,
-            self.spec.suite.as_str(),
+            self.spec.suite.name(),
             self.spec.seed
         );
         for cr in &self.clusters {
@@ -506,20 +588,14 @@ impl fmt::Display for SpecError {
             SpecError::Strategy(e) => write!(f, "invalid strategy: {e}"),
             SpecError::UnknownCluster(c) => write!(
                 f,
-                "unknown cluster `{c}` (expected chti, grillon or grelon)"
+                "unknown cluster `{c}` (not a paper preset — chti, grillon, grelon — \
+                 and not generated by the spec's topologies)"
             ),
         }
     }
 }
 
 impl std::error::Error for SpecError {}
-
-pub(crate) fn cluster_by_name(name: &str) -> Result<ClusterSpec, SpecError> {
-    ClusterSpec::paper_clusters()
-        .into_iter()
-        .find(|c| c.name == name)
-        .ok_or_else(|| SpecError::UnknownCluster(name.to_string()))
-}
 
 #[cfg(test)]
 mod tests {
@@ -645,6 +721,139 @@ mod tests {
         assert_eq!(grid.scenarios(), SuiteSpec::Mini.len());
         assert_eq!(grid.strategies(), 4);
         assert_eq!(SuiteSpec::Paper.len(), 557);
+    }
+
+    /// A small custom campaign: three DAG families, a star cluster and a
+    /// heterogeneous-speed sweep, mixed with a paper preset.
+    fn custom_toml() -> &'static str {
+        "name = \"custom-smoke\"\n\
+         seed = 5\n\
+         suite = \"custom\"\n\
+         total = 6\n\
+         clusters = [\"edge\", \"het-p8x2\", \"grillon\"]\n\
+         \n\
+         [[strategies]]\n\
+         kind = \"hcpa\"\n\
+         \n\
+         [[strategies]]\n\
+         kind = \"time-cost\"\n\
+         minrho = 0.5\n\
+         \n\
+         [[families]]\n\
+         kind = \"chain\"\n\
+         count = 2\n\
+         n = [5, 9]\n\
+         \n\
+         [[families]]\n\
+         kind = \"fork-join\"\n\
+         stages = 2\n\
+         branches = 3\n\
+         weight = 1.0\n\
+         \n\
+         [[families]]\n\
+         kind = \"out-tree\"\n\
+         depth = 2\n\
+         ccr = \"loguniform(0.5, 2.0)\"\n\
+         \n\
+         [[topologies]]\n\
+         name = \"edge\"\n\
+         kind = \"star\"\n\
+         procs = 9\n\
+         backbone_mbps = 250.0\n\
+         \n\
+         [[topologies]]\n\
+         name = \"het\"\n\
+         kind = \"flat\"\n\
+         procs = [8, 16]\n\
+         gflops = [2.0, 6.0]\n"
+    }
+
+    #[test]
+    fn custom_suite_round_trips_and_validates() {
+        let spec = ExperimentSpec::from_toml(custom_toml()).unwrap();
+        assert!(matches!(spec.suite, SuiteSpec::Custom(_)));
+        assert_eq!(spec.suite.len(), 6);
+        spec.validate().unwrap();
+        // TOML and JSON round trips preserve the whole workload.
+        let toml = spec.to_toml();
+        assert_eq!(ExperimentSpec::from_toml(&toml).unwrap(), spec);
+        let json = spec.to_json();
+        assert_eq!(ExperimentSpec::from_json(&json).unwrap(), spec);
+        // The suite tag is content-derived and stable across round trips.
+        let tag = spec.suite.name();
+        assert!(tag.starts_with("custom-"), "{tag}");
+        assert_eq!(ExperimentSpec::from_toml(&toml).unwrap().suite.name(), tag);
+        // The census is computable without generating any DAG.
+        let census = spec.suite.census();
+        assert!(census.contains("6 scenarios"), "{census}");
+        assert!(census.contains("het-p16x6"), "{census}");
+    }
+
+    #[test]
+    fn custom_suite_generates_and_executes() {
+        let mut spec = ExperimentSpec::from_toml(custom_toml()).unwrap();
+        spec.threads = Some(2);
+        let scenarios = spec.scenarios();
+        assert_eq!(scenarios.len(), 6);
+        for (i, s) in scenarios.iter().enumerate() {
+            assert_eq!(s.id, i);
+            s.dag.validate().unwrap();
+        }
+        let outcome = spec.run().unwrap();
+        assert_eq!(outcome.clusters.len(), 3);
+        assert_eq!(outcome.clusters[0].cluster, "edge");
+        for cr in &outcome.clusters {
+            for algo in &cr.results {
+                assert_eq!(algo.runs.len(), 6);
+                assert!(algo.runs.iter().all(|r| r.makespan > 0.0));
+            }
+        }
+        let report = outcome.render();
+        assert!(report.contains("suite custom-"), "{report}");
+    }
+
+    #[test]
+    fn suite_errors_enumerate_accepted_names() {
+        let toml = "name = \"x\"\nsuite = \"paperclip\"\nclusters = [\"chti\"]\n\
+                    [[strategies]]\nkind = \"hcpa\"\n";
+        let err = ExperimentSpec::from_toml(toml).unwrap_err().to_string();
+        for name in SUITE_NAMES {
+            assert!(err.contains(name), "`{name}` missing from: {err}");
+        }
+    }
+
+    #[test]
+    fn custom_suite_validation_failures_are_spec_errors() {
+        // A generated-cluster name referenced without its generator.
+        let doc = custom_toml().replace("name = \"edge\"", "name = \"fringe\"");
+        let spec = ExperimentSpec::from_toml(&doc).unwrap();
+        match spec.validate() {
+            Err(SpecError::UnknownCluster(c)) => assert_eq!(c, "edge"),
+            other => panic!("expected UnknownCluster, got {other:?}"),
+        }
+        // An invalid family parameter surfaces as Invalid.
+        let doc = custom_toml().replace("branches = 3", "branches = 0");
+        let spec = ExperimentSpec::from_toml(&doc).unwrap();
+        assert!(matches!(spec.validate(), Err(SpecError::Invalid(_))));
+        // An unknown family kind fails at parse time, naming the kinds.
+        let doc = custom_toml().replace("kind = \"chain\"", "kind = \"butterfly\"");
+        let err = ExperimentSpec::from_toml(&doc).unwrap_err().to_string();
+        assert!(
+            err.contains("butterfly") && err.contains("fork-join"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn custom_spec_hash_tracks_workload_content() {
+        let a = ExperimentSpec::from_toml(custom_toml()).unwrap();
+        let mut b = ExperimentSpec::from_toml(custom_toml()).unwrap();
+        assert_eq!(a.spec_hash(), b.spec_hash());
+        if let SuiteSpec::Custom(w) = &mut b.suite {
+            w.families[1].branches = rats_workloads::IntDist::Fixed(4);
+        }
+        assert_ne!(a.spec_hash(), b.spec_hash());
+        assert_ne!(a.suite.name(), b.suite.name());
     }
 
     #[test]

@@ -395,7 +395,7 @@ mod tests {
     #[test]
     fn paper_tuned_covers_all_combinations() {
         for cluster in ["chti", "grillon", "grelon"] {
-            for family in AppFamily::ALL {
+            for family in AppFamily::PAPER {
                 let t = paper_tuned(family, cluster);
                 assert!(t.maxdelta <= 1.0 && t.minrho > 0.0);
             }

@@ -64,6 +64,100 @@ fn assert_outcomes_bit_identical(merged: &SpecOutcome, reference: &SpecOutcome) 
     assert_eq!(merged.render(), reference.render());
 }
 
+/// A custom workload campaign: three synthesized DAG families on a star
+/// platform, a slow bus and one cell of a heterogeneous-speed sweep.
+fn custom_spec(name: &str, seed: u64) -> ExperimentSpec {
+    let toml = format!(
+        "name = \"{name}\"\n\
+         seed = {seed}\n\
+         suite = \"custom\"\n\
+         total = 5\n\
+         threads = 2\n\
+         clusters = [\"edge\", \"ether\", \"het-p8x4\"]\n\
+         \n\
+         [[strategies]]\n\
+         kind = \"hcpa\"\n\
+         \n\
+         [[strategies]]\n\
+         kind = \"delta\"\n\
+         mindelta = 0.5\n\
+         maxdelta = 0.5\n\
+         \n\
+         [[families]]\n\
+         kind = \"fork-join\"\n\
+         count = 2\n\
+         stages = \"range(2, 3)\"\n\
+         branches = 4\n\
+         \n\
+         [[families]]\n\
+         kind = \"irregular\"\n\
+         n = [20, 30]\n\
+         width = \"uniform(0.3, 0.7)\"\n\
+         \n\
+         [[families]]\n\
+         kind = \"in-tree\"\n\
+         depth = 3\n\
+         ccr = \"loguniform(0.5, 2.0)\"\n\
+         \n\
+         [[topologies]]\n\
+         name = \"edge\"\n\
+         kind = \"star\"\n\
+         procs = 9\n\
+         backbone_mbps = 250.0\n\
+         \n\
+         [[topologies]]\n\
+         name = \"ether\"\n\
+         kind = \"bus\"\n\
+         procs = 6\n\
+         backbone_mbps = 12.5\n\
+         \n\
+         [[topologies]]\n\
+         name = \"het\"\n\
+         kind = \"flat\"\n\
+         procs = [8, 16]\n\
+         gflops = [2.0, 4.0]\n"
+    );
+    ExperimentSpec::from_toml(&toml).unwrap()
+}
+
+#[test]
+fn custom_suite_shard_count_invariance() {
+    // The acceptance invariant for SuiteSpec::Custom: spec → shard → merge
+    // reproduces spec.run() bit for bit, at every shard granularity, on
+    // generated star/bus/heterogeneous clusters.
+    let spec = custom_spec("custom-invariance", 2026);
+    let reference = spec.run().unwrap();
+    for n in 1..=3usize {
+        let dir = temp_dir(&format!("custom{n}"));
+        let files = run_all_shards(&spec, n, &dir);
+        let merged = merge_shards(&files).unwrap();
+        assert_outcomes_bit_identical(&merged, &reference);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn custom_campaigns_with_different_workloads_do_not_merge() {
+    // Same name, seed and counts — but different family parameters, so the
+    // spec hashes (and suite tags) differ and merge must refuse.
+    let dir_a = temp_dir("custom-a");
+    let dir_b = temp_dir("custom-b");
+    let a = custom_spec("mixed", 7);
+    let mut b = custom_spec("mixed", 7);
+    if let rats_experiments::spec::SuiteSpec::Custom(w) = &mut b.suite {
+        w.families[0].branches = rats_workloads::IntDist::Fixed(5);
+    }
+    assert_ne!(a.spec_hash(), b.spec_hash());
+    let fa = run_all_shards(&a, 2, &dir_a);
+    let fb = run_all_shards(&b, 2, &dir_b);
+    match merge_shards(&[fa[0].clone(), fb[1].clone()]) {
+        Err(MergeError::SpecMismatch { .. }) => {}
+        other => panic!("expected SpecMismatch, got {other:?}"),
+    }
+    fs::remove_dir_all(&dir_a).unwrap();
+    fs::remove_dir_all(&dir_b).unwrap();
+}
+
 #[test]
 fn shard_count_invariance() {
     let spec = mini_spec("invariance", 77);

@@ -6,14 +6,21 @@
 //! the **bounded multi-port** model: a node may exchange data with several
 //! peers at once, but all its flows share the private link's bandwidth.
 //!
-//! Two interconnect layouts are modelled, as in the paper:
+//! Four interconnect layouts are modelled — the paper's two plus the star
+//! and bus platforms of the redistribution-strategy literature
+//! (arXiv:cs/0610131), which the workload-synthesis subsystem emits:
 //!
 //! * **flat** — every node hangs off one big switch (small clusters, ≤64
 //!   nodes); a flow crosses the sender's and the receiver's private links;
 //! * **hierarchical** — nodes are grouped in cabinets, each cabinet has its
 //!   own switch connected to a top-level switch (the paper's `grelon`,
 //!   5 cabinets × 24 nodes); inter-cabinet flows additionally cross the two
-//!   cabinet uplinks.
+//!   cabinet uplinks;
+//! * **star** — hub-and-spoke: every remote flow crosses the sender's
+//!   spoke, the shared central hub and the receiver's spoke, so the hub's
+//!   capacity bounds the cluster's aggregate redistribution rate;
+//! * **bus** — one shared medium crossed by every remote flow and nothing
+//!   else: all transfers in flight contend for the same capacity.
 //!
 //! To mimic gigabit TCP behaviour, the per-flow rate is capped by the
 //! *empirical bandwidth* `β' = min(β, Wmax / RTT)` where `Wmax` is the
@@ -58,6 +65,10 @@ pub struct Platform {
     cabinet_of: Option<Vec<u32>>,
     /// Link id of each cabinet's uplink (empty for flat topologies).
     uplink_of_cabinet: Vec<LinkId>,
+    /// The central hub link of a star topology.
+    hub: Option<LinkId>,
+    /// The shared medium of a bus topology (remote routes cross only it).
+    bus: Option<LinkId>,
 }
 
 impl Platform {
@@ -74,29 +85,37 @@ impl Platform {
                 bandwidth_bps: spec.node_link.bandwidth_bps,
             })
             .collect();
-        let (cabinet_of, uplink_of_cabinet) = match &spec.topology {
-            TopologySpec::Flat => (None, Vec::new()),
+        let mut cabinet_of = None;
+        let mut uplink_of_cabinet = Vec::new();
+        let mut hub = None;
+        let mut bus = None;
+        let push_link = |links: &mut Vec<Link>, l: &crate::spec::LinkSpec| {
+            let id = LinkId::from_index(links.len());
+            links.push(Link {
+                latency_s: l.latency_s,
+                bandwidth_bps: l.bandwidth_bps,
+            });
+            id
+        };
+        match &spec.topology {
+            TopologySpec::Flat => {}
             TopologySpec::Hierarchical {
                 cabinets,
                 nodes_per_cabinet,
                 uplink,
             } => {
-                let cab: Vec<u32> = (0..p)
-                    .map(|i| (i / nodes_per_cabinet).min(cabinets - 1))
+                cabinet_of = Some(
+                    (0..p)
+                        .map(|i| (i / nodes_per_cabinet).min(cabinets - 1))
+                        .collect::<Vec<u32>>(),
+                );
+                uplink_of_cabinet = (0..*cabinets)
+                    .map(|_| push_link(&mut links, uplink))
                     .collect();
-                let uplinks: Vec<LinkId> = (0..*cabinets)
-                    .map(|_| {
-                        let id = LinkId::from_index(links.len());
-                        links.push(Link {
-                            latency_s: uplink.latency_s,
-                            bandwidth_bps: uplink.bandwidth_bps,
-                        });
-                        id
-                    })
-                    .collect();
-                (Some(cab), uplinks)
             }
-        };
+            TopologySpec::Star { hub: h } => hub = Some(push_link(&mut links, h)),
+            TopologySpec::Bus { bus: b } => bus = Some(push_link(&mut links, b)),
+        }
         Self {
             name: spec.name.clone(),
             num_procs: p,
@@ -105,6 +124,8 @@ impl Platform {
             links,
             cabinet_of,
             uplink_of_cabinet,
+            hub,
+            bus,
         }
     }
 
@@ -166,6 +187,18 @@ impl Platform {
         self.cabinet_of.is_some()
     }
 
+    /// The central hub link of a star topology, if any.
+    #[inline]
+    pub fn hub_link(&self) -> Option<LinkId> {
+        self.hub
+    }
+
+    /// The shared medium of a bus topology, if any.
+    #[inline]
+    pub fn bus_link(&self) -> Option<LinkId> {
+        self.bus
+    }
+
     /// The route from `src` to `dst`: the ordered links a flow crosses plus
     /// the accumulated one-way latency. Self-routes (`src == dst`) cross no
     /// link and have zero latency (intra-node copies are free, matching the
@@ -184,7 +217,16 @@ impl Platform {
             *latency += self.links[id.index()].latency_s;
             len += 1;
         };
+        // Bus topologies route every remote flow over the one shared
+        // medium — node spokes do not exist as separate resources.
+        if let Some(bus) = self.bus {
+            push(bus, &mut links, &mut latency);
+            return Route::new(links, len, latency);
+        }
         push(self.node_link(src), &mut links, &mut latency);
+        if let Some(hub) = self.hub {
+            push(hub, &mut links, &mut latency);
+        }
         if let Some(cab) = &self.cabinet_of {
             let (cs, cd) = (cab[src as usize], cab[dst as usize]);
             if cs != cd {
@@ -313,6 +355,47 @@ mod tests {
             assert_eq!(p.route(a, b).links().len(), p.route(b, a).links().len());
             assert!((p.route(a, b).latency_s - p.route(b, a).latency_s).abs() < 1e-15);
         }
+    }
+
+    #[test]
+    fn star_routes_cross_spokes_and_hub() {
+        let hub = LinkSpec {
+            latency_s: 50e-6,
+            bandwidth_bps: 250e6,
+        };
+        let p = Platform::from_spec(&ClusterSpec::star("orion", 8, 2.0, hub));
+        assert_eq!(p.num_links(), 8 + 1);
+        let hub_id = p.hub_link().unwrap();
+        assert_eq!(hub_id.index(), 8);
+        let r = p.route(1, 5);
+        assert_eq!(r.links(), &[p.node_link(1), hub_id, p.node_link(5)]);
+        assert!((r.latency_s - (100e-6 + 50e-6 + 100e-6)).abs() < 1e-15);
+        assert!(p.route(3, 3).is_local());
+        // Every remote flow crosses the hub, so its bandwidth is a shared
+        // ceiling even when the spokes are faster.
+        let narrow_hub = LinkSpec {
+            latency_s: 0.0,
+            bandwidth_bps: 10e6,
+        };
+        let q = Platform::from_spec(&ClusterSpec::star("narrow", 4, 2.0, narrow_hub));
+        assert!((q.effective_bandwidth(0, 1) - 10e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn bus_routes_cross_only_the_medium() {
+        let bus = LinkSpec {
+            latency_s: 20e-6,
+            bandwidth_bps: 12.5e6,
+        };
+        let p = Platform::from_spec(&ClusterSpec::bus("ether", 6, 1.5, bus));
+        let bus_id = p.bus_link().unwrap();
+        let r = p.route(0, 5);
+        assert_eq!(r.links(), &[bus_id]);
+        assert!((r.latency_s - 20e-6).abs() < 1e-18);
+        assert!(p.route(2, 2).is_local());
+        assert!((p.effective_bandwidth(0, 5) - 12.5e6).abs() < 1.0);
+        // Symmetric: both directions use the same single link.
+        assert_eq!(p.route(5, 0).links(), r.links());
     }
 
     #[test]

@@ -35,6 +35,23 @@ pub enum TopologySpec {
         /// Cabinet-to-top-switch link.
         uplink: LinkSpec,
     },
+    /// Hub-and-spoke: every node's private link feeds one central hub whose
+    /// backplane is itself a shared, finite resource — every remote flow
+    /// crosses `src spoke → hub → dst spoke`. This is the star platform of
+    /// the redistribution-strategy literature (arXiv:cs/0610131); an
+    /// undersized hub serializes cross-cluster redistributions the way a
+    /// cabinet uplink does, but for *all* traffic.
+    Star {
+        /// The central hub resource shared by every flow.
+        hub: LinkSpec,
+    },
+    /// A single shared medium (classic bus Ethernet): every remote flow
+    /// crosses the one `bus` link and nothing else, so all transfers in
+    /// flight contend for the same capacity and pay the same latency.
+    Bus {
+        /// The shared medium.
+        bus: LinkSpec,
+    },
 }
 
 /// A complete homogeneous-cluster description (paper, Table II).
@@ -67,6 +84,32 @@ impl ClusterSpec {
             gflops,
             node_link: LinkSpec::gigabit(),
             topology: TopologySpec::Flat,
+            wmax_bytes: DEFAULT_WMAX_BYTES,
+        }
+    }
+
+    /// A star platform: `num_procs` nodes of `gflops` GFlop/s, gigabit
+    /// spokes, the given central hub.
+    pub fn star(name: impl Into<String>, num_procs: u32, gflops: f64, hub: LinkSpec) -> Self {
+        Self {
+            name: name.into(),
+            num_procs,
+            gflops,
+            node_link: LinkSpec::gigabit(),
+            topology: TopologySpec::Star { hub },
+            wmax_bytes: DEFAULT_WMAX_BYTES,
+        }
+    }
+
+    /// A bus platform: `num_procs` nodes of `gflops` GFlop/s sharing one
+    /// medium.
+    pub fn bus(name: impl Into<String>, num_procs: u32, gflops: f64, bus: LinkSpec) -> Self {
+        Self {
+            name: name.into(),
+            num_procs,
+            gflops,
+            node_link: LinkSpec::gigabit(),
+            topology: TopologySpec::Bus { bus },
             wmax_bytes: DEFAULT_WMAX_BYTES,
         }
     }
@@ -117,22 +160,36 @@ impl ClusterSpec {
             "node link must have positive bandwidth and non-negative latency"
         );
         assert!(self.wmax_bytes > 0.0, "TCP window must be positive");
-        if let TopologySpec::Hierarchical {
-            cabinets,
-            nodes_per_cabinet,
-            uplink,
-        } = &self.topology
-        {
-            assert!(*cabinets > 0 && *nodes_per_cabinet > 0, "empty cabinets");
-            assert!(
-                cabinets * nodes_per_cabinet >= self.num_procs,
-                "cabinets ({cabinets} × {nodes_per_cabinet}) cannot hold {} nodes",
-                self.num_procs
-            );
-            assert!(
-                uplink.bandwidth_bps > 0.0 && uplink.latency_s >= 0.0,
-                "uplink must have positive bandwidth and non-negative latency"
-            );
+        match &self.topology {
+            TopologySpec::Flat => {}
+            TopologySpec::Hierarchical {
+                cabinets,
+                nodes_per_cabinet,
+                uplink,
+            } => {
+                assert!(*cabinets > 0 && *nodes_per_cabinet > 0, "empty cabinets");
+                assert!(
+                    cabinets * nodes_per_cabinet >= self.num_procs,
+                    "cabinets ({cabinets} × {nodes_per_cabinet}) cannot hold {} nodes",
+                    self.num_procs
+                );
+                assert!(
+                    uplink.bandwidth_bps > 0.0 && uplink.latency_s >= 0.0,
+                    "uplink must have positive bandwidth and non-negative latency"
+                );
+            }
+            TopologySpec::Star { hub } => {
+                assert!(
+                    hub.bandwidth_bps > 0.0 && hub.latency_s >= 0.0,
+                    "hub must have positive bandwidth and non-negative latency"
+                );
+            }
+            TopologySpec::Bus { bus } => {
+                assert!(
+                    bus.bandwidth_bps > 0.0 && bus.latency_s >= 0.0,
+                    "bus must have positive bandwidth and non-negative latency"
+                );
+            }
         }
     }
 }

@@ -1,0 +1,385 @@
+//! Parameter distributions for workload specs.
+//!
+//! Every shape parameter of a workload family ([`crate::FamilySpec`]) is a
+//! *distribution*, not a number: a custom population can fix a width, sweep
+//! it over a choice list, or draw it uniformly (or log-uniformly, for
+//! scale-free quantities like dataset sizes) per scenario. Distributions
+//! have a compact document form chosen to survive the workspace's flat TOML
+//! subset (family tables are flat key/value maps):
+//!
+//! ```text
+//! width = 0.5                  # fixed
+//! width = [0.2, 0.5, 0.8]     # uniform choice
+//! width = "uniform(0.2, 0.8)" # continuous uniform
+//! ccr   = "loguniform(0.1, 10.0)"
+//! n = 50                       # fixed integer
+//! n = [25, 50, 100]           # integer choice
+//! n = "range(25, 100)"        # integer uniform, inclusive
+//! ```
+//!
+//! Sampling is deterministic given an RNG stream, so two identical specs
+//! with the same seed draw identical parameter sequences — the foundation
+//! of the byte-identical population guarantee.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize, Value};
+
+/// A distribution over `f64` parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Dist {
+    /// Always the same value.
+    Fixed(f64),
+    /// A uniformly random element of the list.
+    Choice(Vec<f64>),
+    /// Continuous uniform over `[min, max]`.
+    Uniform {
+        /// Lower bound (inclusive).
+        min: f64,
+        /// Upper bound (inclusive).
+        max: f64,
+    },
+    /// Log-uniform over `[min, max]` (`min > 0`): uniform in `ln` space.
+    LogUniform {
+        /// Lower bound (inclusive, positive).
+        min: f64,
+        /// Upper bound (inclusive).
+        max: f64,
+    },
+}
+
+impl Dist {
+    /// Shorthand for a fixed value.
+    pub fn fixed(v: f64) -> Self {
+        Dist::Fixed(v)
+    }
+
+    /// Draws one value.
+    pub fn sample(&self, rng: &mut StdRng) -> f64 {
+        match self {
+            Dist::Fixed(v) => *v,
+            Dist::Choice(items) => items[rng.random_range(0..items.len())],
+            Dist::Uniform { min, max } => rng.random_range(*min..=*max),
+            Dist::LogUniform { min, max } => rng.random_range(min.ln()..=max.ln()).exp(),
+        }
+    }
+
+    /// The smallest and largest value the distribution can produce.
+    pub fn bounds(&self) -> (f64, f64) {
+        match self {
+            Dist::Fixed(v) => (*v, *v),
+            Dist::Choice(items) => items
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                    (lo.min(v), hi.max(v))
+                }),
+            Dist::Uniform { min, max } | Dist::LogUniform { min, max } => (*min, *max),
+        }
+    }
+
+    /// Checks the distribution is well formed and stays inside
+    /// `[lo, hi]`; `what` names the parameter in error messages.
+    pub fn validate(&self, what: &str, lo: f64, hi: f64) -> Result<(), String> {
+        // NaN slips through every ordered comparison below, so finiteness
+        // must be its own check — "uniform(nan, nan)" would otherwise
+        // validate and panic inside the RNG at generation time.
+        let values: &[f64] = match self {
+            Dist::Fixed(v) => std::slice::from_ref(v),
+            Dist::Choice(items) => items,
+            Dist::Uniform { min, max } | Dist::LogUniform { min, max } => {
+                if !min.is_finite() || !max.is_finite() {
+                    return Err(format!("`{what}` bounds must be finite numbers"));
+                }
+                &[]
+            }
+        };
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(format!("`{what}` values must be finite numbers"));
+        }
+        match self {
+            Dist::Choice(items) if items.is_empty() => {
+                return Err(format!("`{what}` choice list is empty"));
+            }
+            Dist::Uniform { min, max } if min > max => {
+                return Err(format!("`{what}` has an inverted range ({min} > {max})"));
+            }
+            Dist::LogUniform { min, max } => {
+                if *min <= 0.0 {
+                    return Err(format!("`{what}` loguniform needs a positive minimum"));
+                }
+                if min > max {
+                    return Err(format!("`{what}` has an inverted range ({min} > {max})"));
+                }
+            }
+            _ => {}
+        }
+        let (min, max) = self.bounds();
+        if min < lo || max > hi {
+            return Err(format!(
+                "`{what}` must stay within [{lo}, {hi}], spec allows [{min}, {max}]"
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A distribution over integer parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IntDist {
+    /// Always the same value.
+    Fixed(u32),
+    /// A uniformly random element of the list.
+    Choice(Vec<u32>),
+    /// Integer uniform over `min..=max`.
+    Range {
+        /// Lower bound (inclusive).
+        min: u32,
+        /// Upper bound (inclusive).
+        max: u32,
+    },
+}
+
+impl IntDist {
+    /// Shorthand for a fixed value.
+    pub fn fixed(v: u32) -> Self {
+        IntDist::Fixed(v)
+    }
+
+    /// Draws one value.
+    pub fn sample(&self, rng: &mut StdRng) -> u32 {
+        match self {
+            IntDist::Fixed(v) => *v,
+            IntDist::Choice(items) => items[rng.random_range(0..items.len())],
+            IntDist::Range { min, max } => rng.random_range(*min..=*max),
+        }
+    }
+
+    /// The smallest and largest value the distribution can produce.
+    pub fn bounds(&self) -> (u32, u32) {
+        match self {
+            IntDist::Fixed(v) => (*v, *v),
+            IntDist::Choice(items) => items
+                .iter()
+                .fold((u32::MAX, 0), |(lo, hi), &v| (lo.min(v), hi.max(v))),
+            IntDist::Range { min, max } => (*min, *max),
+        }
+    }
+
+    /// Checks the distribution is well formed and stays inside `[lo, hi]`.
+    pub fn validate(&self, what: &str, lo: u32, hi: u32) -> Result<(), String> {
+        match self {
+            IntDist::Choice(items) if items.is_empty() => {
+                return Err(format!("`{what}` choice list is empty"));
+            }
+            IntDist::Range { min, max } if min > max => {
+                return Err(format!("`{what}` has an inverted range ({min} > {max})"));
+            }
+            _ => {}
+        }
+        let (min, max) = self.bounds();
+        if min < lo || max > hi {
+            return Err(format!(
+                "`{what}` must stay within [{lo}, {hi}], spec allows [{min}, {max}]"
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Parses `name(a, b)` into its two numeric arguments.
+fn parse_call<'a>(text: &'a str, name: &str) -> Option<(&'a str, &'a str)> {
+    let inner = text
+        .trim()
+        .strip_prefix(name)?
+        .trim_start()
+        .strip_prefix('(')?
+        .strip_suffix(')')?;
+    let (a, b) = inner.split_once(',')?;
+    Some((a.trim(), b.trim()))
+}
+
+impl Serialize for Dist {
+    fn serialize(&self) -> Value {
+        match self {
+            Dist::Fixed(v) => Value::Float(*v),
+            Dist::Choice(items) => items.serialize(),
+            Dist::Uniform { min, max } => Value::Str(format!("uniform({min}, {max})")),
+            Dist::LogUniform { min, max } => Value::Str(format!("loguniform({min}, {max})")),
+        }
+    }
+}
+
+impl Deserialize for Dist {
+    fn deserialize(v: &Value) -> Result<Self, serde::Error> {
+        match v {
+            Value::Float(f) => Ok(Dist::Fixed(*f)),
+            Value::Int(i) => Ok(Dist::Fixed(*i as f64)),
+            Value::Array(_) => Ok(Dist::Choice(Vec::<f64>::deserialize(v)?)),
+            Value::Str(s) => {
+                let bad = |e: String| serde::Error::new(format!("distribution `{s}`: {e}"));
+                let (name, (a, b)) = if let Some(args) = parse_call(s, "uniform") {
+                    ("uniform", args)
+                } else if let Some(args) = parse_call(s, "loguniform") {
+                    ("loguniform", args)
+                } else {
+                    return Err(serde::Error::new(format!(
+                        "unknown distribution `{s}` (expected a number, a choice list, \
+                         \"uniform(a, b)\" or \"loguniform(a, b)\")"
+                    )));
+                };
+                let min: f64 = a.parse().map_err(|e| bad(format!("bad minimum: {e}")))?;
+                let max: f64 = b.parse().map_err(|e| bad(format!("bad maximum: {e}")))?;
+                Ok(match name {
+                    "uniform" => Dist::Uniform { min, max },
+                    _ => Dist::LogUniform { min, max },
+                })
+            }
+            other => Err(serde::Error::new(format!(
+                "expected a distribution, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for IntDist {
+    fn serialize(&self) -> Value {
+        match self {
+            IntDist::Fixed(v) => Value::Int(i64::from(*v)),
+            IntDist::Choice(items) => items.serialize(),
+            IntDist::Range { min, max } => Value::Str(format!("range({min}, {max})")),
+        }
+    }
+}
+
+impl Deserialize for IntDist {
+    fn deserialize(v: &Value) -> Result<Self, serde::Error> {
+        match v {
+            Value::Int(_) => Ok(IntDist::Fixed(u32::deserialize(v)?)),
+            Value::Array(_) => Ok(IntDist::Choice(Vec::<u32>::deserialize(v)?)),
+            Value::Str(s) => {
+                let (a, b) = parse_call(s, "range").ok_or_else(|| {
+                    serde::Error::new(format!(
+                        "unknown integer distribution `{s}` (expected an integer, a \
+                         choice list or \"range(a, b)\")"
+                    ))
+                })?;
+                let bad = |e: String| serde::Error::new(format!("distribution `{s}`: {e}"));
+                Ok(IntDist::Range {
+                    min: a.parse().map_err(|e| bad(format!("bad minimum: {e}")))?,
+                    max: b.parse().map_err(|e| bad(format!("bad maximum: {e}")))?,
+                })
+            }
+            other => Err(serde::Error::new(format!(
+                "expected an integer distribution, got {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn sampling_respects_bounds() {
+        let mut r = rng(1);
+        for _ in 0..200 {
+            let v = Dist::Uniform { min: 0.2, max: 0.8 }.sample(&mut r);
+            assert!((0.2..=0.8).contains(&v));
+            let v = Dist::LogUniform {
+                min: 0.1,
+                max: 10.0,
+            }
+            .sample(&mut r);
+            assert!((0.1 * 0.999..=10.0 * 1.001).contains(&v));
+            let v = Dist::Choice(vec![1.0, 2.0]).sample(&mut r);
+            assert!(v == 1.0 || v == 2.0);
+            assert_eq!(Dist::Fixed(3.5).sample(&mut r), 3.5);
+            let n = IntDist::Range { min: 3, max: 9 }.sample(&mut r);
+            assert!((3..=9).contains(&n));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let d = Dist::LogUniform {
+            min: 1.0,
+            max: 100.0,
+        };
+        let a: Vec<f64> = {
+            let mut r = rng(7);
+            (0..32).map(|_| d.sample(&mut r)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = rng(7);
+            (0..32).map(|_| d.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn document_round_trips() {
+        for d in [
+            Dist::Fixed(0.5),
+            Dist::Choice(vec![0.2, 0.5, 0.8]),
+            Dist::Uniform { min: 0.1, max: 0.9 },
+            Dist::LogUniform {
+                min: 0.25,
+                max: 4.0,
+            },
+        ] {
+            assert_eq!(Dist::deserialize(&d.serialize()).unwrap(), d);
+        }
+        for d in [
+            IntDist::Fixed(25),
+            IntDist::Choice(vec![25, 50, 100]),
+            IntDist::Range { min: 10, max: 99 },
+        ] {
+            assert_eq!(IntDist::deserialize(&d.serialize()).unwrap(), d);
+        }
+        // Integers coerce into float distributions.
+        assert_eq!(Dist::deserialize(&Value::Int(2)).unwrap(), Dist::Fixed(2.0));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(Dist::deserialize(&Value::Str("gauss(0,1)".into())).is_err());
+        assert!(Dist::deserialize(&Value::Str("uniform(a,b)".into())).is_err());
+        assert!(IntDist::deserialize(&Value::Str("range(1)".into())).is_err());
+        assert!(IntDist::deserialize(&Value::Float(0.5)).is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_specs() {
+        assert!(Dist::Choice(vec![]).validate("w", 0.0, 1.0).is_err());
+        assert!(Dist::Uniform { min: 0.9, max: 0.1 }
+            .validate("w", 0.0, 1.0)
+            .is_err());
+        assert!(Dist::LogUniform { min: 0.0, max: 1.0 }
+            .validate("w", 0.0, 1.0)
+            .is_err());
+        assert!(Dist::Fixed(1.5).validate("w", 0.0, 1.0).is_err());
+        assert!(Dist::Fixed(0.5).validate("w", 0.0, 1.0).is_ok());
+        // NaN defeats ordered comparisons; finiteness is checked explicitly.
+        assert!(Dist::Fixed(f64::NAN).validate("w", 0.0, 1.0).is_err());
+        assert!(Dist::Uniform {
+            min: f64::NAN,
+            max: f64::NAN
+        }
+        .validate("w", 0.0, 1.0)
+        .is_err());
+        assert!(Dist::Choice(vec![0.5, f64::INFINITY])
+            .validate("w", 0.0, f64::MAX)
+            .is_err());
+        assert!(IntDist::Range { min: 9, max: 3 }
+            .validate("n", 1, 10)
+            .is_err());
+        assert!(IntDist::Choice(vec![4, 200]).validate("n", 1, 100).is_err());
+        assert!(IntDist::Fixed(50).validate("n", 1, 100).is_ok());
+    }
+}

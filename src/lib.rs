@@ -15,6 +15,10 @@
 //! * [`daggen`] — random / FFT / Strassen task-graph generators,
 //! * [`sched`] — CPA/HCPA allocation and the pluggable mapping policies,
 //! * [`sim`] — discrete-event schedule execution,
+//! * [`workloads`] — declarative workload synthesis: custom DAG
+//!   populations (distribution-driven families) and generated cluster
+//!   topologies (flat/hierarchical/star/bus, heterogeneous-speed sweeps)
+//!   plugged into campaigns via `suite = "custom"`,
 //! * [`experiments`] — the paper's evaluation campaign, driven by
 //!   serializable [`experiments::spec::ExperimentSpec`]s and executable as
 //!   sharded, resumable jobs ([`experiments::shard`]),
@@ -66,6 +70,7 @@ pub use rats_redist as redist;
 pub use rats_sched as sched;
 pub use rats_sim as sim;
 pub use rats_simnet as simnet;
+pub use rats_workloads as workloads;
 
 mod pipeline;
 mod record;
@@ -86,4 +91,7 @@ pub mod prelude {
         Scheduler, StrategyError, TimeCostPolicy,
     };
     pub use rats_sim::{simulate, SimOutcome};
+    pub use rats_workloads::{
+        Dist, FamilyKind, FamilySpec, IntDist, TopoKind, TopologyGenSpec, WorkloadSpec,
+    };
 }
