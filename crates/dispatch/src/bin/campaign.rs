@@ -40,20 +40,40 @@
 //!
 //! campaign status <ROOT> [--stale-ms MS]
 //!     read-only scan of a dispatched campaign's queue directory: per-job
-//!     state (todo/claimed/done), stale-lease hints (mtime-based, default
-//!     threshold 30000 ms) and a completed/total progress line. Safe to
-//!     run while the dispatcher and workers are live.
+//!     state (todo/claimed/done), stale-lease hints (journal-based when
+//!     the campaign has an event journal, mtime-based otherwise; default
+//!     threshold 30000 ms) and a completed/total progress line with ETA
+//!     and throughput derived from journal timing events. Safe to run
+//!     while the dispatcher and workers are live.
+//!
+//! campaign replay <ROOT> [--check] [--events]
+//!     verify and replay the campaign's hash-chained event journal
+//!     (`<ROOT>/journal/`): summarize what happened, or with --events
+//!     print the stitched timeline. --check additionally compares the
+//!     replayed per-job state against the live queue directory and exits
+//!     non-zero on any mismatch (or on a tampered chain, reporting the
+//!     first broken sequence number).
+//!
+//! campaign diff <ROOT-A> <ROOT-B>
+//!     compare two campaigns' journals after normalization (timing
+//!     stripped): identically-seeded runs diff empty; otherwise the first
+//!     divergent event and per-job claim/reclaim deltas are printed and
+//!     the exit code is non-zero.
 //!
 //! campaign --print-template
 //! ```
+//!
+//! Unknown subcommands, flags and stray arguments all exit 2 with the
+//! usage text; operational failures exit 1.
 
 use std::path::PathBuf;
 
 use rats_dispatch::worker::{run_worker, ChaosPhase, WorkerConfig};
-use rats_dispatch::{dispatch, DispatchConfig, HostInventory};
+use rats_dispatch::{dispatch, replay_check, DispatchConfig, HostInventory};
 use rats_experiments::grid::ShardSpec;
 use rats_experiments::shard::{merge_shards, run_shard};
 use rats_experiments::spec::{ExperimentSpec, SuiteSpec};
+use rats_journal::{diff as journal_diff, read_journal, JobView as JournalJobView, Replay};
 
 fn fail(message: impl std::fmt::Display) -> ! {
     eprintln!("campaign: {message}");
@@ -73,6 +93,8 @@ fn usage() -> ! {
          \x20                        [--beat-ms MS] [--poll-ms MS] [--idle-timeout-ms MS]\n\
          \x20      campaign describe <spec>\n\
          \x20      campaign status <ROOT> [--stale-ms MS]\n\
+         \x20      campaign replay <ROOT> [--check] [--events]\n\
+         \x20      campaign diff <ROOT-A> <ROOT-B>\n\
          \x20      campaign --print-template"
     );
     std::process::exit(2);
@@ -149,6 +171,8 @@ fn main() {
         Some("worker") => cmd_worker(&args[1..]),
         Some("describe") => cmd_describe(&args[1..]),
         Some("status") => cmd_status(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
         Some(flag) if flag.starts_with('-') => unknown("flag", flag),
         Some(spec_path) if looks_like_spec(spec_path) => cmd_in_process(spec_path, &args[1..]),
         Some(other) => unknown("subcommand", other),
@@ -358,10 +382,9 @@ fn cmd_describe(args: &[String]) {
     let mut spec_path = None;
     for a in args {
         match a.as_str() {
-            other if spec_path.is_none() && !other.starts_with('-') => {
-                spec_path = Some(other.to_string())
-            }
-            other => unknown("flag", other),
+            other if other.starts_with('-') => unknown("flag", other),
+            other if spec_path.is_none() => spec_path = Some(other.to_string()),
+            other => unknown("argument", other),
         }
     }
     let spec = load_spec(&spec_path.unwrap_or_else(|| usage()));
@@ -398,13 +421,145 @@ fn cmd_status(args: &[String]) {
     while let Some(a) = rest.next() {
         match a.as_str() {
             "--stale-ms" => stale_ms = parse_ms("--stale-ms", rest.next()),
-            other if root.is_none() && !other.starts_with('-') => root = Some(other.to_string()),
-            other => unknown("flag", other),
+            other if other.starts_with('-') => unknown("flag", other),
+            other if root.is_none() => root = Some(other.to_string()),
+            other => unknown("argument", other),
         }
     }
     let root = PathBuf::from(root.unwrap_or_else(|| usage()));
     let status = rats_dispatch::campaign_status(&root, stale_ms).unwrap_or_else(|e| fail(e));
     println!("{status}");
+}
+
+fn cmd_replay(args: &[String]) {
+    let mut root: Option<String> = None;
+    let mut check = false;
+    let mut events = false;
+    for a in args {
+        match a.as_str() {
+            "--check" => check = true,
+            "--events" => events = true,
+            other if other.starts_with('-') => unknown("flag", other),
+            other if root.is_none() => root = Some(other.to_string()),
+            other => unknown("argument", other),
+        }
+    }
+    let root = PathBuf::from(root.unwrap_or_else(|| usage()));
+
+    if check {
+        let report = replay_check(&root).unwrap_or_else(|e| fail(e));
+        println!("{report}");
+        if !report.ok() {
+            fail(format_args!(
+                "journal replay and the live queue disagree ({} mismatch(es))",
+                report.mismatches.len()
+            ));
+        }
+        return;
+    }
+
+    let segments = read_journal(&root).unwrap_or_else(|e| fail(e));
+    if segments.is_empty() {
+        fail(format_args!(
+            "no journal segments under {:?} — was this campaign dispatched \
+             by a journal-aware build?",
+            root.join(rats_journal::JOURNAL_DIR)
+        ));
+    }
+    let torn: Vec<&str> = segments
+        .iter()
+        .filter(|s| s.torn_tail)
+        .map(|s| s.writer.as_str())
+        .collect();
+    if !torn.is_empty() {
+        eprintln!(
+            "campaign: dropped a torn trailing line in segment(s) {} \
+             (writer died mid-append)",
+            torn.join(", ")
+        );
+    }
+    let mut replay = Replay::new(&segments);
+    if events {
+        let mut index = 0usize;
+        while let Some(entry) = replay.next_step() {
+            println!(
+                "[{index:>4}] {} #{} {}",
+                entry.writer, entry.record.seq, entry.record.event
+            );
+            index += 1;
+        }
+    } else {
+        replay.run_to_end();
+    }
+    let state = replay.state();
+    println!(
+        "replayed {} event(s) from {} segment(s)",
+        replay.len(),
+        segments.len()
+    );
+    let views = state.views();
+    let done = views
+        .values()
+        .filter(|v| **v == JournalJobView::Done)
+        .count();
+    let claimed = views
+        .values()
+        .filter(|v| matches!(v, JournalJobView::Claimed(_)))
+        .count();
+    let todo = views
+        .values()
+        .filter(|v| **v == JournalJobView::Todo)
+        .count();
+    println!(
+        "jobs: {} total — {done} done, {claimed} claimed, {todo} todo",
+        views.len()
+    );
+    for (job, view) in &views {
+        if *view != JournalJobView::Done {
+            println!("  job {job}: {view}");
+        }
+    }
+    println!(
+        "faults: {} lease(s) reclaimed, {} job(s) re-seeded, {} partial shard(s) \
+         adopted, {} worker(s) spawned, {} died",
+        state.reclaimed, state.reseeded, state.adopted, state.workers_spawned, state.workers_died
+    );
+    match state.merge {
+        Some((files, records)) => {
+            println!("merge: completed from {files} shard file(s) covering {records} grid job(s)")
+        }
+        None => println!("merge: not yet completed"),
+    }
+}
+
+fn cmd_diff(args: &[String]) {
+    let mut roots: Vec<PathBuf> = Vec::new();
+    for a in args {
+        match a.as_str() {
+            other if other.starts_with('-') => unknown("flag", other),
+            other if roots.len() < 2 => roots.push(PathBuf::from(other)),
+            other => unknown("argument", other),
+        }
+    }
+    if roots.len() != 2 {
+        usage();
+    }
+    let mut journals = Vec::new();
+    for root in &roots {
+        let segments = read_journal(root).unwrap_or_else(|e| fail(e));
+        if segments.is_empty() {
+            fail(format_args!(
+                "no journal segments under {:?}",
+                root.join(rats_journal::JOURNAL_DIR)
+            ));
+        }
+        journals.push(segments);
+    }
+    let d = journal_diff(&journals[0], &journals[1]);
+    println!("{d}");
+    if !d.is_empty() {
+        std::process::exit(1);
+    }
 }
 
 fn cmd_worker(args: &[String]) {

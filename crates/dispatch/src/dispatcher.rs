@@ -28,6 +28,7 @@ use std::time::{Duration, Instant};
 
 use rats_experiments::shard::{collect_shard_files, merge_shards, read_shard_file};
 use rats_experiments::spec::{ExperimentSpec, SpecError, SpecOutcome};
+use rats_journal::{Event, Journal, JournalTail};
 
 use crate::inventory::{DispatchPlan, HostInventory, WorkerPlan};
 use crate::queue::WorkQueue;
@@ -171,6 +172,19 @@ pub fn dispatch(
     };
     let queue = WorkQueue::init(&root, &normalized, plan.shard_count)?;
 
+    // The dispatcher's own journal segment, plus a tail over everyone
+    // else's so worker-side events (notably partial-shard adoptions)
+    // surface as live notices. The tail starts before any worker spawns,
+    // so nothing is missed.
+    let mut journal = Journal::open(&root, "dispatcher", &normalized.spec_hash());
+    journal.emit(Event::CacheReady {
+        written: cache_written,
+    });
+    journal.emit(Event::QueueInit {
+        jobs: plan.shard_count as u64,
+    });
+    let mut tail = JournalTail::new(&root);
+
     let exe = match &cfg.worker_exe {
         Some(path) => path.clone(),
         None => std::env::current_exe()
@@ -184,6 +198,10 @@ pub fn dispatch(
     for wp in plan.local_workers() {
         let child = spawn_worker(&exe, &root, wp, cfg, chaos.take())?;
         spawned += 1;
+        journal.emit(Event::WorkerSpawned {
+            worker: wp.id.clone(),
+            generation: 1,
+        });
         procs.push(WorkerProc {
             plan: wp.clone(),
             child,
@@ -215,7 +233,7 @@ pub fn dispatch(
         let files = queue.scan()?;
         let status = queue.status_of(&files);
         if status.all_done() {
-            break finish(&root, &queue, &mut procs)?;
+            break finish(&root, &queue, &mut procs, &mut journal, &mut tail)?;
         }
         if cfg.timeout_ms > 0 && started.elapsed() > Duration::from_millis(cfg.timeout_ms) {
             kill_all(&mut procs);
@@ -256,11 +274,36 @@ pub fn dispatch(
                          (no heartbeat for {} ms)",
                         now.duration_since(watch.changed).as_millis()
                     );
+                    journal.emit(Event::LeaseReclaimed {
+                        job: *job as u64,
+                        worker: worker.clone(),
+                    });
                     reclaimed += 1;
                 }
             }
         }
-        queue.sweep_conflicts_of(&files);
+        let swept = queue.sweep_conflicts_of(&files);
+        if swept > 0 {
+            journal.emit(Event::ConflictsSwept {
+                removed: swept as u64,
+            });
+        }
+
+        // Surface worker-side journal events worth a live notice.
+        for (writer, event) in tail.poll() {
+            if let Event::AdoptedPartial {
+                job,
+                donor,
+                records,
+                ..
+            } = event
+            {
+                eprintln!(
+                    "dispatch: worker `{writer}` adopted {records} committed record(s) \
+                     from dead worker `{donor}` for job {job}"
+                );
+            }
+        }
 
         // A job with no file in any state was deleted externally (a rename
         // in flight can hide a job for one scan, never two): re-seed its
@@ -272,6 +315,7 @@ pub fn dispatch(
             if missing_last_scan.contains(job) {
                 eprintln!("dispatch: job {job} lost all queue files; re-seeding its todo");
                 queue.reseed(*job)?;
+                journal.emit(Event::JobReseeded { job: *job as u64 });
             }
         }
         missing_last_scan = missing_now;
@@ -290,6 +334,17 @@ pub fn dispatch(
             if status_now.all_done() {
                 continue; // Finished pool winds down on its own.
             }
+            // The dying process's id: the base plan id for generation 1,
+            // the `-r<n>` respawn id afterwards.
+            let current_id = if proc.generation == 1 {
+                proc.plan.id.clone()
+            } else {
+                format!("{}-r{}", proc.plan.id, proc.generation - 1)
+            };
+            journal.emit(Event::WorkerDied {
+                worker: current_id.clone(),
+                exit: exit.to_string(),
+            });
             if proc.generation > cfg.max_respawns {
                 exhausted = Some((
                     proc.plan.id.clone(),
@@ -310,6 +365,14 @@ pub fn dispatch(
             let mut plan = proc.plan.clone();
             plan.id = format!("{}-r{}", proc.plan.id, proc.generation);
             let child = spawn_worker(&exe, &root, &plan, cfg, None)?;
+            journal.emit(Event::WorkerRespawned {
+                worker: current_id,
+                replacement: plan.id.clone(),
+            });
+            journal.emit(Event::WorkerSpawned {
+                worker: plan.id.clone(),
+                generation: proc.generation as u64 + 1,
+            });
             proc.child = child;
             proc.generation += 1;
             spawned += 1;
@@ -372,6 +435,8 @@ fn finish(
     root: &Path,
     queue: &WorkQueue,
     procs: &mut Vec<WorkerProc>,
+    journal: &mut Journal,
+    tail: &mut JournalTail,
 ) -> Result<SpecOutcome, DispatchError> {
     // Workers exit by themselves once they observe the all-done queue;
     // give them a moment, then insist.
@@ -384,7 +449,28 @@ fn finish(
         std::thread::sleep(Duration::from_millis(20));
     }
     kill_all(procs);
-    queue.sweep_conflicts()?;
+    let swept = queue.sweep_conflicts()?;
+    if swept > 0 {
+        journal.emit(Event::ConflictsSwept {
+            removed: swept as u64,
+        });
+    }
+    // One last tail drain so adoptions landing in the final beat still get
+    // their notice before the merge summary.
+    for (writer, event) in tail.poll() {
+        if let Event::AdoptedPartial {
+            job,
+            donor,
+            records,
+            ..
+        } = event
+        {
+            eprintln!(
+                "dispatch: worker `{writer}` adopted {records} committed record(s) \
+                 from dead worker `{donor}` for job {job}"
+            );
+        }
+    }
 
     // A worker killed before its manifest committed can leave an empty or
     // torn-line-1 shard file (only possible for files written by builds
@@ -408,7 +494,12 @@ fn finish(
             }
         }
     }
-    Ok(merge_shards(&paths)?)
+    let outcome = merge_shards(&paths)?;
+    journal.emit(Event::MergeCompleted {
+        shard_files: paths.len() as u64,
+        records: outcome.spec.grid().len(),
+    });
+    Ok(outcome)
 }
 
 fn kill_all(procs: &mut Vec<WorkerProc>) {

@@ -31,6 +31,10 @@
 //!   re-dispatches shards from dead or straggling workers, and finishes
 //!   with the validated merge — the dispatched result is **bit-identical**
 //!   to the in-process [`ExperimentSpec::run`] outcome.
+//! * [`replay_check`] — the journal invariant checker: replays the
+//!   campaign's hash-chained event journal (`rats_journal`) and verifies
+//!   the reconstructed per-job state matches the live queue directory
+//!   (the `campaign replay --check` subcommand).
 //!
 //! The `campaign` binary (this crate) fronts the whole engine:
 //!
@@ -48,6 +52,7 @@ pub mod cache;
 pub mod dispatcher;
 pub mod inventory;
 pub mod queue;
+pub mod replay_check;
 pub mod status;
 pub mod worker;
 
@@ -55,7 +60,8 @@ pub use cache::{ensure_cache, load_cache, CACHE_FILE};
 pub use dispatcher::{campaign_root, dispatch, DispatchConfig, DispatchReport};
 pub use inventory::{DispatchPlan, HostInventory, HostSpec, InventoryError, WorkerPlan};
 pub use queue::{JobState, Lease, QueueError, QueueStatus, WorkQueue};
-pub use status::{campaign_status, CampaignStatus, JobView};
+pub use replay_check::{replay_check, ReplayCheckReport};
+pub use status::{campaign_status, CampaignStatus, JobView, JournalInsight};
 pub use worker::{run_worker, ChaosPhase, WorkerConfig, WorkerReport};
 
 /// Errors from the dispatch layer.
@@ -71,6 +77,9 @@ pub enum DispatchError {
     Shard(ShardError),
     /// The final merge failed (incomplete or inconsistent shard files).
     Merge(MergeError),
+    /// The event journal is unreadable, tampered with, or absent where
+    /// one is required.
+    Journal(rats_journal::JournalError),
     /// Filesystem failure outside the queue.
     Io(String),
     /// A worker process could not be spawned or kept failing past the
@@ -98,6 +107,7 @@ impl fmt::Display for DispatchError {
             DispatchError::Queue(e) => write!(f, "{e}"),
             DispatchError::Shard(e) => write!(f, "{e}"),
             DispatchError::Merge(e) => write!(f, "{e}"),
+            DispatchError::Journal(e) => write!(f, "{e}"),
             DispatchError::Io(m) => write!(f, "dispatch io error: {m}"),
             DispatchError::Worker { id, message } => {
                 write!(f, "worker `{id}`: {message}")
@@ -140,6 +150,12 @@ impl From<ShardError> for DispatchError {
 impl From<MergeError> for DispatchError {
     fn from(e: MergeError) -> Self {
         DispatchError::Merge(e)
+    }
+}
+
+impl From<rats_journal::JournalError> for DispatchError {
+    fn from(e: rats_journal::JournalError) -> Self {
+        DispatchError::Journal(e)
     }
 }
 

@@ -8,16 +8,24 @@
 //! progress line. Safe to run at any time, from any host that mounts the
 //! campaign root, while the dispatcher and workers are live.
 //!
-//! Staleness here is advisory: with only one observation to work from, the
-//! scan falls back to the claim file's mtime against the local clock
-//! (unlike the dispatcher's reclaim logic, which watches lease *content
-//! change* over time and trusts no cross-host clock). A lease flagged
-//! stale by `status` is a hint to look closer, not proof of death.
+//! When the campaign has an event journal (`<root>/journal/`, written by
+//! journal-aware dispatchers and workers), staleness and progress come
+//! from it: a lease is stale when its holder has emitted no event within
+//! the threshold, and `job-finished` timing events yield a mean per-job
+//! duration, an ETA and a completion throughput. Campaigns without a
+//! journal (older builds, or a removed directory) fall back to the
+//! original mtime heuristic: the claim file's mtime against the local
+//! clock. Either way a lease flagged stale by `status` is a hint to look
+//! closer, not proof of death — the dispatcher's reclaim logic watches
+//! lease *content change* over time and trusts no cross-host clock.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::time::SystemTime;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use rats_journal::Event;
 
 use crate::queue::{QueueStatus, WorkQueue};
 use crate::worker::load_root_spec;
@@ -66,8 +74,30 @@ pub struct CampaignStatus {
     pub jobs: Vec<JobView>,
     /// Number of leased jobs whose every claim looks stale.
     pub stale: usize,
+    /// Timing and fault intelligence from the event journal, when the
+    /// campaign has one (`None`: no journal, mtime heuristics were used).
+    pub journal: Option<JournalInsight>,
     /// The campaign root that was scanned.
     pub root: PathBuf,
+}
+
+/// Progress intelligence derived from the campaign's event journal:
+/// real per-job timing instead of mtime guesswork.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalInsight {
+    /// Events across all verified segments.
+    pub events: usize,
+    /// Mean wall clock per completed shard job (`job-finished` events).
+    pub mean_job_ms: Option<u64>,
+    /// Estimated remaining wall clock: mean job duration × jobs remaining
+    /// ÷ workers currently holding leases.
+    pub eta_ms: Option<u64>,
+    /// Completion throughput over the observed `job-done` span.
+    pub jobs_per_min: Option<f64>,
+    /// Leases reclaimed so far (from the dispatcher's events).
+    pub reclaimed: u64,
+    /// Partial shard files adopted from dead predecessors.
+    pub adopted: u64,
 }
 
 impl CampaignStatus {
@@ -102,12 +132,21 @@ impl fmt::Display for CampaignStatus {
             writeln!(f, "  job {job:>4}/{}  {line}", self.jobs.len())?;
         }
         if self.stale > 0 {
-            writeln!(
-                f,
-                "stale leases: {} (mtime-based hint; the dispatcher reclaims by \
-                 observed content change)",
-                self.stale
-            )?;
+            if self.journal.is_some() {
+                writeln!(
+                    f,
+                    "stale leases: {} (journal-based hint: the holder emitted no \
+                     event within the threshold)",
+                    self.stale
+                )?;
+            } else {
+                writeln!(
+                    f,
+                    "stale leases: {} (mtime-based hint; the dispatcher reclaims by \
+                     observed content change)",
+                    self.stale
+                )?;
+            }
         }
         write!(
             f,
@@ -120,6 +159,26 @@ impl fmt::Display for CampaignStatus {
         )?;
         if self.missing > 0 {
             write!(f, ", {} missing", self.missing)?;
+        }
+        if let Some(j) = &self.journal {
+            write!(f, "\njournal: {} event(s)", j.events)?;
+            if j.reclaimed > 0 {
+                write!(f, ", {} lease(s) reclaimed", j.reclaimed)?;
+            }
+            if j.adopted > 0 {
+                write!(f, ", {} partial shard(s) adopted", j.adopted)?;
+            }
+            if let Some(mean) = j.mean_job_ms {
+                write!(f, "; mean job {:.1} s", mean as f64 / 1000.0)?;
+            }
+            if self.queue.done < self.queue.total {
+                if let Some(eta) = j.eta_ms {
+                    write!(f, ", ETA ~{:.1} s", eta as f64 / 1000.0)?;
+                }
+            }
+            if let Some(rate) = j.jobs_per_min {
+                write!(f, " ({rate:.1} jobs/min)")?;
+            }
         }
         Ok(())
     }
@@ -140,6 +199,36 @@ pub fn campaign_status(root: &Path, stale_ms: u64) -> Result<CampaignStatus, Dis
             .and_then(|mtime| now.duration_since(mtime).ok())
             .is_some_and(|age| age.as_millis() > u128::from(stale_ms))
     };
+
+    // Journal enrichment (still strictly read-only): a verified journal
+    // replaces the mtime staleness heuristic with per-worker event
+    // activity and yields timing intelligence. Unreadable or tampered
+    // journals are reported and ignored — status never fails over
+    // provenance.
+    let segments = match rats_journal::read_journal(root) {
+        Ok(segs) => segs,
+        Err(e) => {
+            eprintln!("status: ignoring the event journal ({e})");
+            Vec::new()
+        }
+    };
+    let last_event_by_writer: BTreeMap<&str, u64> = segments
+        .iter()
+        .filter_map(|s| s.records.last().map(|rec| (s.writer.as_str(), rec.ms)))
+        .collect();
+    // Reference clock for event ages: the local clock, advanced to the
+    // newest event seen so a fast worker clock cannot make everyone else
+    // look stale.
+    let local_ms = now
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let now_ref = last_event_by_writer
+        .values()
+        .copied()
+        .max()
+        .map_or(local_ms, |newest| newest.max(local_ms));
+
     let mut jobs = Vec::with_capacity(queue.shard_count());
     let mut stale = 0usize;
     for job in 0..queue.shard_count() {
@@ -147,10 +236,18 @@ pub fn campaign_status(root: &Path, stale_ms: u64) -> Result<CampaignStatus, Dis
             Some(f) if f.done => JobView::Done,
             Some(f) if f.todo => JobView::Todo,
             Some(f) if !f.claims.is_empty() => {
-                let all_stale = f
-                    .claims
-                    .iter()
-                    .all(|w| is_stale(&queue.job_path(job, &format!("claim-{w}"))));
+                let all_stale = f.claims.iter().all(|w| {
+                    match last_event_by_writer.get(w.as_str()) {
+                        // Journal-based: no event from the holder within
+                        // the threshold.
+                        Some(&last) if !segments.is_empty() => {
+                            now_ref.saturating_sub(last) > stale_ms
+                        }
+                        // Worker unknown to the journal (manual worker,
+                        // older build): fall back to the claim mtime.
+                        _ => is_stale(&queue.job_path(job, &format!("claim-{w}"))),
+                    }
+                });
                 if all_stale {
                     stale += 1;
                 }
@@ -173,6 +270,54 @@ pub fn campaign_status(root: &Path, stale_ms: u64) -> Result<CampaignStatus, Dis
         claimed: count(|v| matches!(v, JobView::Claimed { .. })),
         done: count(|v| matches!(v, JobView::Done)),
     };
+
+    let journal = if segments.is_empty() {
+        None
+    } else {
+        let events: usize = segments.iter().map(|s| s.records.len()).sum();
+        let mut finished: Vec<u64> = Vec::new();
+        let mut done_stamps: Vec<u64> = Vec::new();
+        let mut reclaimed = 0u64;
+        let mut adopted = 0u64;
+        for seg in &segments {
+            for rec in &seg.records {
+                match &rec.event {
+                    Event::JobFinished { elapsed_ms, .. } => finished.push(*elapsed_ms),
+                    Event::JobDone { .. } => done_stamps.push(rec.ms),
+                    Event::LeaseReclaimed { .. } => reclaimed += 1,
+                    Event::AdoptedPartial { .. } => adopted += 1,
+                    _ => {}
+                }
+            }
+        }
+        let mean_job_ms =
+            (!finished.is_empty()).then(|| finished.iter().sum::<u64>() / finished.len() as u64);
+        let active_workers: BTreeSet<&String> = jobs
+            .iter()
+            .filter_map(|v| match v {
+                JobView::Claimed { workers, .. } => Some(workers.iter()),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        let remaining = (aggregate.total - aggregate.done) as u64;
+        let eta_ms = mean_job_ms.map(|mean| mean * remaining / active_workers.len().max(1) as u64);
+        done_stamps.sort_unstable();
+        let jobs_per_min = match (done_stamps.first(), done_stamps.last()) {
+            (Some(&first), Some(&last)) if last > first => {
+                Some((done_stamps.len() as f64 - 1.0) * 60_000.0 / (last - first) as f64)
+            }
+            _ => None,
+        };
+        Some(JournalInsight {
+            events,
+            mean_job_ms,
+            eta_ms,
+            jobs_per_min,
+            reclaimed,
+            adopted,
+        })
+    };
     Ok(CampaignStatus {
         name: spec.name.clone(),
         suite: spec.suite.name(),
@@ -182,6 +327,7 @@ pub fn campaign_status(root: &Path, stale_ms: u64) -> Result<CampaignStatus, Dis
         missing: count(|v| matches!(v, JobView::Missing)),
         jobs,
         stale,
+        journal,
         root: root.to_path_buf(),
     })
 }

@@ -23,8 +23,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use rats_daggen::suite::Scenario;
-use rats_experiments::shard::{read_shard_file, run_shard_with_scenarios, shard_file_name};
+use rats_experiments::shard::{
+    read_shard_file, run_shard_journaled, run_shard_with_scenarios, shard_file_name,
+};
 use rats_experiments::spec::ExperimentSpec;
+use rats_journal::{Event, Journal};
 
 use crate::queue::{Lease, WorkQueue};
 use crate::{sanitize, DispatchError};
@@ -148,7 +151,11 @@ pub fn load_root_spec(root: &Path) -> Result<ExperimentSpec, DispatchError> {
 pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerReport, DispatchError> {
     let spec = load_root_spec(&cfg.root)?;
     let queue = WorkQueue::attach(&cfg.root, &spec)?;
+    let mut journal = Journal::open(&cfg.root, &cfg.worker_id, queue.spec_hash());
     let (scenarios, used_cache) = crate::cache::load_or_generate(&cfg.root, &spec);
+    journal.emit(Event::PopulationLoaded {
+        from_cache: used_cache,
+    });
     let my_dir = cfg.root.join(SHARDS_DIR).join(&cfg.worker_id);
     fs::create_dir_all(&my_dir)?;
 
@@ -162,10 +169,18 @@ pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerReport, DispatchError> {
         match queue.claim(&cfg.worker_id)? {
             Some(lease) => {
                 last_progress = Instant::now();
+                // Journal the claim before any chaos injection: a worker
+                // that dies right after claiming has still claimed, and its
+                // segment must say so for replay to match the live queue.
+                journal.emit(Event::JobClaimed {
+                    job: lease.job as u64,
+                    worker: lease.worker.clone(),
+                });
                 if let Some(phase) = chaos.take() {
                     inject_chaos(phase, &spec, &lease, &my_dir, cfg.threads, &scenarios)?;
                 }
-                let (run, kept) = execute_lease(&spec, &queue, lease, &my_dir, cfg, &scenarios)?;
+                let (run, kept) =
+                    execute_lease(&spec, &queue, lease, &my_dir, cfg, &scenarios, &mut journal)?;
                 report.executed += run.executed;
                 report.resumed += run.skipped;
                 if kept {
@@ -217,10 +232,20 @@ fn execute_lease(
     my_dir: &Path,
     cfg: &WorkerConfig,
     scenarios: &[Scenario],
+    journal: &mut Journal,
 ) -> Result<(rats_experiments::shard::ShardRun, bool), DispatchError> {
     let mut shard_spec = spec.clone();
     shard_spec.shard = Some(lease.shard());
-    adopt_partial_output(&cfg.root, &cfg.worker_id, &shard_spec, my_dir);
+    if let Some((donor, records)) =
+        adopt_partial_output(&cfg.root, &cfg.worker_id, &shard_spec, my_dir)
+    {
+        journal.emit(Event::AdoptedPartial {
+            job: lease.job as u64,
+            worker: lease.worker.clone(),
+            donor,
+            records: records as u64,
+        });
+    }
 
     let stop = AtomicBool::new(false);
     let run = std::thread::scope(|scope| {
@@ -247,11 +272,28 @@ fn execute_lease(
                 }
             }
         });
-        let run = run_shard_with_scenarios(&shard_spec, my_dir, Some(cfg.threads), Some(scenarios));
+        let run = run_shard_journaled(
+            &shard_spec,
+            my_dir,
+            Some(cfg.threads),
+            Some(scenarios),
+            Some(&mut *journal),
+        );
         stop.store(true, Ordering::Relaxed);
         run
     })?;
     let kept = queue.mark_done(&lease)?;
+    if kept {
+        journal.emit(Event::JobDone {
+            job: lease.job as u64,
+            worker: lease.worker.clone(),
+        });
+    } else {
+        journal.emit(Event::LeaseLost {
+            job: lease.job as u64,
+            worker: lease.worker.clone(),
+        });
+    }
     Ok((run, kept))
 }
 
@@ -259,18 +301,22 @@ fn execute_lease(
 /// worker (typically a dead one) left behind, so resumed shards skip the
 /// jobs already committed instead of recomputing the whole shard. Purely
 /// best-effort: on any doubt the copy is discarded and the shard runs from
-/// scratch.
-fn adopt_partial_output(root: &Path, worker_id: &str, shard_spec: &ExperimentSpec, my_dir: &Path) {
+/// scratch. On success returns the donor worker's directory name and how
+/// many committed records the adopted copy held.
+fn adopt_partial_output(
+    root: &Path,
+    worker_id: &str,
+    shard_spec: &ExperimentSpec,
+    my_dir: &Path,
+) -> Option<(String, usize)> {
     let file_name = shard_file_name(shard_spec);
     let mine = my_dir.join(&file_name);
     if mine.exists() {
-        return; // Our own previous attempt; run_shard resumes it directly.
+        return None; // Our own previous attempt; run_shard resumes it directly.
     }
-    let Ok(entries) = fs::read_dir(root.join(SHARDS_DIR)) else {
-        return;
-    };
+    let entries = fs::read_dir(root.join(SHARDS_DIR)).ok()?;
     let expected_hash = shard_spec.spec_hash();
-    let mut best: Option<(usize, PathBuf)> = None;
+    let mut best: Option<(usize, String, PathBuf)> = None;
     for entry in entries.flatten() {
         let dir = entry.path();
         if dir.file_name().is_some_and(|n| n == worker_id) || !dir.is_dir() {
@@ -286,26 +332,32 @@ fn adopt_partial_output(root: &Path, worker_id: &str, shard_spec: &ExperimentSpe
             continue;
         }
         let records = loaded.records.len();
-        if best.as_ref().is_none_or(|(n, _)| records > *n) {
-            best = Some((records, candidate));
+        if best.as_ref().is_none_or(|(n, _, _)| records > *n) {
+            let donor = dir
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            best = Some((records, donor, candidate));
         }
     }
-    let Some((_, source)) = best else { return };
+    let (records, donor, source) = best?;
     // Copy through a temp file so our directory never holds a torn file,
     // then re-validate the copy (the source may be mid-append; a torn
     // *final* line is fine — the shard engine drops and re-runs it).
     let tmp = my_dir.join(format!("{file_name}.adopt-tmp"));
     if fs::copy(&source, &tmp).is_err() {
         let _ = fs::remove_file(&tmp);
-        return;
+        return None;
     }
     if read_shard_file(&tmp).is_err() {
         let _ = fs::remove_file(&tmp);
-        return;
+        return None;
     }
     if fs::rename(&tmp, &mine).is_err() {
         let _ = fs::remove_file(&tmp);
+        return None;
     }
+    Some((donor, records))
 }
 
 /// Reproduces a worker death at a precise point of its first claim, then

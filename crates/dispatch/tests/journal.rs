@@ -1,0 +1,284 @@
+//! End-to-end journal guarantees: replay reconstructs the live queue
+//! after chaos, identically-seeded runs diff empty, divergent runs are
+//! pinpointed, and tampered chains fail with the offending sequence.
+
+mod common;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use common::{assert_outcomes_bit_identical, temp_dir};
+use rats_dispatch::worker::ChaosPhase;
+use rats_dispatch::{dispatch, replay_check, DispatchConfig, HostInventory};
+use rats_experiments::spec::{ExperimentSpec, SuiteSpec};
+use rats_journal::{diff, read_journal, segment_path, Event, Journal};
+
+fn campaign_exe() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_campaign"))
+}
+
+fn mini_spec(name: &str, seed: u64) -> ExperimentSpec {
+    ExperimentSpec::naive(name, "grillon", SuiteSpec::Mini, seed)
+}
+
+fn test_config(out: &Path, workers: usize) -> DispatchConfig {
+    let mut cfg = DispatchConfig::new(out, HostInventory::localhost(workers * 2, workers));
+    cfg.worker_exe = Some(campaign_exe());
+    cfg.beat_ms = 40;
+    cfg.poll_ms = 25;
+    cfg.stale_ms = 600;
+    cfg.timeout_ms = 120_000;
+    cfg
+}
+
+/// After a 3-worker dispatch with a worker killed at each chaos phase,
+/// replaying the journal reconstructs exactly the live queue state, and
+/// the journal's fault counters agree with the dispatch report.
+#[test]
+fn replay_check_matches_live_queue_after_chaos() {
+    for (tag, phase) in [
+        ("claim", ChaosPhase::Claim),
+        ("manifest", ChaosPhase::Manifest),
+        ("partial", ChaosPhase::Partial),
+    ] {
+        let mut spec = mini_spec(&format!("journal-{tag}"), 700 + tag.len() as u64);
+        spec.threads = Some(2);
+        let out = temp_dir(&format!("journal-chaos-{tag}"));
+        let mut cfg = test_config(&out, 3);
+        cfg.chaos = Some(phase);
+        let report = dispatch(&spec, &cfg).unwrap();
+
+        let check = replay_check(&report.root).unwrap();
+        assert!(check.ok(), "{tag}: {check}");
+        assert!(check.state.all_done(), "{tag}: replay ends all-done");
+        assert_eq!(
+            check.state.reclaimed as usize, report.reclaimed,
+            "{tag}: journal reclaims match the dispatch report"
+        );
+        assert!(
+            check.state.workers_died >= 1,
+            "{tag}: the killed worker's death is journaled"
+        );
+        assert!(
+            check.state.merge.is_some(),
+            "{tag}: the merge completion is journaled"
+        );
+        fs::remove_dir_all(&out).unwrap();
+    }
+}
+
+/// Two campaigns with the same spec and seed, dispatched the same way
+/// (one worker — claim order is deterministic), journal identical
+/// decision histories: the normalized diff is empty despite different
+/// wall-clock timing, and the CLI agrees with exit code 0.
+#[test]
+fn identically_seeded_runs_diff_empty() {
+    let mut spec = mini_spec("journal-twin", 811);
+    spec.threads = Some(2);
+    let (out_a, out_b) = (temp_dir("journal-twin-a"), temp_dir("journal-twin-b"));
+    let ra = dispatch(&spec, &test_config(&out_a, 1)).unwrap();
+    let rb = dispatch(&spec, &test_config(&out_b, 1)).unwrap();
+    assert_outcomes_bit_identical(&ra.outcome, &rb.outcome);
+
+    let d = diff(
+        &read_journal(&ra.root).unwrap(),
+        &read_journal(&rb.root).unwrap(),
+    );
+    assert!(d.is_empty(), "{d}");
+    assert!(d.job_deltas.is_empty());
+
+    let output = Command::new(campaign_exe())
+        .arg("diff")
+        .arg(&ra.root)
+        .arg(&rb.root)
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "clean diff exits 0");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("zero divergence"), "{stdout}");
+
+    fs::remove_dir_all(&out_a).unwrap();
+    fs::remove_dir_all(&out_b).unwrap();
+}
+
+/// A clean run vs the same spec with a worker killed after its first
+/// claim: the diff pinpoints the first divergent event (the worker death)
+/// and reports the extra claim + reclaim on the job the victim held.
+#[test]
+fn chaos_run_diverges_from_clean_run_at_the_death() {
+    let mut spec = mini_spec("journal-div", 911);
+    spec.threads = Some(2);
+    let (out_a, out_b) = (temp_dir("journal-div-a"), temp_dir("journal-div-b"));
+    let ra = dispatch(&spec, &test_config(&out_a, 1)).unwrap();
+    let mut cfg_b = test_config(&out_b, 1);
+    cfg_b.chaos = Some(ChaosPhase::Claim);
+    let rb = dispatch(&spec, &cfg_b).unwrap();
+    assert!(rb.reclaimed >= 1);
+
+    let d = diff(
+        &read_journal(&ra.root).unwrap(),
+        &read_journal(&rb.root).unwrap(),
+    );
+    assert!(!d.is_empty());
+    let div = d.divergence.as_ref().unwrap();
+    // Both dispatchers open with cache-ready, queue-init, worker-spawned;
+    // the chaos dispatcher then records the death.
+    assert!(
+        div.b.as_deref().unwrap_or("").contains("worker-died"),
+        "{d}"
+    );
+    // The single worker always claims job 0 first, so the victim's lost
+    // lease lands there: one clean claim vs claim + reclaim + re-claim.
+    let delta = d
+        .job_deltas
+        .iter()
+        .find(|j| j.job == 0)
+        .unwrap_or_else(|| panic!("job 0 must differ: {d}"));
+    assert_eq!(delta.a_claims, 1, "{d}");
+    assert_eq!(delta.b_claims, 2, "{d}");
+    assert_eq!(delta.b_reclaims, 1, "{d}");
+    assert!(
+        delta.b_workers.iter().any(|w| w.contains("-r1")),
+        "the respawned worker re-claims the victim's job: {d}"
+    );
+
+    let output = Command::new(campaign_exe())
+        .arg("diff")
+        .arg(&ra.root)
+        .arg(&rb.root)
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(1), "divergent diff exits 1");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("diverge"), "{stdout}");
+
+    fs::remove_dir_all(&out_a).unwrap();
+    fs::remove_dir_all(&out_b).unwrap();
+}
+
+/// Flipping one byte of a committed record makes `campaign replay` fail
+/// with the exact offending sequence number.
+#[test]
+fn tampered_journal_fails_replay_with_the_offending_seq() {
+    let root = temp_dir("journal-tamper");
+    let mut j = Journal::open(&root, "w0", "h");
+    j.emit(Event::QueueInit { jobs: 2 });
+    j.emit(Event::JobClaimed {
+        job: 0,
+        worker: "w0".into(),
+    });
+    j.emit(Event::JobDone {
+        job: 0,
+        worker: "w0".into(),
+    });
+    j.emit(Event::JobClaimed {
+        job: 1,
+        worker: "w0".into(),
+    });
+    drop(j);
+
+    let path = segment_path(&root, "w0");
+    let text = fs::read_to_string(&path).unwrap();
+    let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+    // Line 0 is the header; line 3 is the record with seq 2.
+    lines[3] = lines[3].replacen("\"seq\":", "\"zeq\":", 1);
+    fs::write(&path, format!("{}\n", lines.join("\n"))).unwrap();
+
+    let output = Command::new(campaign_exe())
+        .arg("replay")
+        .arg(&root)
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("chain broken"), "{stderr}");
+    assert!(stderr.contains("at seq 2"), "{stderr}");
+
+    fs::remove_dir_all(&root).unwrap();
+}
+
+/// The dispatcher surfaces a worker's partial-shard adoption as a live
+/// notice (driven by the journal tail), and `campaign replay` on the
+/// finished root reports the adoption.
+#[test]
+fn adoption_is_journaled_and_noticed() {
+    let mut spec = mini_spec("journal-adopt", 787);
+    spec.threads = Some(2);
+    let out = temp_dir("journal-adopt");
+    let spec_path = out.join("spec.toml");
+    fs::create_dir_all(&out).unwrap();
+    fs::write(&spec_path, spec.to_toml()).unwrap();
+
+    let output = Command::new(campaign_exe())
+        .arg("dispatch")
+        .arg(&spec_path)
+        .args(["--workers", "2", "--oversub", "1", "--threads", "2"])
+        .args(["--beat-ms", "40", "--poll-ms", "25", "--stale-ms", "600"])
+        .args(["--timeout-ms", "120000", "--chaos", "partial"])
+        .arg("--out")
+        .arg(&out)
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(output.status.success(), "{stderr}");
+    assert!(
+        stderr.contains("adopted") && stderr.contains("committed record(s)"),
+        "dispatcher must print the adoption notice:\n{stderr}"
+    );
+
+    // The adoption is in the journal too: find the campaign root and
+    // replay it.
+    let root = rats_dispatch::campaign_root(&out, &spec.normalized());
+    let check = replay_check(&root).unwrap();
+    assert!(check.ok(), "{check}");
+    assert!(check.state.adopted >= 1, "{check}");
+
+    let replay_out = Command::new(campaign_exe())
+        .arg("replay")
+        .arg(&root)
+        .output()
+        .unwrap();
+    assert!(replay_out.status.success());
+    let stdout = String::from_utf8_lossy(&replay_out.stdout);
+    assert!(stdout.contains("partial shard(s) adopted"), "{stdout}");
+
+    fs::remove_dir_all(&out).unwrap();
+}
+
+/// Satellite CLI polish: unknown subcommands exit 2 and the usage text
+/// advertises the new `replay` / `diff` subcommands; stray positionals to
+/// `describe`/`status` are labelled arguments, not flags, and also exit 2.
+#[test]
+fn cli_usage_covers_replay_and_diff_and_exits_2() {
+    let output = Command::new(campaign_exe())
+        .arg("frobnicate")
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown subcommand"), "{stderr}");
+    assert!(stderr.contains("campaign replay"), "{stderr}");
+    assert!(stderr.contains("campaign diff"), "{stderr}");
+
+    let output = Command::new(campaign_exe())
+        .args(["describe", "a.toml", "surplus"])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(2), "stray positional exits 2");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown argument `surplus`"), "{stderr}");
+
+    let output = Command::new(campaign_exe())
+        .args(["status", "root-a", "root-b"])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(2), "stray positional exits 2");
+
+    let output = Command::new(campaign_exe())
+        .args(["replay", "--bogus"])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("unknown flag `--bogus`"),);
+}

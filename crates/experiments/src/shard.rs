@@ -29,6 +29,7 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 use rats_daggen::suite::Scenario;
+use rats_journal::{Event, Journal};
 use rats_platform::Platform;
 use rats_sched::{allocate, AllocParams, MappingStrategy};
 use serde::{Deserialize, Serialize, Value};
@@ -215,6 +216,24 @@ pub fn run_shard_with_scenarios(
     threads: Option<usize>,
     scenarios: Option<&[Scenario]>,
 ) -> Result<ShardRun, ShardError> {
+    run_shard_journaled(spec, dir, threads, scenarios, None)
+}
+
+/// [`run_shard_with_scenarios`] with campaign-journal instrumentation.
+///
+/// When a [`Journal`] is supplied the run emits `job-started` on entry
+/// (after resume bookkeeping, so `skipped` is the resumed count),
+/// `chunk-done` after each committed write batch, and `job-finished` with
+/// the wall-clock total — the timing events `campaign status` turns into
+/// ETA and throughput. `None` runs exactly as before; journaling is
+/// provenance, not control flow, and never fails the shard.
+pub fn run_shard_journaled(
+    spec: &ExperimentSpec,
+    dir: &Path,
+    threads: Option<usize>,
+    scenarios: Option<&[Scenario]>,
+    mut journal: Option<&mut Journal>,
+) -> Result<ShardRun, ShardError> {
     spec.validate()?;
     if let Some(provided) = scenarios {
         let expected = spec.suite.len();
@@ -323,7 +342,23 @@ pub fn run_shard_with_scenarios(
         .collect();
     let total = grid.shard_len(shard) as usize;
     let skipped = total - todo.len();
+    let started = std::time::Instant::now();
+    if let Some(j) = journal.as_deref_mut() {
+        j.emit(Event::JobStarted {
+            job: shard.index as u64,
+            total: total as u64,
+            skipped: skipped as u64,
+        });
+    }
     if todo.is_empty() {
+        if let Some(j) = journal.as_deref_mut() {
+            j.emit(Event::JobFinished {
+                job: shard.index as u64,
+                executed: 0,
+                skipped: skipped as u64,
+                elapsed_ms: started.elapsed().as_millis() as u64,
+            });
+        }
         return Ok(ShardRun {
             path,
             executed: 0,
@@ -392,6 +427,7 @@ pub fn run_shard_with_scenarios(
             })
             .collect();
         for chunk in cluster_jobs.chunks(WRITE_CHUNK) {
+            let chunk_started = std::time::Instant::now();
             let results = parallel_map(chunk, threads, |_, &job| {
                 let c = grid.coords(job);
                 prepared[&c.scenario].evaluate(&platform, strategies[c.strategy])
@@ -407,7 +443,22 @@ pub fn run_shard_with_scenarios(
                 );
                 writeln!(file, "{}", record.to_jsonl())?;
             }
+            if let Some(j) = journal.as_deref_mut() {
+                j.emit(Event::ChunkDone {
+                    job: shard.index as u64,
+                    jobs: chunk.len() as u64,
+                    elapsed_ms: chunk_started.elapsed().as_millis() as u64,
+                });
+            }
         }
+    }
+    if let Some(j) = journal {
+        j.emit(Event::JobFinished {
+            job: shard.index as u64,
+            executed: executed as u64,
+            skipped: skipped as u64,
+            elapsed_ms: started.elapsed().as_millis() as u64,
+        });
     }
     Ok(ShardRun {
         path,

@@ -1,0 +1,277 @@
+//! Cross-run journal diff: did two campaigns make the same decisions?
+//!
+//! Wall-clock fields can never match between runs, so the comparison is
+//! over *normalized* streams: writers in lexicographic order, each
+//! writer's records in sequence order, every event reduced to its
+//! deterministic projection (durations stripped — see
+//! [`Event::normalized`](crate::event::Event::normalized)). Two
+//! identically-seeded campaigns dispatched the same way produce identical
+//! normalized streams; the first index where the aligned streams differ is
+//! the first divergent scheduling decision.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::event::Event;
+use crate::reader::Segment;
+
+/// Flattens verified segments into the normalized stream: one line per
+/// event, `"<writer>: <normalized event>"`, writers sorted by name.
+pub fn normalize(segments: &[Segment]) -> Vec<String> {
+    let mut sorted: Vec<&Segment> = segments.iter().collect();
+    sorted.sort_by(|a, b| a.writer.cmp(&b.writer));
+    sorted
+        .iter()
+        .flat_map(|seg| {
+            seg.records
+                .iter()
+                .map(|rec| format!("{}: {}", seg.writer, rec.event.normalized()))
+        })
+        .collect()
+}
+
+/// The first point where two normalized streams disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Index into the aligned streams.
+    pub index: usize,
+    /// Run A's event at that index (`None` if A's stream ended).
+    pub a: Option<String>,
+    /// Run B's event at that index (`None` if B's stream ended).
+    pub b: Option<String>,
+}
+
+/// Per-job scheduling delta between two runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JobDelta {
+    /// The queue job index.
+    pub job: u64,
+    /// Claim events for the job in run A / run B.
+    pub a_claims: u64,
+    /// Claim events for the job in run B.
+    pub b_claims: u64,
+    /// Lease reclaims for the job in run A.
+    pub a_reclaims: u64,
+    /// Lease reclaims for the job in run B.
+    pub b_reclaims: u64,
+    /// Workers that ever claimed the job in run A (sorted).
+    pub a_workers: Vec<String>,
+    /// Workers that ever claimed the job in run B (sorted).
+    pub b_workers: Vec<String>,
+}
+
+/// The full comparison of two campaign journals.
+#[derive(Debug, Clone)]
+pub struct JournalDiff {
+    /// Normalized event count of run A.
+    pub a_len: usize,
+    /// Normalized event count of run B.
+    pub b_len: usize,
+    /// First divergent index, if the streams differ anywhere.
+    pub divergence: Option<Divergence>,
+    /// Jobs whose claim/reclaim history differs, in job order.
+    pub job_deltas: Vec<JobDelta>,
+}
+
+impl JournalDiff {
+    /// Whether the two runs made identical decisions.
+    pub fn is_empty(&self) -> bool {
+        self.divergence.is_none()
+    }
+}
+
+#[derive(Default, Clone)]
+struct JobTally {
+    claims: u64,
+    reclaims: u64,
+    workers: std::collections::BTreeSet<String>,
+}
+
+fn tally(segments: &[Segment]) -> BTreeMap<u64, JobTally> {
+    let mut jobs: BTreeMap<u64, JobTally> = BTreeMap::new();
+    for seg in segments {
+        for rec in &seg.records {
+            match &rec.event {
+                Event::JobClaimed { job, worker } => {
+                    let t = jobs.entry(*job).or_default();
+                    t.claims += 1;
+                    t.workers.insert(worker.clone());
+                }
+                Event::LeaseReclaimed { job, .. } => {
+                    jobs.entry(*job).or_default().reclaims += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    jobs
+}
+
+/// Compares two campaigns' verified segments.
+pub fn diff(a: &[Segment], b: &[Segment]) -> JournalDiff {
+    let na = normalize(a);
+    let nb = normalize(b);
+    let mut divergence = None;
+    for i in 0..na.len().max(nb.len()) {
+        let ea = na.get(i);
+        let eb = nb.get(i);
+        if ea != eb {
+            divergence = Some(Divergence {
+                index: i,
+                a: ea.cloned(),
+                b: eb.cloned(),
+            });
+            break;
+        }
+    }
+
+    let ta = tally(a);
+    let tb = tally(b);
+    let mut job_deltas = Vec::new();
+    let jobs: std::collections::BTreeSet<u64> = ta.keys().chain(tb.keys()).copied().collect();
+    for job in jobs {
+        let da = ta.get(&job).cloned().unwrap_or_default();
+        let db = tb.get(&job).cloned().unwrap_or_default();
+        let delta = JobDelta {
+            job,
+            a_claims: da.claims,
+            b_claims: db.claims,
+            a_reclaims: da.reclaims,
+            b_reclaims: db.reclaims,
+            a_workers: da.workers.into_iter().collect(),
+            b_workers: db.workers.into_iter().collect(),
+        };
+        let same = delta.a_claims == delta.b_claims
+            && delta.a_reclaims == delta.b_reclaims
+            && delta.a_workers == delta.b_workers;
+        if !same {
+            job_deltas.push(delta);
+        }
+    }
+
+    JournalDiff {
+        a_len: na.len(),
+        b_len: nb.len(),
+        divergence,
+        job_deltas,
+    }
+}
+
+impl fmt::Display for JournalDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(
+                f,
+                "journals identical: {} events, zero divergence",
+                self.a_len
+            );
+        }
+        let d = self.divergence.as_ref().expect("non-empty diff diverges");
+        writeln!(
+            f,
+            "journals diverge at event {} ({} vs {} events):",
+            d.index, self.a_len, self.b_len
+        )?;
+        writeln!(f, "  A: {}", d.a.as_deref().unwrap_or("<end of stream>"))?;
+        write!(f, "  B: {}", d.b.as_deref().unwrap_or("<end of stream>"))?;
+        for delta in &self.job_deltas {
+            write!(
+                f,
+                "\n  job {}: claims {} vs {}, reclaims {} vs {}, workers [{}] vs [{}]",
+                delta.job,
+                delta.a_claims,
+                delta.b_claims,
+                delta.a_reclaims,
+                delta.b_reclaims,
+                delta.a_workers.join(", "),
+                delta.b_workers.join(", ")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::read_journal;
+    use crate::writer::Journal;
+    use std::path::{Path, PathBuf};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_root(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "rats-diff-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn campaign(root: &Path, reclaim_job: Option<u64>) {
+        let mut d = Journal::open(root, "dispatcher", "h");
+        d.emit(Event::QueueInit { jobs: 2 });
+        let mut w = Journal::open(root, "w0", "h");
+        w.emit(Event::JobClaimed {
+            job: 0,
+            worker: "w0".into(),
+        });
+        if let Some(job) = reclaim_job {
+            d.emit(Event::LeaseReclaimed {
+                job,
+                worker: "w0".into(),
+            });
+            w.emit(Event::JobClaimed {
+                job,
+                worker: "w0".into(),
+            });
+        }
+        w.emit(Event::JobFinished {
+            job: 0,
+            executed: 5,
+            skipped: 0,
+            elapsed_ms: 1234, // differs per run; normalization hides it
+        });
+        w.emit(Event::JobDone {
+            job: 0,
+            worker: "w0".into(),
+        });
+    }
+
+    #[test]
+    fn identical_runs_diff_empty_despite_timing() {
+        let (ra, rb) = (temp_root("id-a"), temp_root("id-b"));
+        campaign(&ra, None);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        campaign(&rb, None);
+        let d = diff(&read_journal(&ra).unwrap(), &read_journal(&rb).unwrap());
+        assert!(d.is_empty(), "{d}");
+        assert!(d.job_deltas.is_empty());
+        assert!(d.to_string().contains("zero divergence"));
+        std::fs::remove_dir_all(&ra).unwrap();
+        std::fs::remove_dir_all(&rb).unwrap();
+    }
+
+    #[test]
+    fn divergent_runs_pinpoint_the_first_difference() {
+        let (ra, rb) = (temp_root("div-a"), temp_root("div-b"));
+        campaign(&ra, None);
+        campaign(&rb, Some(0));
+        let d = diff(&read_journal(&ra).unwrap(), &read_journal(&rb).unwrap());
+        assert!(!d.is_empty());
+        let div = d.divergence.unwrap();
+        // Streams agree on [dispatcher queue-init]; B's dispatcher then
+        // reclaims where A's stream moves on to the worker segment.
+        assert_eq!(div.index, 1);
+        assert!(div.b.unwrap().contains("lease-reclaimed"));
+        assert_eq!(d.job_deltas.len(), 1);
+        assert_eq!(d.job_deltas[0].job, 0);
+        assert_eq!(d.job_deltas[0].a_claims, 1);
+        assert_eq!(d.job_deltas[0].b_claims, 2);
+        assert_eq!(d.job_deltas[0].b_reclaims, 1);
+        std::fs::remove_dir_all(&ra).unwrap();
+        std::fs::remove_dir_all(&rb).unwrap();
+    }
+}

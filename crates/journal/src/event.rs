@@ -1,0 +1,630 @@
+//! The event vocabulary: every state transition the dispatch stack can
+//! take, as plain data with a canonical byte-stable encoding.
+//!
+//! An [`Event`] is what a subsystem *emits*; an [`EventRecord`] is what the
+//! journal *stores* — the event plus its chain header (sequence number,
+//! wall-clock stamp, predecessor hash, own hash). The encoding is a JSON
+//! object whose keys are sorted (the vendored `serde` [`Value::Table`] is a
+//! `BTreeMap`), so the same record always serializes to the same bytes —
+//! the property the hash chain and the cross-run diff both stand on.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize, Value};
+
+/// One campaign state transition.
+///
+/// Shard-job granularity: `job` is always the *queue* job index (= shard
+/// index), the unit the work queue leases out. Wall-clock durations
+/// (`elapsed_ms`) are measured by the emitting process and therefore free
+/// of cross-host clock skew; absolute stamps live in the record envelope,
+/// not here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// The dispatcher initialized (or idempotently re-opened) the work
+    /// queue with this many shard jobs.
+    QueueInit {
+        /// Shard-job count of the campaign.
+        jobs: u64,
+    },
+    /// The dispatcher ensured the shared scenario cache: `written` is
+    /// `false` when a valid cache already existed and was reused.
+    CacheReady {
+        /// Whether this dispatch generated and wrote the cache.
+        written: bool,
+    },
+    /// A worker loaded its scenario population (from the shared cache, or
+    /// by regenerating after a miss).
+    PopulationLoaded {
+        /// Whether the population came from the cache file.
+        from_cache: bool,
+    },
+    /// The dispatcher spawned a worker process.
+    WorkerSpawned {
+        /// The worker's id.
+        worker: String,
+        /// Process generation of the slot (1 = original, 2 = first
+        /// respawn, …).
+        generation: u64,
+    },
+    /// A worker process exited while work remained.
+    WorkerDied {
+        /// The worker's id.
+        worker: String,
+        /// The exit status, as reported by the OS.
+        exit: String,
+    },
+    /// The dispatcher replaced a dead worker with a fresh process.
+    WorkerRespawned {
+        /// The dead worker's id.
+        worker: String,
+        /// The replacement's id.
+        replacement: String,
+    },
+    /// A worker won the atomic rename and holds the job's lease.
+    JobClaimed {
+        /// Queue job index.
+        job: u64,
+        /// The claiming worker.
+        worker: String,
+    },
+    /// A worker seeded its shard file from a dead predecessor's partial
+    /// output instead of recomputing from scratch.
+    AdoptedPartial {
+        /// Queue job index.
+        job: u64,
+        /// The adopting worker.
+        worker: String,
+        /// The worker directory the partial file came from.
+        donor: String,
+        /// Committed records the adopted file already held.
+        records: u64,
+    },
+    /// The shard executor began a job (emitted by `rats-experiments`).
+    JobStarted {
+        /// Queue job index (= shard index).
+        job: u64,
+        /// Grid jobs in the shard.
+        total: u64,
+        /// Grid jobs already on disk and skipped (resume).
+        skipped: u64,
+    },
+    /// The shard executor committed a batch of grid-job records.
+    ChunkDone {
+        /// Queue job index.
+        job: u64,
+        /// Grid jobs in the batch.
+        jobs: u64,
+        /// Wall-clock time the batch took, by the emitter's clock.
+        elapsed_ms: u64,
+    },
+    /// The shard executor finished a job (emitted by `rats-experiments`).
+    JobFinished {
+        /// Queue job index.
+        job: u64,
+        /// Grid jobs executed by this run.
+        executed: u64,
+        /// Grid jobs skipped (already on disk).
+        skipped: u64,
+        /// Wall-clock time for the whole shard, by the emitter's clock.
+        elapsed_ms: u64,
+    },
+    /// A worker renamed its lease to `.done` — the job is complete.
+    JobDone {
+        /// Queue job index.
+        job: u64,
+        /// The completing worker.
+        worker: String,
+    },
+    /// A worker finished a shard but its lease had been reclaimed — the
+    /// job will be (or was) re-executed elsewhere.
+    LeaseLost {
+        /// Queue job index.
+        job: u64,
+        /// The worker that lost the lease.
+        worker: String,
+    },
+    /// The dispatcher returned a silent worker's job to the todo state.
+    LeaseReclaimed {
+        /// Queue job index.
+        job: u64,
+        /// The lease holder that went silent.
+        worker: String,
+    },
+    /// The dispatcher re-seeded a job that had lost every queue file.
+    JobReseeded {
+        /// Queue job index.
+        job: u64,
+    },
+    /// The dispatcher swept contradictory queue files (done beats all).
+    ConflictsSwept {
+        /// Files removed.
+        removed: u64,
+    },
+    /// The final merge validated coverage and reassembled the outcome.
+    MergeCompleted {
+        /// Shard files merged.
+        shard_files: u64,
+        /// Grid jobs covered by the merge.
+        records: u64,
+    },
+}
+
+impl Event {
+    /// The event's kind tag (the `event` field of the encoding).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::QueueInit { .. } => "queue-init",
+            Event::CacheReady { .. } => "cache-ready",
+            Event::PopulationLoaded { .. } => "population-loaded",
+            Event::WorkerSpawned { .. } => "worker-spawned",
+            Event::WorkerDied { .. } => "worker-died",
+            Event::WorkerRespawned { .. } => "worker-respawned",
+            Event::JobClaimed { .. } => "job-claimed",
+            Event::AdoptedPartial { .. } => "adopted-partial",
+            Event::JobStarted { .. } => "job-started",
+            Event::ChunkDone { .. } => "chunk-done",
+            Event::JobFinished { .. } => "job-finished",
+            Event::JobDone { .. } => "job-done",
+            Event::LeaseLost { .. } => "lease-lost",
+            Event::LeaseReclaimed { .. } => "lease-reclaimed",
+            Event::JobReseeded { .. } => "job-reseeded",
+            Event::ConflictsSwept { .. } => "conflicts-swept",
+            Event::MergeCompleted { .. } => "merge-completed",
+        }
+    }
+
+    /// The queue job this event concerns, if any.
+    pub fn job(&self) -> Option<u64> {
+        match self {
+            Event::JobClaimed { job, .. }
+            | Event::AdoptedPartial { job, .. }
+            | Event::JobStarted { job, .. }
+            | Event::ChunkDone { job, .. }
+            | Event::JobFinished { job, .. }
+            | Event::JobDone { job, .. }
+            | Event::LeaseLost { job, .. }
+            | Event::LeaseReclaimed { job, .. }
+            | Event::JobReseeded { job } => Some(*job),
+            _ => None,
+        }
+    }
+
+    /// The deterministic projection of the event: everything except
+    /// wall-clock durations, which legitimately differ between two
+    /// otherwise identical runs. Two campaigns whose normalized streams
+    /// match made the same decisions; the cross-run diff compares these.
+    pub fn normalized(&self) -> String {
+        match self {
+            Event::ChunkDone { job, jobs, .. } => {
+                format!("chunk-done job={job} jobs={jobs}")
+            }
+            Event::JobFinished {
+                job,
+                executed,
+                skipped,
+                ..
+            } => format!("job-finished job={job} executed={executed} skipped={skipped}"),
+            other => other.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::QueueInit { jobs } => write!(f, "queue-init jobs={jobs}"),
+            Event::CacheReady { written } => write!(f, "cache-ready written={written}"),
+            Event::PopulationLoaded { from_cache } => {
+                write!(f, "population-loaded from_cache={from_cache}")
+            }
+            Event::WorkerSpawned { worker, generation } => {
+                write!(f, "worker-spawned worker={worker} generation={generation}")
+            }
+            Event::WorkerDied { worker, exit } => {
+                write!(f, "worker-died worker={worker} exit=[{exit}]")
+            }
+            Event::WorkerRespawned {
+                worker,
+                replacement,
+            } => write!(
+                f,
+                "worker-respawned worker={worker} replacement={replacement}"
+            ),
+            Event::JobClaimed { job, worker } => {
+                write!(f, "job-claimed job={job} worker={worker}")
+            }
+            Event::AdoptedPartial {
+                job,
+                worker,
+                donor,
+                records,
+            } => write!(
+                f,
+                "adopted-partial job={job} worker={worker} donor={donor} records={records}"
+            ),
+            Event::JobStarted {
+                job,
+                total,
+                skipped,
+            } => write!(f, "job-started job={job} total={total} skipped={skipped}"),
+            Event::ChunkDone {
+                job,
+                jobs,
+                elapsed_ms,
+            } => write!(
+                f,
+                "chunk-done job={job} jobs={jobs} elapsed_ms={elapsed_ms}"
+            ),
+            Event::JobFinished {
+                job,
+                executed,
+                skipped,
+                elapsed_ms,
+            } => write!(
+                f,
+                "job-finished job={job} executed={executed} skipped={skipped} \
+                 elapsed_ms={elapsed_ms}"
+            ),
+            Event::JobDone { job, worker } => write!(f, "job-done job={job} worker={worker}"),
+            Event::LeaseLost { job, worker } => {
+                write!(f, "lease-lost job={job} worker={worker}")
+            }
+            Event::LeaseReclaimed { job, worker } => {
+                write!(f, "lease-reclaimed job={job} worker={worker}")
+            }
+            Event::JobReseeded { job } => write!(f, "job-reseeded job={job}"),
+            Event::ConflictsSwept { removed } => write!(f, "conflicts-swept removed={removed}"),
+            Event::MergeCompleted {
+                shard_files,
+                records,
+            } => write!(
+                f,
+                "merge-completed shard_files={shard_files} records={records}"
+            ),
+        }
+    }
+}
+
+impl Serialize for Event {
+    fn serialize(&self) -> Value {
+        let mut t = Value::table();
+        t.insert("event", self.kind());
+        match self {
+            Event::QueueInit { jobs } => {
+                t.insert("jobs", jobs);
+            }
+            Event::CacheReady { written } => {
+                t.insert("written", written);
+            }
+            Event::PopulationLoaded { from_cache } => {
+                t.insert("from_cache", from_cache);
+            }
+            Event::WorkerSpawned { worker, generation } => {
+                t.insert("worker", worker).insert("generation", generation);
+            }
+            Event::WorkerDied { worker, exit } => {
+                t.insert("worker", worker).insert("exit", exit);
+            }
+            Event::WorkerRespawned {
+                worker,
+                replacement,
+            } => {
+                t.insert("worker", worker)
+                    .insert("replacement", replacement);
+            }
+            Event::JobClaimed { job, worker }
+            | Event::JobDone { job, worker }
+            | Event::LeaseLost { job, worker }
+            | Event::LeaseReclaimed { job, worker } => {
+                t.insert("job", job).insert("worker", worker);
+            }
+            Event::AdoptedPartial {
+                job,
+                worker,
+                donor,
+                records,
+            } => {
+                t.insert("job", job)
+                    .insert("worker", worker)
+                    .insert("donor", donor)
+                    .insert("records", records);
+            }
+            Event::JobStarted {
+                job,
+                total,
+                skipped,
+            } => {
+                t.insert("job", job)
+                    .insert("total", total)
+                    .insert("skipped", skipped);
+            }
+            Event::ChunkDone {
+                job,
+                jobs,
+                elapsed_ms,
+            } => {
+                t.insert("job", job)
+                    .insert("jobs", jobs)
+                    .insert("elapsed_ms", elapsed_ms);
+            }
+            Event::JobFinished {
+                job,
+                executed,
+                skipped,
+                elapsed_ms,
+            } => {
+                t.insert("job", job)
+                    .insert("executed", executed)
+                    .insert("skipped", skipped)
+                    .insert("elapsed_ms", elapsed_ms);
+            }
+            Event::JobReseeded { job } => {
+                t.insert("job", job);
+            }
+            Event::ConflictsSwept { removed } => {
+                t.insert("removed", removed);
+            }
+            Event::MergeCompleted {
+                shard_files,
+                records,
+            } => {
+                t.insert("shard_files", shard_files)
+                    .insert("records", records);
+            }
+        }
+        t
+    }
+}
+
+impl Deserialize for Event {
+    fn deserialize(v: &Value) -> Result<Self, serde::Error> {
+        let kind: String = v.field("event")?;
+        Ok(match kind.as_str() {
+            "queue-init" => Event::QueueInit {
+                jobs: v.field("jobs")?,
+            },
+            "cache-ready" => Event::CacheReady {
+                written: v.field("written")?,
+            },
+            "population-loaded" => Event::PopulationLoaded {
+                from_cache: v.field("from_cache")?,
+            },
+            "worker-spawned" => Event::WorkerSpawned {
+                worker: v.field("worker")?,
+                generation: v.field("generation")?,
+            },
+            "worker-died" => Event::WorkerDied {
+                worker: v.field("worker")?,
+                exit: v.field("exit")?,
+            },
+            "worker-respawned" => Event::WorkerRespawned {
+                worker: v.field("worker")?,
+                replacement: v.field("replacement")?,
+            },
+            "job-claimed" => Event::JobClaimed {
+                job: v.field("job")?,
+                worker: v.field("worker")?,
+            },
+            "adopted-partial" => Event::AdoptedPartial {
+                job: v.field("job")?,
+                worker: v.field("worker")?,
+                donor: v.field("donor")?,
+                records: v.field("records")?,
+            },
+            "job-started" => Event::JobStarted {
+                job: v.field("job")?,
+                total: v.field("total")?,
+                skipped: v.field("skipped")?,
+            },
+            "chunk-done" => Event::ChunkDone {
+                job: v.field("job")?,
+                jobs: v.field("jobs")?,
+                elapsed_ms: v.field("elapsed_ms")?,
+            },
+            "job-finished" => Event::JobFinished {
+                job: v.field("job")?,
+                executed: v.field("executed")?,
+                skipped: v.field("skipped")?,
+                elapsed_ms: v.field("elapsed_ms")?,
+            },
+            "job-done" => Event::JobDone {
+                job: v.field("job")?,
+                worker: v.field("worker")?,
+            },
+            "lease-lost" => Event::LeaseLost {
+                job: v.field("job")?,
+                worker: v.field("worker")?,
+            },
+            "lease-reclaimed" => Event::LeaseReclaimed {
+                job: v.field("job")?,
+                worker: v.field("worker")?,
+            },
+            "job-reseeded" => Event::JobReseeded {
+                job: v.field("job")?,
+            },
+            "conflicts-swept" => Event::ConflictsSwept {
+                removed: v.field("removed")?,
+            },
+            "merge-completed" => Event::MergeCompleted {
+                shard_files: v.field("shard_files")?,
+                records: v.field("records")?,
+            },
+            other => {
+                return Err(serde::Error::new(format!("unknown event kind `{other}`")));
+            }
+        })
+    }
+}
+
+/// A stored journal entry: the event plus its chain envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Position in the writer's segment, dense from 0.
+    pub seq: u64,
+    /// Milliseconds since the Unix epoch, by the writer's clock
+    /// (display and advisory staleness only — never trusted across hosts).
+    pub ms: u64,
+    /// Chain hash of the predecessor record (the segment header's hash for
+    /// `seq` 0).
+    pub prev: String,
+    /// This record's own chain hash: FNV-1a 64 over the canonical encoding
+    /// of every field except `hash` itself.
+    pub hash: String,
+    /// The event.
+    pub event: Event,
+}
+
+impl EventRecord {
+    /// The canonical encoding *without* the `hash` field — the byte string
+    /// the chain hash covers.
+    pub fn preimage(&self) -> String {
+        let mut t = self.event.serialize();
+        t.insert("seq", &self.seq)
+            .insert("ms", &self.ms)
+            .insert("prev", &self.prev);
+        serde_json::to_string(&t).expect("event records always serialize")
+    }
+
+    /// The full canonical line as stored in the segment file.
+    pub fn to_line(&self) -> String {
+        let mut t = self.event.serialize();
+        t.insert("seq", &self.seq)
+            .insert("ms", &self.ms)
+            .insert("prev", &self.prev)
+            .insert("hash", &self.hash);
+        serde_json::to_string(&t).expect("event records always serialize")
+    }
+
+    /// Parses a stored line (no chain verification — see
+    /// [`read_segment`](crate::reader::read_segment) for the verifying
+    /// reader).
+    pub fn from_line(line: &str) -> Result<Self, serde::Error> {
+        let v: Value = serde_json::from_str(line)?;
+        Ok(Self {
+            seq: v.field("seq")?,
+            ms: v.field("ms")?,
+            prev: v.field("prev")?,
+            hash: v.field("hash")?,
+            event: Event::deserialize(&v)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Event> {
+        vec![
+            Event::QueueInit { jobs: 6 },
+            Event::CacheReady { written: true },
+            Event::PopulationLoaded { from_cache: false },
+            Event::WorkerSpawned {
+                worker: "localhost-w0".into(),
+                generation: 1,
+            },
+            Event::WorkerDied {
+                worker: "localhost-w0".into(),
+                exit: "signal: 6".into(),
+            },
+            Event::WorkerRespawned {
+                worker: "localhost-w0".into(),
+                replacement: "localhost-w0-r1".into(),
+            },
+            Event::JobClaimed {
+                job: 3,
+                worker: "w".into(),
+            },
+            Event::AdoptedPartial {
+                job: 3,
+                worker: "w".into(),
+                donor: "dead".into(),
+                records: 17,
+            },
+            Event::JobStarted {
+                job: 3,
+                total: 40,
+                skipped: 17,
+            },
+            Event::ChunkDone {
+                job: 3,
+                jobs: 23,
+                elapsed_ms: 112,
+            },
+            Event::JobFinished {
+                job: 3,
+                executed: 23,
+                skipped: 17,
+                elapsed_ms: 130,
+            },
+            Event::JobDone {
+                job: 3,
+                worker: "w".into(),
+            },
+            Event::LeaseLost {
+                job: 2,
+                worker: "w".into(),
+            },
+            Event::LeaseReclaimed {
+                job: 2,
+                worker: "w".into(),
+            },
+            Event::JobReseeded { job: 1 },
+            Event::ConflictsSwept { removed: 2 },
+            Event::MergeCompleted {
+                shard_files: 4,
+                records: 40,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_round_trips() {
+        for event in samples() {
+            let text = serde_json::to_string(&event).unwrap();
+            let back: Event = serde_json::from_str(&text).unwrap();
+            assert_eq!(back, event, "{text}");
+        }
+    }
+
+    #[test]
+    fn encoding_is_byte_stable() {
+        // Key-sorted tables: the same event always renders the same bytes.
+        for event in samples() {
+            let a = serde_json::to_string(&event).unwrap();
+            let b = serde_json::to_string(&event.clone()).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn normalization_strips_durations_only() {
+        let timed = Event::ChunkDone {
+            job: 1,
+            jobs: 8,
+            elapsed_ms: 999,
+        };
+        assert_eq!(timed.normalized(), "chunk-done job=1 jobs=8");
+        let plain = Event::JobClaimed {
+            job: 0,
+            worker: "w0".into(),
+        };
+        assert_eq!(plain.normalized(), plain.to_string());
+    }
+
+    #[test]
+    fn record_lines_round_trip() {
+        let record = EventRecord {
+            seq: 4,
+            ms: 1_700_000_000_123,
+            prev: "00aa".into(),
+            hash: "11bb".into(),
+            event: Event::JobReseeded { job: 9 },
+        };
+        let line = record.to_line();
+        let back = EventRecord::from_line(&line).unwrap();
+        assert_eq!(back, record);
+        assert!(!record.preimage().contains("hash"), "{}", record.preimage());
+    }
+}

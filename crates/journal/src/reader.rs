@@ -1,0 +1,360 @@
+//! The verifying read side: segment parsing with full chain verification,
+//! whole-journal stitching, and an incremental tail for live monitoring.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::Value;
+
+use crate::event::{Event, EventRecord};
+use crate::{fnv1a_hex, JournalError, JOURNAL_DIR};
+
+/// One writer's fully verified segment.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Writer id, from the segment header.
+    pub writer: String,
+    /// Spec hash the segment was opened under.
+    pub spec_hash: String,
+    /// The raw header line (no newline) — its hash is the genesis `prev`.
+    pub header: String,
+    /// The verified records, in sequence order.
+    pub records: Vec<EventRecord>,
+    /// Whether an unterminated final line (writer killed mid-append) was
+    /// dropped. Complete-but-corrupt lines are *never* tolerated — they
+    /// are tampering and fail with [`JournalError::ChainBroken`].
+    pub torn_tail: bool,
+}
+
+/// Reads one segment file and verifies its entire hash chain.
+///
+/// Verification per record, in order: the line must parse, `seq` must
+/// equal the record's position, `prev` must equal the predecessor's hash
+/// (the header's hash for seq 0), and `hash` must equal the FNV-1a 64 of
+/// the record's canonical preimage. The first violation is reported as
+/// [`JournalError::ChainBroken`] with the offending sequence number —
+/// whether the cause was a flipped byte, a dropped line, or a reordered
+/// pair. The sole exception is a final line with no trailing newline,
+/// which is dropped and flagged as a torn tail.
+pub fn read_segment(path: &Path) -> Result<Segment, JournalError> {
+    let text = fs::read_to_string(path).map_err(|source| JournalError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    let malformed = |message: String| JournalError::Malformed {
+        path: path.to_path_buf(),
+        message,
+    };
+    let terminated = text.ends_with('\n');
+    let mut lines: Vec<&str> = text.lines().collect();
+    let torn_line = if !terminated { lines.pop() } else { None };
+    let mut lines = lines.into_iter();
+
+    let header = lines
+        .next()
+        .ok_or_else(|| malformed("empty segment (no header line)".into()))?;
+    let hv: Value =
+        serde_json::from_str(header).map_err(|e| malformed(format!("bad header: {e}")))?;
+    if hv
+        .field_or::<String>("kind", String::new())
+        .map_err(|e| malformed(e.to_string()))?
+        != "journal-segment"
+    {
+        return Err(malformed("header is not a journal-segment record".into()));
+    }
+    let writer: String = hv
+        .field("writer")
+        .map_err(|e| malformed(format!("header: {e}")))?;
+    let spec_hash: String = hv
+        .field("spec_hash")
+        .map_err(|e| malformed(format!("header: {e}")))?;
+
+    let mut prev = fnv1a_hex(header.as_bytes());
+    let mut records = Vec::new();
+    let verify = |line: &str, seq: u64, prev: &mut String| -> Result<EventRecord, String> {
+        let rec = EventRecord::from_line(line).map_err(|e| format!("unparseable record: {e}"))?;
+        if rec.seq != seq {
+            return Err(format!(
+                "sequence mismatch: recorded {}, expected {seq} (dropped or reordered event)",
+                rec.seq
+            ));
+        }
+        if rec.prev != *prev {
+            return Err(format!(
+                "prev-hash mismatch: recorded {}, chain head {prev}",
+                rec.prev
+            ));
+        }
+        let computed = fnv1a_hex(rec.preimage().as_bytes());
+        if computed != rec.hash {
+            return Err(format!(
+                "content hash mismatch: recorded {}, computed {computed}",
+                rec.hash
+            ));
+        }
+        *prev = rec.hash.clone();
+        Ok(rec)
+    };
+
+    for (i, line) in lines.enumerate() {
+        let seq = i as u64;
+        match verify(line, seq, &mut prev) {
+            Ok(rec) => records.push(rec),
+            Err(message) => {
+                return Err(JournalError::ChainBroken {
+                    writer,
+                    seq,
+                    message,
+                })
+            }
+        }
+    }
+    // An unterminated final line: keep it if it happens to verify (the
+    // newline itself was lost), otherwise drop it as a torn append.
+    let mut torn_tail = false;
+    if let Some(line) = torn_line {
+        let seq = records.len() as u64;
+        match verify(line, seq, &mut prev) {
+            Ok(rec) => records.push(rec),
+            Err(_) => torn_tail = true,
+        }
+    }
+    Ok(Segment {
+        writer,
+        spec_hash,
+        header: header.to_string(),
+        records,
+        torn_tail,
+    })
+}
+
+/// Lists a campaign root's segment files, sorted by file name.
+pub fn segment_files(root: &Path) -> Result<Vec<PathBuf>, JournalError> {
+    let dir = root.join(JOURNAL_DIR);
+    if !dir.is_dir() {
+        return Ok(Vec::new());
+    }
+    let entries = fs::read_dir(&dir).map_err(|source| JournalError::Io {
+        path: dir.clone(),
+        source,
+    })?;
+    let mut files = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|source| JournalError::Io {
+            path: dir.clone(),
+            source,
+        })?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_file() && name.starts_with("events-") && name.ends_with(".jsonl") {
+            files.push(path);
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Reads and verifies every segment of a campaign's journal, sorted by
+/// writer name. An absent `journal/` directory yields an empty vector
+/// (pre-journal campaign roots stay readable).
+pub fn read_journal(root: &Path) -> Result<Vec<Segment>, JournalError> {
+    let mut segments = Vec::new();
+    for path in segment_files(root)? {
+        segments.push(read_segment(&path)?);
+    }
+    segments.sort_by(|a, b| a.writer.cmp(&b.writer));
+    Ok(segments)
+}
+
+/// An incremental, non-verifying reader for live monitoring: polls the
+/// journal directory for new complete lines since the last poll, so the
+/// dispatcher can surface worker events (e.g. partial-output adoption) as
+/// they happen without re-reading whole segments every tick.
+pub struct JournalTail {
+    root: PathBuf,
+    /// Byte offset of the first unread byte, per segment file.
+    offsets: std::collections::BTreeMap<PathBuf, u64>,
+}
+
+impl JournalTail {
+    /// A tail over the given campaign root, starting from the present end
+    /// of every existing segment (only *new* events are reported).
+    pub fn new(root: &Path) -> Self {
+        let mut tail = JournalTail {
+            root: root.to_path_buf(),
+            offsets: Default::default(),
+        };
+        if let Ok(files) = segment_files(root) {
+            for f in files {
+                let len = fs::metadata(&f).map(|m| m.len()).unwrap_or(0);
+                tail.offsets.insert(f, len);
+            }
+        }
+        tail
+    }
+
+    /// Returns events appended since the last poll, as `(writer, event)`
+    /// pairs. Best-effort: torn or unparseable lines are skipped, i/o
+    /// errors yield an empty batch.
+    pub fn poll(&mut self) -> Vec<(String, Event)> {
+        let mut out = Vec::new();
+        let Ok(files) = segment_files(&self.root) else {
+            return out;
+        };
+        for path in files {
+            let from = *self.offsets.get(&path).unwrap_or(&0);
+            let Ok(bytes) = fs::read(&path) else { continue };
+            if (bytes.len() as u64) <= from {
+                continue;
+            }
+            let tail = &bytes[from as usize..];
+            // Only consume up to the last newline: a torn tail stays
+            // unread and is retried (complete) next poll.
+            let Some(last_nl) = tail.iter().rposition(|&b| b == b'\n') else {
+                continue;
+            };
+            let chunk = &tail[..=last_nl];
+            self.offsets.insert(path.clone(), from + chunk.len() as u64);
+            let writer = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let writer = writer
+                .strip_prefix("events-")
+                .and_then(|n| n.strip_suffix(".jsonl"))
+                .unwrap_or(&writer)
+                .to_string();
+            for line in String::from_utf8_lossy(chunk).lines() {
+                if from == 0 && line.contains("\"kind\":\"journal-segment\"") {
+                    continue;
+                }
+                if let Ok(rec) = EventRecord::from_line(line) {
+                    out.push((writer.clone(), rec.event));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::{segment_path, Journal};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_root(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "rats-reader-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn seeded_root(tag: &str, events: usize) -> (PathBuf, PathBuf) {
+        let root = temp_root(tag);
+        let mut j = Journal::open(&root, "w0", "h");
+        j.emit(Event::QueueInit {
+            jobs: events as u64,
+        });
+        for i in 0..events.saturating_sub(1) {
+            j.emit(Event::JobClaimed {
+                job: i as u64,
+                worker: "w0".into(),
+            });
+        }
+        (root.clone(), segment_path(&root, "w0"))
+    }
+
+    fn broken_seq(err: JournalError) -> u64 {
+        match err {
+            JournalError::ChainBroken { seq, .. } => seq,
+            other => panic!("expected ChainBroken, got {other}"),
+        }
+    }
+
+    #[test]
+    fn flipped_byte_reports_the_exact_sequence() {
+        let (root, path) = seeded_root("flip", 5);
+        let text = fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        // Flip one payload byte of the record at seq 2 (line 3).
+        lines[3] = lines[3].replace("\"job\":1", "\"job\":7");
+        fs::write(&path, lines.join("\n") + "\n").unwrap();
+        assert_eq!(broken_seq(read_segment(&path).unwrap_err()), 2);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn dropped_event_reports_the_gap() {
+        let (root, path) = seeded_root("drop", 5);
+        let text = fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        lines.remove(2); // drop the record at seq 1
+        fs::write(&path, lines.join("\n") + "\n").unwrap();
+        assert_eq!(broken_seq(read_segment(&path).unwrap_err()), 1);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn reordered_events_report_the_first_out_of_place() {
+        let (root, path) = seeded_root("swap", 5);
+        let text = fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        lines.swap(2, 3); // swap records seq 1 and seq 2
+        fs::write(&path, lines.join("\n") + "\n").unwrap();
+        assert_eq!(broken_seq(read_segment(&path).unwrap_err()), 1);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn tampered_final_line_is_not_mistaken_for_a_torn_tail() {
+        let (root, path) = seeded_root("last", 3);
+        let text = fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        let last = lines.len() - 1;
+        lines[last] = lines[last].replace("\"job\":1", "\"job\":9");
+        // Newline-terminated: a complete, corrupt line — tampering.
+        fs::write(&path, lines.join("\n") + "\n").unwrap();
+        assert_eq!(broken_seq(read_segment(&path).unwrap_err()), 2);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn journal_of_absent_directory_is_empty() {
+        let root = temp_root("absent");
+        assert!(read_journal(&root).unwrap().is_empty());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn tail_reports_only_new_complete_lines() {
+        let root = temp_root("tail");
+        let mut j = Journal::open(&root, "w0", "h");
+        j.emit(Event::QueueInit { jobs: 2 });
+        let mut tail = JournalTail::new(&root);
+        assert!(tail.poll().is_empty(), "existing history is not replayed");
+        j.emit(Event::AdoptedPartial {
+            job: 1,
+            worker: "w0".into(),
+            donor: "dead".into(),
+            records: 4,
+        });
+        let batch = tail.poll();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].0, "w0");
+        assert!(matches!(
+            batch[0].1,
+            Event::AdoptedPartial {
+                job: 1,
+                records: 4,
+                ..
+            }
+        ));
+        assert!(tail.poll().is_empty());
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -1,0 +1,359 @@
+//! Deterministic replay: fold the stitched event timeline back into a
+//! reconstructed queue state.
+//!
+//! The cursor (`next_step` / `reset`) follows the replay-engine pattern:
+//! the timeline is fixed up front, a cursor walks it one event at a time,
+//! and the folded [`ReplayState`] can be inspected at any point. The fold
+//! is *done-wins*: once a job's completion is seen, outstanding claims and
+//! todo markers for it are superseded — exactly the rule the live queue's
+//! conflict sweep enforces on disk — which makes the final reconstructed
+//! state insensitive to how concurrent writers' segments interleave.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::event::{Event, EventRecord};
+use crate::reader::Segment;
+
+/// The reconstructed lifecycle state of one queue job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobView {
+    /// No queue file should exist for the job.
+    Missing,
+    /// Waiting in the todo state.
+    Todo,
+    /// Leased by these workers (sorted; more than one only mid-conflict).
+    Claimed(Vec<String>),
+    /// Completed.
+    Done,
+}
+
+impl fmt::Display for JobView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobView::Missing => write!(f, "missing"),
+            JobView::Todo => write!(f, "todo"),
+            JobView::Claimed(ws) => write!(f, "claimed by {}", ws.join("+")),
+            JobView::Done => write!(f, "done"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct JobState {
+    todo: bool,
+    claims: BTreeSet<String>,
+    done_by: Option<String>,
+}
+
+/// One timeline entry: which writer's segment the record came from.
+#[derive(Debug, Clone)]
+pub struct TimelineEntry {
+    /// The emitting writer.
+    pub writer: String,
+    /// The record itself.
+    pub record: EventRecord,
+}
+
+/// The folded view of a campaign at the cursor's current position.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayState {
+    /// Queue size, once a `queue-init` event has been seen.
+    pub jobs: Option<u64>,
+    /// Leases returned to todo by the dispatcher.
+    pub reclaimed: u64,
+    /// Jobs re-seeded after losing every queue file.
+    pub reseeded: u64,
+    /// Partial shard files adopted from dead predecessors.
+    pub adopted: u64,
+    /// Worker processes spawned (including respawns).
+    pub workers_spawned: u64,
+    /// Worker processes that died with work remaining.
+    pub workers_died: u64,
+    /// `(shard_files, records)` once the merge has completed.
+    pub merge: Option<(u64, u64)>,
+    states: BTreeMap<u64, JobState>,
+}
+
+impl ReplayState {
+    /// Applies one event to the fold.
+    pub fn apply(&mut self, event: &Event) {
+        match event {
+            Event::QueueInit { jobs } => {
+                self.jobs = Some(*jobs);
+                for job in 0..*jobs {
+                    // Idempotent re-init (queue resume) must not resurrect
+                    // already-progressed jobs.
+                    self.states.entry(job).or_insert(JobState {
+                        todo: true,
+                        ..Default::default()
+                    });
+                }
+            }
+            Event::JobClaimed { job, worker } => {
+                let st = self.states.entry(*job).or_default();
+                st.claims.insert(worker.clone());
+                st.todo = false;
+            }
+            Event::JobDone { job, worker } => {
+                let st = self.states.entry(*job).or_default();
+                st.done_by = Some(worker.clone());
+                st.claims.remove(worker);
+                st.todo = false;
+            }
+            Event::LeaseReclaimed { job, worker } => {
+                let st = self.states.entry(*job).or_default();
+                st.claims.remove(worker);
+                if st.done_by.is_none() {
+                    st.todo = true;
+                }
+                self.reclaimed += 1;
+            }
+            Event::LeaseLost { job, worker } => {
+                self.states.entry(*job).or_default().claims.remove(worker);
+            }
+            Event::JobReseeded { job } => {
+                let st = self.states.entry(*job).or_default();
+                if st.done_by.is_none() {
+                    st.todo = true;
+                }
+                self.reseeded += 1;
+            }
+            Event::AdoptedPartial { .. } => self.adopted += 1,
+            Event::WorkerSpawned { .. } => self.workers_spawned += 1,
+            Event::WorkerDied { .. } => self.workers_died += 1,
+            Event::WorkerRespawned { .. } => {}
+            Event::MergeCompleted {
+                shard_files,
+                records,
+            } => self.merge = Some((*shard_files, *records)),
+            Event::CacheReady { .. }
+            | Event::PopulationLoaded { .. }
+            | Event::JobStarted { .. }
+            | Event::ChunkDone { .. }
+            | Event::JobFinished { .. }
+            | Event::ConflictsSwept { .. } => {}
+        }
+    }
+
+    /// The done-wins view of one job.
+    pub fn view(&self, job: u64) -> JobView {
+        match self.states.get(&job) {
+            None => JobView::Missing,
+            Some(st) => {
+                if st.done_by.is_some() {
+                    JobView::Done
+                } else if !st.claims.is_empty() {
+                    JobView::Claimed(st.claims.iter().cloned().collect())
+                } else if st.todo {
+                    JobView::Todo
+                } else {
+                    JobView::Missing
+                }
+            }
+        }
+    }
+
+    /// All job views, over `0..jobs` (or the observed jobs when no
+    /// `queue-init` was seen).
+    pub fn views(&self) -> BTreeMap<u64, JobView> {
+        let upper = self
+            .jobs
+            .unwrap_or_else(|| self.states.keys().last().map_or(0, |j| j + 1));
+        (0..upper).map(|j| (j, self.view(j))).collect()
+    }
+
+    /// Whether every job is done.
+    pub fn all_done(&self) -> bool {
+        self.views().values().all(|v| *v == JobView::Done)
+    }
+}
+
+/// A replayable cursor over a campaign's stitched timeline.
+///
+/// Entries are ordered by `(ms, writer, seq)` — a stable, reproducible
+/// interleave that is chronological up to clock skew. Mid-flight views are
+/// therefore advisory across writers; the *final* state is exact thanks to
+/// the done-wins fold.
+pub struct Replay {
+    timeline: Vec<TimelineEntry>,
+    cursor: usize,
+    state: ReplayState,
+}
+
+impl Replay {
+    /// Builds a replay over verified segments (see
+    /// [`read_journal`](crate::reader::read_journal)).
+    pub fn new(segments: &[Segment]) -> Self {
+        let mut timeline: Vec<TimelineEntry> = segments
+            .iter()
+            .flat_map(|seg| {
+                seg.records.iter().map(|record| TimelineEntry {
+                    writer: seg.writer.clone(),
+                    record: record.clone(),
+                })
+            })
+            .collect();
+        timeline.sort_by(|a, b| {
+            (a.record.ms, &a.writer, a.record.seq).cmp(&(b.record.ms, &b.writer, b.record.seq))
+        });
+        Replay {
+            timeline,
+            cursor: 0,
+            state: ReplayState::default(),
+        }
+    }
+
+    /// Applies the next event and returns the entry just applied, or
+    /// `None` at the end of the timeline.
+    pub fn next_step(&mut self) -> Option<&TimelineEntry> {
+        let entry = self.timeline.get(self.cursor)?;
+        self.state.apply(&entry.record.event);
+        self.cursor += 1;
+        Some(entry)
+    }
+
+    /// Rewinds to the beginning (the timeline is unchanged).
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+        self.state = ReplayState::default();
+    }
+
+    /// Applies every remaining event and returns the final state.
+    pub fn run_to_end(&mut self) -> &ReplayState {
+        while self.next_step().is_some() {}
+        &self.state
+    }
+
+    /// The folded state at the cursor's current position.
+    pub fn state(&self) -> &ReplayState {
+        &self.state
+    }
+
+    /// Total number of events in the timeline.
+    pub fn len(&self) -> usize {
+        self.timeline.len()
+    }
+
+    /// Whether the timeline holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.timeline.is_empty()
+    }
+
+    /// Position of the cursor (events applied so far).
+    pub fn position(&self) -> usize {
+        self.cursor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::read_journal;
+    use crate::writer::Journal;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_root(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "rats-replay-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn fold_reconstructs_the_queue_lifecycle() {
+        let mut st = ReplayState::default();
+        st.apply(&Event::QueueInit { jobs: 3 });
+        assert_eq!(st.view(0), JobView::Todo);
+        st.apply(&Event::JobClaimed {
+            job: 0,
+            worker: "a".into(),
+        });
+        assert_eq!(st.view(0), JobView::Claimed(vec!["a".into()]));
+        st.apply(&Event::LeaseReclaimed {
+            job: 0,
+            worker: "a".into(),
+        });
+        assert_eq!(st.view(0), JobView::Todo);
+        assert_eq!(st.reclaimed, 1);
+        st.apply(&Event::JobClaimed {
+            job: 0,
+            worker: "b".into(),
+        });
+        st.apply(&Event::JobDone {
+            job: 0,
+            worker: "b".into(),
+        });
+        assert_eq!(st.view(0), JobView::Done);
+        assert!(!st.all_done());
+        assert_eq!(st.view(2), JobView::Todo);
+    }
+
+    #[test]
+    fn done_wins_over_interleaved_claims() {
+        // A conflicting claim observed after the done event (cross-writer
+        // stitch order) must not resurrect the job.
+        let mut st = ReplayState::default();
+        st.apply(&Event::QueueInit { jobs: 1 });
+        st.apply(&Event::JobDone {
+            job: 0,
+            worker: "a".into(),
+        });
+        st.apply(&Event::JobClaimed {
+            job: 0,
+            worker: "b".into(),
+        });
+        assert_eq!(st.view(0), JobView::Done);
+    }
+
+    #[test]
+    fn reinit_does_not_resurrect_progress() {
+        let mut st = ReplayState::default();
+        st.apply(&Event::QueueInit { jobs: 2 });
+        st.apply(&Event::JobClaimed {
+            job: 0,
+            worker: "a".into(),
+        });
+        st.apply(&Event::JobDone {
+            job: 0,
+            worker: "a".into(),
+        });
+        st.apply(&Event::QueueInit { jobs: 2 }); // resume re-opens the queue
+        assert_eq!(st.view(0), JobView::Done);
+        assert_eq!(st.view(1), JobView::Todo);
+    }
+
+    #[test]
+    fn cursor_steps_and_resets() {
+        let root = temp_root("cursor");
+        let mut j = Journal::open(&root, "d", "h");
+        j.emit(Event::QueueInit { jobs: 2 });
+        j.emit(Event::JobClaimed {
+            job: 0,
+            worker: "w".into(),
+        });
+        j.emit(Event::JobDone {
+            job: 0,
+            worker: "w".into(),
+        });
+        let segments = read_journal(&root).unwrap();
+        let mut replay = Replay::new(&segments);
+        assert_eq!(replay.len(), 3);
+        let first = replay.next_step().unwrap();
+        assert!(matches!(first.record.event, Event::QueueInit { jobs: 2 }));
+        assert_eq!(replay.state().view(0), JobView::Todo);
+        replay.next_step().unwrap();
+        assert_eq!(replay.state().view(0), JobView::Claimed(vec!["w".into()]));
+        replay.reset();
+        assert_eq!(replay.position(), 0);
+        let end = replay.run_to_end();
+        assert_eq!(end.view(0), JobView::Done);
+        assert_eq!(end.view(1), JobView::Todo);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -22,6 +22,9 @@
 //! * [`experiments`] — the paper's evaluation campaign, driven by
 //!   serializable [`experiments::spec::ExperimentSpec`]s and executable as
 //!   sharded, resumable jobs ([`experiments::shard`]),
+//! * [`journal`] — append-only, hash-chained campaign event journal with
+//!   deterministic replay and cross-run diff (the `campaign replay` and
+//!   `campaign diff` subcommands),
 //! * [`dispatch`] — fault-tolerant multi-worker dispatch of those shards
 //!   over a filesystem work queue (host inventories, lease heartbeats,
 //!   shared scenario cache; the `campaign dispatch` subcommand).
@@ -64,6 +67,7 @@ pub use rats_dag as dag;
 pub use rats_daggen as daggen;
 pub use rats_dispatch as dispatch;
 pub use rats_experiments as experiments;
+pub use rats_journal as journal;
 pub use rats_model as model;
 pub use rats_platform as platform;
 pub use rats_redist as redist;
