@@ -1,0 +1,66 @@
+//! Quick throughput probe for the incremental mapping engine (dev tool).
+
+use std::time::Instant;
+
+use rats_daggen::{irregular_dag, DagParams};
+use rats_model::CostParams;
+use rats_platform::{ClusterSpec, Platform};
+use rats_sched::{allocate, AllocParams, MappingStrategy, Scheduler};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: u32 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(10_000);
+    let reps: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(5);
+    let params = DagParams {
+        n,
+        width: 0.5,
+        regularity: 0.5,
+        density: 0.5,
+        jump: 2,
+    };
+    let dag = irregular_dag(&params, &CostParams::paper(), 0xF00D);
+    let platform = Platform::from_spec(&ClusterSpec::grillon());
+    let alloc = allocate(&dag, &platform, AllocParams::default());
+    let mut hist = [0u32; 64];
+    for &a in alloc.as_slice() {
+        hist[(a as usize).min(63)] += 1;
+    }
+    let total: u32 = hist.iter().sum();
+    let mut cum = 0u32;
+    for (sz, &c) in hist.iter().enumerate() {
+        if c > 0 {
+            cum += c;
+            println!(
+                "alloc={sz}: {c} (cum {:.1}%)",
+                100.0 * cum as f64 / total as f64
+            );
+        }
+    }
+    let only = std::env::var("POLICY").unwrap_or_default();
+    for strategy in [
+        MappingStrategy::Hcpa,
+        MappingStrategy::rats_time_cost(0.5, true),
+    ] {
+        match only.as_str() {
+            "hcpa" if strategy.name() != "HCPA" => continue,
+            "tc" if strategy.name() == "HCPA" => continue,
+            _ => {}
+        }
+        let scheduler = Scheduler::new(&platform).strategy(strategy);
+        let mut best = f64::INFINITY;
+        let mut makespan = 0.0;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let s = scheduler.schedule_with_allocation(&dag, &alloc);
+            let dt = t0.elapsed().as_secs_f64();
+            makespan = s.makespan_estimate();
+            best = best.min(dt);
+        }
+        println!(
+            "{:<10} n={n} best {:.3}ms  ({:.0} tasks/s)  makespan {makespan:.6}",
+            strategy.name(),
+            best * 1e3,
+            f64::from(n) / best
+        );
+    }
+}

@@ -1,10 +1,13 @@
 //! Scheduling analyses: top/bottom levels and critical paths.
 //!
 //! All functions take the task execution times as a slice indexed by
-//! [`TaskId::index`] and the communication cost of each edge as a closure,
-//! so the same graph can be analysed under different allocations (CPA/HCPA
-//! re-evaluate the critical path after every allocation change) and under
-//! different platform parameters.
+//! [`TaskId::index`] and the communication cost of each edge as a closure
+//! `(edge id, edge bytes) -> cost`, so the same graph can be analysed under
+//! different allocations (CPA/HCPA re-evaluate the critical path after every
+//! allocation change) and under different platform parameters. The byte
+//! payload is handed to the closure straight from the flat adjacency view
+//! ([`TaskGraph::succs_flat`]) so cost models keyed on transfer size need no
+//! edge-table lookup of their own.
 
 use crate::graph::TaskGraph;
 use crate::ids::{EdgeId, TaskId};
@@ -20,7 +23,7 @@ use crate::ids::{EdgeId, TaskId};
 /// Panics if `task_time` has the wrong length or the graph is cyclic.
 pub fn bottom_levels<F>(g: &TaskGraph, task_time: &[f64], edge_cost: F) -> Vec<f64>
 where
-    F: Fn(EdgeId) -> f64,
+    F: Fn(EdgeId, f64) -> f64,
 {
     assert_eq!(
         task_time.len(),
@@ -28,14 +31,13 @@ where
         "task_time must have one entry per task"
     );
     let order = g
-        .topo_order()
+        .topo_order_cached()
         .expect("bottom_levels requires an acyclic graph");
     let mut bl = vec![0.0; g.num_tasks()];
     for &t in order.iter().rev() {
         let mut tail: f64 = 0.0;
-        for &e in g.out_edges(t) {
-            let dst = g.edge(e).dst;
-            tail = tail.max(edge_cost(e) + bl[dst.index()]);
+        for a in g.succs_flat(t) {
+            tail = tail.max(edge_cost(a.edge, a.bytes) + bl[a.task.index()]);
         }
         bl[t.index()] = task_time[t.index()] + tail;
     }
@@ -50,7 +52,7 @@ where
 /// Panics if `task_time` has the wrong length or the graph is cyclic.
 pub fn top_levels<F>(g: &TaskGraph, task_time: &[f64], edge_cost: F) -> Vec<f64>
 where
-    F: Fn(EdgeId) -> f64,
+    F: Fn(EdgeId, f64) -> f64,
 {
     assert_eq!(
         task_time.len(),
@@ -58,13 +60,13 @@ where
         "task_time must have one entry per task"
     );
     let order = g
-        .topo_order()
+        .topo_order_cached()
         .expect("top_levels requires an acyclic graph");
     let mut tl = vec![0.0; g.num_tasks()];
-    for &t in &order {
-        for &e in g.out_edges(t) {
-            let dst = g.edge(e).dst;
-            let candidate = tl[t.index()] + task_time[t.index()] + edge_cost(e);
+    for &t in order {
+        for a in g.succs_flat(t) {
+            let dst = a.task;
+            let candidate = tl[t.index()] + task_time[t.index()] + edge_cost(a.edge, a.bytes);
             if candidate > tl[dst.index()] {
                 tl[dst.index()] = candidate;
             }
@@ -76,7 +78,7 @@ where
 /// The critical-path length `C∞`: the heaviest entry-to-exit path weight.
 pub fn critical_path_length<F>(g: &TaskGraph, task_time: &[f64], edge_cost: F) -> f64
 where
-    F: Fn(EdgeId) -> f64,
+    F: Fn(EdgeId, f64) -> f64,
 {
     let bl = bottom_levels(g, task_time, edge_cost);
     g.entries()
@@ -90,7 +92,7 @@ where
 /// Ties are broken toward the lowest task id so the result is deterministic.
 pub fn critical_path<F>(g: &TaskGraph, task_time: &[f64], edge_cost: F) -> Vec<TaskId>
 where
-    F: Fn(EdgeId) -> f64,
+    F: Fn(EdgeId, f64) -> f64,
 {
     let bl = bottom_levels(g, task_time, &edge_cost);
     let mut path = Vec::new();
@@ -108,15 +110,16 @@ where
     loop {
         path.push(cur);
         let next = g
-            .successors(cur)
-            .max_by(|(a, ea), (b, eb)| {
-                let wa = edge_cost(*ea) + bl[a.index()];
-                let wb = edge_cost(*eb) + bl[b.index()];
+            .succs_flat(cur)
+            .iter()
+            .max_by(|a, b| {
+                let wa = edge_cost(a.edge, a.bytes) + bl[a.task.index()];
+                let wb = edge_cost(b.edge, b.bytes) + bl[b.task.index()];
                 wa.partial_cmp(&wb)
                     .expect("path weights are finite")
-                    .then(b.index().cmp(&a.index()))
+                    .then(b.task.index().cmp(&a.task.index()))
             })
-            .map(|(t, _)| t);
+            .map(|a| a.task);
         match next {
             Some(t) => cur = t,
             None => break,
@@ -157,7 +160,7 @@ mod tests {
         for (id, v) in [t(a, 1.0), t(b, 5.0), t(c, 2.0), t(d, 1.0)] {
             times[id.index()] = v;
         }
-        let bl = bottom_levels(&g, &times, |_| 0.0);
+        let bl = bottom_levels(&g, &times, |_, _| 0.0);
         assert_eq!(bl[d.index()], 1.0);
         assert_eq!(bl[b.index()], 6.0);
         assert_eq!(bl[c.index()], 3.0);
@@ -176,7 +179,7 @@ mod tests {
             v
         };
         // Edge cost 100 on c→d (edge id 3) makes a→c→d the critical path.
-        let bl = bottom_levels(&g, &times, |e| if e.index() == 3 { 100.0 } else { 0.0 });
+        let bl = bottom_levels(&g, &times, |e, _| if e.index() == 3 { 100.0 } else { 0.0 });
         assert_eq!(bl[c.index()], 103.0);
         assert_eq!(bl[a.index()], 104.0);
     }
@@ -192,9 +195,9 @@ mod tests {
             v[d.index()] = 1.0;
             v
         };
-        let bl = bottom_levels(&g, &times, |_| 0.0);
-        let tl = top_levels(&g, &times, |_| 0.0);
-        let cp = critical_path_length(&g, &times, |_| 0.0);
+        let bl = bottom_levels(&g, &times, |_, _| 0.0);
+        let tl = top_levels(&g, &times, |_, _| 0.0);
+        let cp = critical_path_length(&g, &times, |_, _| 0.0);
         for t in [a, b, d] {
             let through = tl[t.index()] + bl[t.index()];
             assert!((through - cp).abs() < 1e-12, "task {t}: {through} != {cp}");
@@ -212,9 +215,9 @@ mod tests {
             v[d.index()] = 1.0;
             v
         };
-        let cp = critical_path(&g, &times, |_| 0.0);
+        let cp = critical_path(&g, &times, |_, _| 0.0);
         assert_eq!(cp, vec![a, b, d]);
-        let len = critical_path_length(&g, &times, |_| 0.0);
+        let len = critical_path_length(&g, &times, |_, _| 0.0);
         let sum: f64 = cp.iter().map(|t| times[t.index()]).sum();
         assert!((sum - len).abs() < 1e-12);
     }
@@ -229,9 +232,9 @@ mod tests {
             g.add_edge(w[0], w[1], 1.0);
         }
         let times = vec![2.0; 5];
-        assert_eq!(critical_path(&g, &times, |_| 1.0), ids);
+        assert_eq!(critical_path(&g, &times, |_, _| 1.0), ids);
         // 5 tasks × 2.0 + 4 edges × 1.0
-        assert!((critical_path_length(&g, &times, |_| 1.0) - 14.0).abs() < 1e-12);
+        assert!((critical_path_length(&g, &times, |_, _| 1.0) - 14.0).abs() < 1e-12);
     }
 
     #[test]
@@ -245,16 +248,16 @@ mod tests {
             v[b.index()] = 9.0;
             v
         };
-        let bl = bottom_levels(&g, &times, |_| 0.0);
+        let bl = bottom_levels(&g, &times, |_, _| 0.0);
         assert_eq!(bl, vec![3.0, 9.0]);
-        assert_eq!(critical_path_length(&g, &times, |_| 0.0), 9.0);
-        assert_eq!(critical_path(&g, &times, |_| 0.0), vec![b]);
+        assert_eq!(critical_path_length(&g, &times, |_, _| 0.0), 9.0);
+        assert_eq!(critical_path(&g, &times, |_, _| 0.0), vec![b]);
     }
 
     #[test]
     #[should_panic(expected = "one entry per task")]
     fn wrong_times_length_panics() {
         let (g, _) = diamond();
-        bottom_levels(&g, &[1.0], |_| 0.0);
+        bottom_levels(&g, &[1.0], |_, _| 0.0);
     }
 }

@@ -1,6 +1,7 @@
 //! The task-graph data structure.
 
 use std::fmt;
+use std::sync::OnceLock;
 
 use rats_model::TaskCost;
 
@@ -54,18 +55,51 @@ impl fmt::Display for DagError {
 
 impl std::error::Error for DagError {}
 
+/// One neighbor in a flat adjacency view: the neighboring task, the
+/// connecting edge, and the edge's byte payload, packed into 16 bytes so
+/// hot scans touch one contiguous array instead of chasing edge ids into
+/// the edge table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdjEdge {
+    /// The neighboring task (the predecessor in [`TaskGraph::preds_flat`],
+    /// the successor in [`TaskGraph::succs_flat`]).
+    pub task: TaskId,
+    /// The connecting edge.
+    pub edge: EdgeId,
+    /// Bytes carried by the edge (copied from [`Edge::bytes`]).
+    pub bytes: f64,
+}
+
+/// A CSR (compressed sparse row) adjacency snapshot: the neighbors of task
+/// `t` sit in `items[start[t] .. start[t + 1]]`, in edge insertion order.
+#[derive(Debug, Clone, Default)]
+struct FlatAdj {
+    start: Vec<u32>,
+    items: Vec<AdjEdge>,
+}
+
 /// A directed acyclic graph of moldable data-parallel tasks.
 ///
 /// Nodes and edges are stored in insertion order and addressed by the dense
 /// [`TaskId`] / [`EdgeId`] indices; adjacency is kept as per-node edge-id
 /// lists in both directions, so predecessor and successor scans — the hot
 /// operations of list scheduling — are cache-friendly and allocation-free.
+///
+/// On top of the edge-id lists, the graph lazily materializes flat CSR
+/// adjacency views ([`preds_flat`](Self::preds_flat) /
+/// [`succs_flat`](Self::succs_flat)): one contiguous `(task, edge, bytes)`
+/// array per direction, built on first use and invalidated by mutation.
+/// Schedulers and analyses walk these views to avoid the per-edge
+/// pointer chase into the edge table.
 #[derive(Debug, Clone, Default)]
 pub struct TaskGraph {
     nodes: Vec<TaskNode>,
     edges: Vec<Edge>,
     succ: Vec<Vec<EdgeId>>,
     pred: Vec<Vec<EdgeId>>,
+    flat_pred: OnceLock<FlatAdj>,
+    flat_succ: OnceLock<FlatAdj>,
+    topo: OnceLock<Result<Vec<TaskId>, DagError>>,
 }
 
 impl TaskGraph {
@@ -81,7 +115,18 @@ impl TaskGraph {
             edges: Vec::with_capacity(edges),
             succ: Vec::with_capacity(tasks),
             pred: Vec::with_capacity(tasks),
+            flat_pred: OnceLock::new(),
+            flat_succ: OnceLock::new(),
+            topo: OnceLock::new(),
         }
+    }
+
+    /// Drops the cached flat adjacency views and topological order; called
+    /// by every mutation that could invalidate them.
+    fn invalidate_flat(&mut self) {
+        self.flat_pred = OnceLock::new();
+        self.flat_succ = OnceLock::new();
+        self.topo = OnceLock::new();
     }
 
     /// Number of tasks.
@@ -104,6 +149,7 @@ impl TaskGraph {
 
     /// Adds a task and returns its id.
     pub fn add_task(&mut self, name: impl Into<String>, cost: TaskCost) -> TaskId {
+        self.invalidate_flat();
         let id = TaskId::from_index(self.nodes.len());
         self.nodes.push(TaskNode {
             name: name.into(),
@@ -121,6 +167,7 @@ impl TaskGraph {
     /// Panics on self-loops, out-of-range ids, or negative/non-finite sizes.
     /// Acyclicity is *not* checked here (use [`validate`](Self::validate)).
     pub fn add_edge(&mut self, src: TaskId, dst: TaskId, bytes: f64) -> EdgeId {
+        self.invalidate_flat();
         assert!(src != dst, "self-loop on task {src}");
         assert!(
             src.index() < self.nodes.len() && dst.index() < self.nodes.len(),
@@ -158,6 +205,7 @@ impl TaskGraph {
     /// Mutable access to an edge.
     #[inline]
     pub fn edge_mut(&mut self, id: EdgeId) -> &mut Edge {
+        self.invalidate_flat();
         &mut self.edges[id.index()]
     }
 
@@ -197,6 +245,47 @@ impl TaskGraph {
             .map(|&e| (self.edges[e.index()].src, e))
     }
 
+    /// Builds a flat CSR adjacency in the given direction.
+    fn build_flat(&self, lists: &[Vec<EdgeId>], pred: bool) -> FlatAdj {
+        let mut start = Vec::with_capacity(self.nodes.len() + 1);
+        let mut items = Vec::with_capacity(self.edges.len());
+        start.push(0u32);
+        for list in lists {
+            for &e in list {
+                let edge = &self.edges[e.index()];
+                items.push(AdjEdge {
+                    task: if pred { edge.src } else { edge.dst },
+                    edge: e,
+                    bytes: edge.bytes,
+                });
+            }
+            start.push(items.len() as u32);
+        }
+        FlatAdj { start, items }
+    }
+
+    /// The incoming edges of `t` as one contiguous slice, in the same order
+    /// [`predecessors`](Self::predecessors) yields. Built lazily on first
+    /// use (O(edges)), cached until the graph is mutated.
+    #[inline]
+    pub fn preds_flat(&self, t: TaskId) -> &[AdjEdge] {
+        let f = self
+            .flat_pred
+            .get_or_init(|| self.build_flat(&self.pred, true));
+        &f.items[f.start[t.index()] as usize..f.start[t.index() + 1] as usize]
+    }
+
+    /// The outgoing edges of `t` as one contiguous slice, in the same order
+    /// [`successors`](Self::successors) yields. Built lazily on first use
+    /// (O(edges)), cached until the graph is mutated.
+    #[inline]
+    pub fn succs_flat(&self, t: TaskId) -> &[AdjEdge] {
+        let f = self
+            .flat_succ
+            .get_or_init(|| self.build_flat(&self.succ, false));
+        &f.items[f.start[t.index()] as usize..f.start[t.index() + 1] as usize]
+    }
+
     /// In-degree of `t`.
     #[inline]
     pub fn in_degree(&self, t: TaskId) -> usize {
@@ -225,7 +314,25 @@ impl TaskGraph {
 
     /// A topological order of the tasks (Kahn's algorithm), or the id of a
     /// task on a cycle.
+    ///
+    /// The order is computed once per graph and cached (mutation
+    /// invalidates it); this returns an owned copy — analyses on the hot
+    /// path use [`topo_order_cached`](Self::topo_order_cached) to borrow
+    /// the cached slice instead.
     pub fn topo_order(&self) -> Result<Vec<TaskId>, DagError> {
+        self.topo_order_cached().map(<[TaskId]>::to_vec)
+    }
+
+    /// The cached topological order as a borrowed slice (computed on first
+    /// use, dropped on mutation), or the id of a task on a cycle.
+    pub fn topo_order_cached(&self) -> Result<&[TaskId], DagError> {
+        match self.topo.get_or_init(|| self.compute_topo()) {
+            Ok(order) => Ok(order),
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    fn compute_topo(&self) -> Result<Vec<TaskId>, DagError> {
         let n = self.num_tasks();
         let mut indeg: Vec<usize> = (0..n).map(|i| self.pred[i].len()).collect();
         let mut order = Vec::with_capacity(n);
@@ -237,7 +344,8 @@ impl TaskGraph {
             let t = queue[head];
             head += 1;
             order.push(t);
-            for (s, _) in self.successors(t) {
+            for a in self.succs_flat(t) {
+                let s = a.task;
                 indeg[s.index()] -= 1;
                 if indeg[s.index()] == 0 {
                     queue.push(s);
@@ -287,7 +395,8 @@ impl TaskGraph {
             .expect("levels() requires an acyclic graph");
         let mut level = vec![0u32; self.num_tasks()];
         for &t in &order {
-            for (s, _) in self.successors(t) {
+            for a in self.succs_flat(t) {
+                let s = a.task;
                 level[s.index()] = level[s.index()].max(level[t.index()] + 1);
             }
         }

@@ -10,6 +10,12 @@
 use crate::graph::TaskGraph;
 use crate::ids::{EdgeId, TaskId};
 
+// `SuccessorView` predates `TaskGraph`'s built-in flat adjacency caches
+// (`TaskGraph::succs_flat`); it remains for callers that want an owned
+// snapshot decoupled from the graph's lifetime. `ReadyTracker` itself now
+// borrows the graph and walks the cached flat view directly, so building a
+// tracker is O(tasks), not O(edges).
+
 /// A flat CSR (compressed sparse row) view of the successor adjacency:
 /// `(successor, edge)` pairs of task `t` sit in
 /// `pairs[offsets[t] .. offsets[t + 1]]`, in edge insertion order — the same
@@ -67,8 +73,8 @@ impl SuccessorView {
 /// [`take_batch`]: ReadyTracker::take_batch
 /// [`complete`]: ReadyTracker::complete
 #[derive(Debug, Clone)]
-pub struct ReadyTracker {
-    succ: SuccessorView,
+pub struct ReadyTracker<'g> {
+    graph: &'g TaskGraph,
     /// Remaining unplaced predecessors per task.
     pending_preds: Vec<u32>,
     /// Tasks that became ready since the last `take_batch` (roots at start),
@@ -77,11 +83,10 @@ pub struct ReadyTracker {
     remaining: usize,
 }
 
-impl ReadyTracker {
+impl<'g> ReadyTracker<'g> {
     /// Builds the tracker; the first batch holds the graph's entry tasks in
     /// ascending id order.
-    pub fn new(graph: &TaskGraph) -> Self {
-        let succ = SuccessorView::new(graph);
+    pub fn new(graph: &'g TaskGraph) -> Self {
         let pending_preds: Vec<u32> = graph
             .task_ids()
             .map(|t| graph.in_degree(t) as u32)
@@ -92,7 +97,7 @@ impl ReadyTracker {
             .collect();
         let remaining = graph.num_tasks();
         Self {
-            succ,
+            graph,
             pending_preds,
             batch,
             remaining,
@@ -105,6 +110,15 @@ impl ReadyTracker {
     /// unplaced tasks remain.
     pub fn take_batch(&mut self) -> Vec<TaskId> {
         std::mem::take(&mut self.batch)
+    }
+
+    /// Like [`take_batch`](Self::take_batch), but moves the batch into
+    /// `out` (cleared first) and reuses `out`'s buffer as the next batch's
+    /// storage — round-based drivers ping-pong one buffer instead of
+    /// allocating a fresh `Vec` per round.
+    pub fn take_batch_into(&mut self, out: &mut Vec<TaskId>) {
+        out.clear();
+        std::mem::swap(&mut self.batch, out);
     }
 
     /// The tasks currently waiting in the batch (ready but not yet taken).
@@ -127,7 +141,8 @@ impl ReadyTracker {
         );
         debug_assert!(self.remaining > 0, "completed more tasks than exist");
         self.remaining -= 1;
-        for &(s, _) in self.succ.successors(t) {
+        for a in self.graph.succs_flat(t) {
+            let s = a.task;
             let c = &mut self.pending_preds[s.index()];
             debug_assert!(*c > 0, "{s} lost more predecessors than it has");
             *c -= 1;
@@ -147,11 +162,6 @@ impl ReadyTracker {
     #[inline]
     pub fn is_done(&self) -> bool {
         self.remaining == 0
-    }
-
-    /// The flattened successor view the tracker walks.
-    pub fn successor_view(&self) -> &SuccessorView {
-        &self.succ
     }
 }
 

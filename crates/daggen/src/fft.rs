@@ -105,7 +105,7 @@ mod tests {
         for k in [2u32, 4, 8, 16] {
             let g = fft_dag(k, &CostParams::tiny(), 9);
             let times: Vec<f64> = g.task_ids().map(|t| g.task(t).cost.time(1, 3.0)).collect();
-            let comm = |e: rats_dag::EdgeId| g.edge(e).bytes / 125e6;
+            let comm = |_: rats_dag::EdgeId, bytes: f64| bytes / 125e6;
             let bl = bottom_levels(&g, &times, comm);
             let tl = top_levels(&g, &times, comm);
             let cp = critical_path_length(&g, &times, comm);

@@ -8,11 +8,13 @@
 //! merged-from-shards paths share the assembly code, so they agree bit for
 //! bit.
 
+use std::cell::RefCell;
+
 use rats_daggen::suite::AppFamily;
 use rats_platform::Platform;
-use rats_sched::MappingStrategy;
+use rats_sched::{DeltaParams, MappingStrategy};
 
-use crate::campaign::{evaluate_strategies, AlgoResults, PreparedScenario, RunResult};
+use crate::campaign::{AlgoResults, PreparedScenario, RunResult};
 use crate::runner::parallel_map;
 use crate::spec::StrategySpec;
 
@@ -108,17 +110,59 @@ pub fn hcpa_baseline(
     })
 }
 
+/// The distinct step-one allocation sizes occurring anywhere in a prepared
+/// scenario set, ascending. [`DeltaPolicy`](rats_sched::DeltaPolicy) only
+/// ever indexes its structural bounds at these sizes, so they are the whole
+/// domain a delta grid point's behaviour is sampled on.
+fn distinct_alloc_sizes(prepared: &[PreparedScenario]) -> Vec<u32> {
+    let mut sizes: Vec<u32> = prepared
+        .iter()
+        .flat_map(|p| p.alloc.as_slice().iter().copied())
+        .collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+    sizes
+}
+
+/// The decision-relevant restriction of a delta grid point: the integer
+/// stretch/pack bounds at every allocation size the scenario set uses. The
+/// delta policy's choices are a pure function of these tables, so two grid
+/// points with equal fingerprints schedule — and therefore simulate — every
+/// scenario bit-identically.
+fn delta_fingerprint(params: DeltaParams, sizes: &[u32]) -> DeltaFingerprint {
+    sizes
+        .iter()
+        .map(|&k| (params.delta_max(k), params.delta_min_magnitude(k)))
+        .collect()
+}
+
+/// `(δmax, |δmin|)` per distinct allocation size — see
+/// [`delta_fingerprint`].
+type DeltaFingerprint = Vec<(u32, u32)>;
+
 /// A scenario set prepared for tuning sweeps: the step-one allocations
 /// (carried by [`PreparedScenario`]) and the HCPA baseline makespans are
 /// computed **once** at construction and shared by every grid point the
 /// sweeps visit — a 26-cell `tune_family` sweep (or a combined
 /// figure-4 + figure-5 regeneration) evaluates the baseline exactly once
 /// instead of re-deriving it per entry point.
+///
+/// Delta grid points additionally share whole result vectors: the delta
+/// strategy only sees its parameters through `⌊maxdelta·k⌋` /
+/// `⌊mindelta·k⌋` at the allocation sizes `k` the set actually contains,
+/// so grid points whose integer bounds coincide are evaluated once and the
+/// full per-scenario [`RunResult`]s (mapping *and* simulation) are reused.
 #[derive(Debug)]
 pub struct TuningSet<'a> {
     prepared: &'a [PreparedScenario],
     platform: &'a Platform,
     base: Vec<f64>,
+    /// Ascending distinct allocation sizes — the delta fingerprint domain.
+    alloc_sizes: Vec<u32>,
+    /// Evaluated delta grid points: fingerprint → scenario-ordered results.
+    delta_cache: RefCell<Vec<(DeltaFingerprint, Vec<RunResult>)>>,
+    /// Delta evaluations answered from the cache (for tests/diagnostics).
+    shared_hits: std::cell::Cell<usize>,
 }
 
 impl<'a> TuningSet<'a> {
@@ -128,6 +172,9 @@ impl<'a> TuningSet<'a> {
             prepared,
             platform,
             base: hcpa_baseline(prepared, platform, threads),
+            alloc_sizes: distinct_alloc_sizes(prepared),
+            delta_cache: RefCell::new(Vec::new()),
+            shared_hits: std::cell::Cell::new(0),
         }
     }
 
@@ -136,20 +183,52 @@ impl<'a> TuningSet<'a> {
         &self.base
     }
 
+    /// How many delta grid-point evaluations were answered by reusing a
+    /// previously computed schedule (equal integer-bound fingerprints)
+    /// instead of re-mapping and re-simulating.
+    pub fn shared_delta_evaluations(&self) -> usize {
+        self.shared_hits.get()
+    }
+
+    /// Evaluates one strategy over the set, scenario-ordered. Delta grid
+    /// points route through the fingerprint cache; everything else (HCPA,
+    /// time-cost — whose `minrho` guard compares continuous work ratios and
+    /// admits no finite fingerprint) is evaluated directly.
+    fn strategy_runs(&self, strategy: MappingStrategy, threads: usize) -> Vec<RunResult> {
+        if let MappingStrategy::RatsDelta(params) = strategy {
+            let fp = delta_fingerprint(params, &self.alloc_sizes);
+            if let Some((_, runs)) = self
+                .delta_cache
+                .borrow()
+                .iter()
+                .find(|(cached, _)| *cached == fp)
+            {
+                self.shared_hits.set(self.shared_hits.get() + 1);
+                return runs.clone();
+            }
+            let runs = parallel_map(self.prepared, threads, |_, p| {
+                p.evaluate(self.platform, strategy)
+            });
+            self.delta_cache.borrow_mut().push((fp, runs.clone()));
+            runs
+        } else {
+            parallel_map(self.prepared, threads, |_, p| {
+                p.evaluate(self.platform, strategy)
+            })
+        }
+    }
+
     /// Average of `rats_makespan / base_makespan` over the scenario set.
     pub fn avg_relative_makespan(&self, strategy: MappingStrategy, threads: usize) -> f64 {
-        let runs = parallel_map(self.prepared, threads, |_, p| {
-            p.evaluate(self.platform, strategy)
-        });
-        mean_relative(&runs, &self.base)
+        mean_relative(&self.strategy_runs(strategy, threads), &self.base)
     }
 
     /// Runs a grid of strategies through the shared campaign executor and
     /// returns one average per strategy, in order.
     fn sweep_means(&self, strategies: &[MappingStrategy], threads: usize) -> Vec<f64> {
-        evaluate_strategies(self.prepared, self.platform, strategies, threads)
+        strategies
             .iter()
-            .map(|runs| mean_relative(runs, &self.base))
+            .map(|&s| mean_relative(&self.strategy_runs(s, threads), &self.base))
             .collect()
     }
 
@@ -327,6 +406,7 @@ pub fn evaluate_tuned(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::campaign::evaluate_strategies;
     use rats_daggen::suite::mini_suite;
     use rats_model::CostParams;
     use rats_platform::ClusterSpec;
@@ -390,6 +470,62 @@ mod tests {
             assert_eq!(a.to_bits(), b.to_bits());
         }
         assert_eq!(tables.tuned, set.tune_family(2));
+        // `tune_family` revisits the same 20 delta grid points that
+        // `delta_grid` already evaluated, so every one of its delta
+        // evaluations must have been served from the fingerprint cache —
+        // and the assertions above proved the reuse is bit-exact.
+        assert!(
+            set.shared_delta_evaluations() >= delta_strategies().len(),
+            "expected the second delta sweep to reuse cached schedules, \
+             got {} shared evaluations",
+            set.shared_delta_evaluations()
+        );
+    }
+
+    #[test]
+    fn delta_grid_points_share_schedules_when_integer_bounds_collide() {
+        // On a 2-processor platform every allocation is 1 or 2, so
+        // `⌊maxdelta·k⌋` cannot tell 0.0 from 0.25 (nor 0.5 from 0.75)
+        // apart and Figure 4's 20 grid points collapse onto a handful of
+        // distinct integer-bound fingerprints.
+        let platform = Platform::from_spec(&ClusterSpec::flat("duo", 2, 1.0));
+        let prepared: Vec<PreparedScenario> =
+            PreparedScenario::prepare(mini_suite(&CostParams::tiny(), 8), &platform, 2)
+                .into_iter()
+                .take(4)
+                .collect();
+        let sizes = distinct_alloc_sizes(&prepared);
+        assert!(
+            sizes.iter().all(|&k| (1..=2).contains(&k)),
+            "sizes {sizes:?}"
+        );
+        let strategies = delta_strategies();
+        // Oracle: every grid point mapped and simulated independently.
+        let naive = evaluate_strategies(&prepared, &platform, &strategies, 2);
+
+        let set = TuningSet::new(&prepared, &platform, 2);
+        let grid = set.delta_grid(2);
+
+        // Exactly the colliding points were answered from the cache.
+        let distinct: std::collections::BTreeSet<Vec<(u32, u32)>> = strategies
+            .iter()
+            .map(|s| match s {
+                MappingStrategy::RatsDelta(p) => delta_fingerprint(*p, &sizes),
+                _ => unreachable!("delta_strategies yields only delta points"),
+            })
+            .collect();
+        assert!(distinct.len() < strategies.len(), "no collisions to share");
+        assert_eq!(
+            set.shared_delta_evaluations(),
+            strategies.len() - distinct.len()
+        );
+
+        // And the shared results are bit-identical to the oracle's.
+        for (i, runs) in naive.iter().enumerate() {
+            let mean = mean_relative(runs, set.baseline());
+            let cached = grid[i / MAXDELTA_GRID.len()][i % MAXDELTA_GRID.len()];
+            assert_eq!(cached.to_bits(), mean.to_bits(), "grid point {i}");
+        }
     }
 
     #[test]

@@ -6,14 +6,25 @@
 //! beats hashing, and storing every key's rank sequence in one shared arena
 //! keeps inserts from allocating per entry. Hits are **exact**: the
 //! fingerprint only pre-filters; the rank sequence comparison decides.
+//!
+//! Entries live in a single shared arena, chained per slot as an intrusive
+//! FIFO list (`head`/`tail` indices per slot, `next` index per entry). A
+//! memo therefore owns exactly **three** growable buffers no matter how many
+//! slots or entries it holds — inserts never allocate per slot, and scans
+//! touch a dense entry array instead of chasing per-slot heap vectors.
 
 use crate::procset::ProcSet;
+
+/// Sentinel for "no entry" in the slot chains.
+const NONE: u32 = u32::MAX;
 
 #[derive(Debug, Clone, Copy)]
 struct Entry<V> {
     fp: u64,
     offset: u32,
     len: u32,
+    /// Arena index of the next entry in the same slot (`NONE` at the tail).
+    next: u32,
     value: V,
 }
 
@@ -22,7 +33,13 @@ struct Entry<V> {
 /// of [`get`](Self::get) (e.g. a payload size stored inside `V`).
 #[derive(Debug, Clone)]
 pub struct SetMemo<V> {
-    slots: Vec<Vec<Entry<V>>>,
+    /// Per slot: arena index of the first entry (`NONE` when empty).
+    head: Vec<u32>,
+    /// Per slot: arena index of the last entry (insertion order is part of
+    /// the contract — `get` returns the *first inserted* match).
+    tail: Vec<u32>,
+    /// All entries across all slots, in global insertion order.
+    entries: Vec<Entry<V>>,
     /// Rank sequences of all memoized key sets, back to back.
     arena: Vec<u32>,
 }
@@ -31,7 +48,9 @@ impl<V: Copy> SetMemo<V> {
     /// An empty memo with `slots` contexts.
     pub fn new(slots: usize) -> Self {
         Self {
-            slots: vec![Vec::new(); slots],
+            head: vec![NONE; slots],
+            tail: vec![NONE; slots],
+            entries: Vec::new(),
             arena: Vec::new(),
         }
     }
@@ -40,14 +59,19 @@ impl<V: Copy> SetMemo<V> {
     /// members in the same rank order) and whose value satisfies `accept`.
     pub fn get(&self, slot: usize, set: &ProcSet, mut accept: impl FnMut(&V) -> bool) -> Option<V> {
         let fp = set.fingerprint();
-        self.slots[slot]
-            .iter()
-            .find(|e| {
-                e.fp == fp
-                    && self.arena[e.offset as usize..(e.offset + e.len) as usize] == *set.as_slice()
-                    && accept(&e.value)
-            })
-            .map(|e| e.value)
+        let key = set.as_slice();
+        let mut at = self.head[slot];
+        while at != NONE {
+            let e = &self.entries[at as usize];
+            if e.fp == fp
+                && self.arena[e.offset as usize..(e.offset + e.len) as usize] == *key
+                && accept(&e.value)
+            {
+                return Some(e.value);
+            }
+            at = e.next;
+        }
+        None
     }
 
     /// Memoizes `value` under `(slot, set)`. The caller keeps (slot, set,
@@ -56,22 +80,30 @@ impl<V: Copy> SetMemo<V> {
     pub fn insert(&mut self, slot: usize, set: &ProcSet, value: V) {
         let offset = self.arena.len() as u32;
         self.arena.extend_from_slice(set.as_slice());
-        self.slots[slot].push(Entry {
+        let at = self.entries.len() as u32;
+        self.entries.push(Entry {
             fp: set.fingerprint(),
             offset,
             len: set.len(),
+            next: NONE,
             value,
         });
+        if self.tail[slot] == NONE {
+            self.head[slot] = at;
+        } else {
+            self.entries[self.tail[slot] as usize].next = at;
+        }
+        self.tail[slot] = at;
     }
 
     /// Total number of memoized entries across all slots.
     pub fn len(&self) -> usize {
-        self.slots.iter().map(Vec::len).sum()
+        self.entries.len()
     }
 
     /// `true` if nothing has been memoized yet.
     pub fn is_empty(&self) -> bool {
-        self.slots.iter().all(Vec::is_empty)
+        self.entries.is_empty()
     }
 }
 
@@ -102,5 +134,32 @@ mod tests {
         m.insert(0, &s, (200, 2.0));
         assert_eq!(m.get(0, &s, |(b, _)| *b == 200), Some((200, 2.0)));
         assert_eq!(m.get(0, &s, |(b, _)| *b == 300), None);
+    }
+
+    #[test]
+    fn first_inserted_match_wins_within_a_slot() {
+        let mut m: SetMemo<u32> = SetMemo::new(1);
+        let s = ProcSet::new(vec![4, 7]);
+        m.insert(0, &s, 1);
+        m.insert(0, &s, 2);
+        assert_eq!(
+            m.get(0, &s, |_| true),
+            Some(1),
+            "FIFO chain order: duplicates shadow, not overwrite"
+        );
+    }
+
+    #[test]
+    fn long_chains_stay_correct() {
+        let mut m: SetMemo<u32> = SetMemo::new(3);
+        let sets: Vec<ProcSet> = (0..50).map(|i| ProcSet::new(vec![i, i + 100])).collect();
+        for (i, s) in sets.iter().enumerate() {
+            m.insert(i % 3, s, i as u32);
+        }
+        for (i, s) in sets.iter().enumerate() {
+            assert_eq!(m.get(i % 3, s, |_| true), Some(i as u32));
+            assert_eq!(m.get((i + 1) % 3, s, |_| true), None);
+        }
+        assert_eq!(m.len(), 50);
     }
 }

@@ -3,8 +3,11 @@
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
-/// Sentinel for "no compact bitmask available" (some member ≥ 64).
-const NO_MASK: u64 = 0;
+/// Members stored inline (no heap allocation) up to this many processors.
+/// Covers the overwhelming majority of mapping-engine sets: moldable-task
+/// allocations are small (mostly 1–2 processors on the paper's DAGs), and
+/// candidate sets are allocation-sized.
+const INLINE_CAP: usize = 12;
 
 /// An *ordered* list of distinct processors.
 ///
@@ -15,27 +18,129 @@ const NO_MASK: u64 = 0;
 /// different order still avoid network transfers only for the ranks that
 /// coincide.
 ///
+/// # Storage
+///
+/// Sets of up to [`INLINE_CAP`] processors are stored inline — cloning them
+/// (which the mapping policies do once per candidate evaluation) never
+/// touches the heap. Larger sets spill to a `Vec`.
+///
 /// Construction precomputes two derived values used pervasively by the
 /// incremental mapping engine:
 ///
-/// * a **membership bitmask** (`bit p` set for each member `p < 64`), which
-///   makes [`contains`](Self::contains), [`same_members`](Self::same_members)
-///   and [`overlap_count`](Self::overlap_count) O(1) on platforms with at
-///   most 64 processors (the paper's clusters have 20–120; sets themselves
-///   rarely exceed 64 but the fallback keeps larger ids correct);
+/// * a **membership bitmask** in one of three tiers chosen by the largest
+///   member id — a single word (`< 64`), a fixed four-word array (`< 256`),
+///   or a boxed spill for larger platforms — which keeps
+///   [`contains`](Self::contains), [`same_members`](Self::same_members) and
+///   [`overlap_count`](Self::overlap_count) branch-cheap at every platform
+///   size (the tier is canonical for a member set, so cross-tier sets can
+///   never be equal);
 /// * an **order-sensitive fingerprint** ([`fingerprint`](Self::fingerprint),
 ///   an FNV-1a hash of the rank sequence), cached so the set can be used as
 ///   a hash-map key in O(1) — the [`Hash`] impl writes the fingerprint
 ///   instead of rehashing the member list.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ProcSet {
-    procs: Vec<u32>,
-    /// Membership bitmask; `NO_MASK` (0) doubles as "empty set" and, when
-    /// `procs` is non-empty, as "not representable" (member ≥ 64). The two
-    /// cases are disambiguated by `procs.is_empty()`.
-    mask: u64,
+    members: Members,
+    mask: MaskTier,
     /// Order-sensitive FNV-1a fingerprint of the rank sequence.
     hash: u64,
+}
+
+/// Inline-or-heap member storage (see [`ProcSet`] docs).
+#[derive(Clone)]
+enum Members {
+    Inline { len: u8, buf: [u32; INLINE_CAP] },
+    Heap(Vec<u32>),
+}
+
+impl Members {
+    #[inline]
+    fn from_slice(procs: &[u32]) -> Self {
+        if procs.len() <= INLINE_CAP {
+            let mut buf = [0u32; INLINE_CAP];
+            buf[..procs.len()].copy_from_slice(procs);
+            Members::Inline {
+                len: procs.len() as u8,
+                buf,
+            }
+        } else {
+            Members::Heap(procs.to_vec())
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[u32] {
+        match self {
+            Members::Inline { len, buf } => &buf[..*len as usize],
+            Members::Heap(v) => v,
+        }
+    }
+}
+
+/// Tiered membership bitmask. The tier is **canonical**: it depends only on
+/// the largest member (`< 64` → `Word`, `< 256` → `Small`, else `Spill`
+/// sized to the largest member), so two sets with equal members always land
+/// in the same tier with equal words — bitmask equality *is* member
+/// equality.
+#[derive(Clone, PartialEq)]
+enum MaskTier {
+    /// Every member `< 64` (includes the empty set).
+    Word(u64),
+    /// Every member `< 256`.
+    Small([u64; 4]),
+    /// Arbitrary member ids; `⌈(max + 1) / 64⌉` words.
+    Spill(Box<[u64]>),
+}
+
+impl MaskTier {
+    fn build(procs: &[u32]) -> Self {
+        let max = procs.iter().copied().max().unwrap_or(0);
+        if max < 64 {
+            let mut w = 0u64;
+            for &p in procs {
+                w |= 1u64 << p;
+            }
+            MaskTier::Word(w)
+        } else if max < 256 {
+            let mut a = [0u64; 4];
+            for &p in procs {
+                a[(p >> 6) as usize] |= 1u64 << (p & 63);
+            }
+            MaskTier::Small(a)
+        } else {
+            let mut v = vec![0u64; (max as usize >> 6) + 1];
+            for &p in procs {
+                v[(p >> 6) as usize] |= 1u64 << (p & 63);
+            }
+            MaskTier::Spill(v.into_boxed_slice())
+        }
+    }
+
+    #[inline]
+    fn contains(&self, p: u32) -> bool {
+        match self {
+            MaskTier::Word(w) => p < 64 && w >> p & 1 != 0,
+            MaskTier::Small(a) => p < 256 && a[(p >> 6) as usize] >> (p & 63) & 1 != 0,
+            MaskTier::Spill(b) => {
+                let i = (p >> 6) as usize;
+                i < b.len() && b[i] >> (p & 63) & 1 != 0
+            }
+        }
+    }
+
+    #[inline]
+    fn words(&self) -> &[u64] {
+        match self {
+            MaskTier::Word(w) => std::slice::from_ref(w),
+            MaskTier::Small(a) => a,
+            MaskTier::Spill(b) => b,
+        }
+    }
+
+    #[inline]
+    fn count_ones(&self) -> u32 {
+        self.words().iter().map(|w| w.count_ones()).sum()
+    }
 }
 
 /// FNV-1a over the rank sequence: cheap, deterministic across runs, and
@@ -52,19 +157,15 @@ fn fnv1a(procs: &[u32]) -> u64 {
 
 impl ProcSet {
     /// Builds the derived fields. Callers guarantee distinct members.
-    fn build(procs: Vec<u32>) -> Self {
-        let mut mask: u64 = 0;
-        let mut representable = true;
-        for &p in &procs {
-            if p < 64 {
-                mask |= 1u64 << p;
-            } else {
-                representable = false;
-            }
+    fn build(members: Members) -> Self {
+        let procs = members.as_slice();
+        let mask = MaskTier::build(procs);
+        let hash = fnv1a(procs);
+        Self {
+            members,
+            mask,
+            hash,
         }
-        let mask = if representable { mask } else { NO_MASK };
-        let hash = fnv1a(&procs);
-        Self { procs, mask, hash }
     }
 
     /// Creates a set from an ordered processor list.
@@ -73,52 +174,65 @@ impl ProcSet {
     /// (the constructor sits on the mapping engine's hot path, and all
     /// in-tree callers construct from known-distinct lists).
     pub fn new(procs: Vec<u32>) -> Self {
-        let set = Self::build(procs);
+        let members = if procs.len() <= INLINE_CAP {
+            Members::from_slice(&procs)
+        } else {
+            Members::Heap(procs)
+        };
+        let set = Self::build(members);
         debug_assert!(
             set.members_are_distinct(),
             "processor set contains duplicates: {:?}",
-            set.procs
+            set.as_slice()
+        );
+        set
+    }
+
+    /// Creates a set from an ordered processor slice without consuming a
+    /// `Vec` — for sets up to [`INLINE_CAP`] members this performs **no heap
+    /// allocation**, which is what keeps the mapping engine's candidate
+    /// construction allocation-free in steady state.
+    pub fn from_slice(procs: &[u32]) -> Self {
+        let set = Self::build(Members::from_slice(procs));
+        debug_assert!(
+            set.members_are_distinct(),
+            "processor set contains duplicates: {:?}",
+            set.as_slice()
         );
         set
     }
 
     fn members_are_distinct(&self) -> bool {
-        if self.mask != NO_MASK || self.procs.is_empty() {
-            // A representable mask has one bit per distinct member.
-            self.mask.count_ones() as usize == self.procs.len()
-        } else {
-            let mut seen = self.procs.clone();
-            seen.sort_unstable();
-            seen.windows(2).all(|w| w[0] != w[1])
-        }
+        // Every tier has exactly one bit per distinct member.
+        self.mask.count_ones() as usize == self.as_slice().len()
     }
 
     /// An empty set.
     pub fn empty() -> Self {
-        Self::build(Vec::new())
+        Self::from_slice(&[])
     }
 
     /// The contiguous range `start..start + len`.
     pub fn from_range(start: u32, len: u32) -> Self {
-        Self::build((start..start + len).collect())
+        Self::new((start..start + len).collect())
     }
 
     /// Number of processors in the set.
     #[inline]
     pub fn len(&self) -> u32 {
-        self.procs.len() as u32
+        self.as_slice().len() as u32
     }
 
     /// `true` if the set has no processors.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.procs.is_empty()
+        self.as_slice().is_empty()
     }
 
     /// The processors in rank order.
     #[inline]
     pub fn as_slice(&self) -> &[u32] {
-        &self.procs
+        self.members.as_slice()
     }
 
     /// The cached order-sensitive fingerprint (FNV-1a over the rank
@@ -130,19 +244,20 @@ impl ProcSet {
     }
 
     /// The compact membership bitmask (bit `p` set for member `p`), when
-    /// every member is `< 64`; `None` otherwise.
+    /// every member is `< 64`; `None` otherwise (the set then lives in a
+    /// wider mask tier that [`contains`](Self::contains) and friends use
+    /// internally).
     #[inline]
     pub fn mask(&self) -> Option<u64> {
-        if self.mask != NO_MASK || self.procs.is_empty() {
-            Some(self.mask)
-        } else {
-            None
+        match self.mask {
+            MaskTier::Word(w) => Some(w),
+            _ => None,
         }
     }
 
     /// Iterates over processors in rank order.
     pub fn iter(&self) -> impl ExactSizeIterator<Item = u32> + '_ {
-        self.procs.iter().copied()
+        self.as_slice().iter().copied()
     }
 
     /// The processor holding block `rank`.
@@ -152,61 +267,49 @@ impl ProcSet {
     /// Panics if `rank` is out of range.
     #[inline]
     pub fn proc_at(&self, rank: usize) -> u32 {
-        self.procs[rank]
+        self.as_slice()[rank]
     }
 
     /// The rank of processor `p` in this set, if present.
     pub fn rank_of(&self, p: u32) -> Option<usize> {
-        self.procs.iter().position(|&q| q == p)
+        self.as_slice().iter().position(|&q| q == p)
     }
 
-    /// `true` if processor `p` belongs to the set — O(1) via the bitmask
-    /// whenever every member is `< 64`.
+    /// `true` if processor `p` belongs to the set — O(1) in every mask tier.
     #[inline]
     pub fn contains(&self, p: u32) -> bool {
-        if self.mask != NO_MASK {
-            p < 64 && self.mask & (1u64 << p) != 0
-        } else {
-            self.procs.contains(&p)
-        }
+        self.mask.contains(p)
     }
 
     /// `true` if both sets have the same members, regardless of order.
     /// This is the paper's "same set of processors" condition under which a
     /// redistribution is free — combined with rank alignment (see
     /// `rats-redist`), identical ordered sets move zero bytes.
+    ///
+    /// O(1) for the word tier and O(words) otherwise: the mask tier is
+    /// canonical per member set, so tier + words equality *is* member
+    /// equality (cross-tier sets always differ).
     pub fn same_members(&self, other: &Self) -> bool {
-        if self.procs.len() != other.procs.len() {
-            return false;
-        }
-        match (self.mask(), other.mask()) {
-            (Some(a), Some(b)) => a == b,
-            _ => {
-                let mut a = self.procs.clone();
-                let mut b = other.procs.clone();
-                a.sort_unstable();
-                b.sort_unstable();
-                a == b
-            }
-        }
+        self.as_slice().len() == other.as_slice().len() && self.mask == other.mask
     }
 
-    /// Number of processors present in both sets — O(1) when both masks are
-    /// representable.
+    /// Number of processors present in both sets — an AND + popcount over
+    /// the overlapping mask words in every tier combination.
     pub fn overlap_count(&self, other: &Self) -> u32 {
-        match (self.mask(), other.mask()) {
-            (Some(a), Some(b)) => (a & b).count_ones(),
-            _ => self.procs.iter().filter(|p| other.contains(**p)).count() as u32,
+        if let (MaskTier::Word(a), MaskTier::Word(b)) = (&self.mask, &other.mask) {
+            return (a & b).count_ones();
         }
+        self.mask
+            .words()
+            .iter()
+            .zip(other.mask.words())
+            .map(|(a, b)| (a & b).count_ones())
+            .sum()
     }
 
     /// The members present in both sets, in `self`'s rank order.
     pub fn common_procs(&self, other: &Self) -> Vec<u32> {
-        self.procs
-            .iter()
-            .copied()
-            .filter(|p| other.contains(*p))
-            .collect()
+        self.iter().filter(|p| other.contains(*p)).collect()
     }
 
     /// The first `k` processors of the set (in rank order).
@@ -216,14 +319,17 @@ impl ProcSet {
     /// Panics if `k` exceeds the set size.
     pub fn first_k(&self, k: u32) -> Self {
         assert!(k <= self.len(), "cannot take {k} of {}", self.len());
-        Self::build(self.procs[..k as usize].to_vec())
+        Self::from_slice(&self.as_slice()[..k as usize])
     }
 
     /// A copy with members sorted ascending (canonical order).
     pub fn sorted(&self) -> Self {
-        let mut procs = self.procs.clone();
-        procs.sort_unstable();
-        Self::build(procs)
+        let mut members = self.members.clone();
+        match &mut members {
+            Members::Inline { len, buf } => buf[..*len as usize].sort_unstable(),
+            Members::Heap(v) => v.sort_unstable(),
+        }
+        Self::build(members)
     }
 }
 
@@ -231,7 +337,7 @@ impl PartialEq for ProcSet {
     fn eq(&self, other: &Self) -> bool {
         // The fingerprint is a cheap negative filter; the member list is
         // the ground truth (fingerprints can collide).
-        self.hash == other.hash && self.procs == other.procs
+        self.hash == other.hash && self.as_slice() == other.as_slice()
     }
 }
 
@@ -243,10 +349,18 @@ impl Hash for ProcSet {
     }
 }
 
+impl fmt::Debug for ProcSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProcSet")
+            .field("procs", &self.as_slice())
+            .finish()
+    }
+}
+
 impl fmt::Display for ProcSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
-        for (i, p) in self.procs.iter().enumerate() {
+        for (i, p) in self.iter().enumerate() {
             if i > 0 {
                 write!(f, ",")?;
             }
@@ -349,7 +463,7 @@ mod tests {
         assert_eq!(a.mask(), Some(1 | (1 << 2) | (1 << 63)));
         assert!(a.contains(63));
         assert!(!a.contains(62));
-        // Members ≥ 64 disable the mask but not the queries.
+        // Members ≥ 64 disable the single-word mask but not the queries.
         let big = ProcSet::new(vec![2, 64]);
         assert_eq!(big.mask(), None);
         assert!(big.contains(64));
@@ -359,6 +473,59 @@ mod tests {
         assert!(!big.same_members(&a));
         // Empty sets have an empty (zero) mask.
         assert_eq!(ProcSet::empty().mask(), Some(0));
+    }
+
+    /// Tier-boundary members (63/64 and 255/256) land in the right tier and
+    /// keep every query exact across mixed-tier comparisons.
+    #[test]
+    fn mask_tiers_cover_boundary_ids() {
+        for boundary in [63u32, 64, 65, 255, 256, 257, 1000] {
+            let s = ProcSet::new(vec![0, boundary]);
+            assert!(s.contains(0));
+            assert!(s.contains(boundary));
+            assert!(!s.contains(boundary - 1));
+            assert_eq!(s.mask().is_some(), boundary < 64, "tier at {boundary}");
+            // Same members in another order: equal in every tier.
+            let r = ProcSet::new(vec![boundary, 0]);
+            assert!(s.same_members(&r));
+            assert_eq!(s.overlap_count(&r), 2);
+            // A proper subset never compares equal.
+            let sub = ProcSet::new(vec![boundary]);
+            assert!(!s.same_members(&sub));
+            assert_eq!(s.overlap_count(&sub), 1);
+        }
+        // Cross-tier overlap: word-tier vs spill-tier sets.
+        let small = ProcSet::new(vec![1, 2, 3]);
+        let huge = ProcSet::new(vec![2, 500]);
+        assert_eq!(small.overlap_count(&huge), 1);
+        assert_eq!(huge.overlap_count(&small), 1);
+        assert!(!small.same_members(&huge));
+    }
+
+    /// Sets beyond the inline capacity behave identically to inline ones.
+    #[test]
+    fn heap_spill_behaves_like_inline() {
+        let long: Vec<u32> = (0..40).collect();
+        let s = ProcSet::new(long.clone());
+        assert_eq!(s.as_slice(), &long[..]);
+        assert_eq!(s.len(), 40);
+        assert_eq!(s.first_k(3).as_slice(), &[0, 1, 2]);
+        let t = ProcSet::from_slice(&long);
+        assert_eq!(s, t);
+        assert_eq!(s.fingerprint(), t.fingerprint());
+        assert!(s.same_members(&t));
+        let c = s.clone();
+        assert_eq!(c, s);
+    }
+
+    #[test]
+    fn from_slice_matches_new() {
+        for procs in [vec![], vec![7], vec![5, 2, 9], (0..20).collect::<Vec<_>>()] {
+            let a = ProcSet::new(procs.clone());
+            let b = ProcSet::from_slice(&procs);
+            assert_eq!(a, b);
+            assert_eq!(a.fingerprint(), b.fingerprint());
+        }
     }
 
     #[test]

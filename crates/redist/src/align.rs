@@ -50,13 +50,10 @@ pub fn align_for_self_comm(src: &ProcSet, dst: &ProcSet) -> ProcSet {
 
     // Sorted (member, rank) pairs make the per-sender rank lookup
     // O(log q) instead of the former O(q) linear `rank_of` scan; the
-    // membership bitmask screens out non-shared senders in O(1) first.
+    // tiered membership bitmask screens out non-shared senders in O(1)
+    // first, at every platform size.
     let mut dst_ranks: Vec<(u32, u32)> = dst.iter().zip(0u32..).collect();
     dst_ranks.sort_unstable();
-    let shared_mask = match (src.mask(), dst.mask()) {
-        (Some(a), Some(b)) => Some(a & b),
-        _ => None,
-    };
 
     // Lowest unassigned destination rank; only moves forward. It seeds the
     // running best exactly like the reference greedy's full scan did (the
@@ -66,10 +63,8 @@ pub fn align_for_self_comm(src: &ProcSet, dst: &ProcSet) -> ProcSet {
 
     // Shared processors in source-rank order.
     for (i, proc) in src.iter().enumerate() {
-        if let Some(mask) = shared_mask {
-            if proc < 64 && mask & (1u64 << proc) == 0 {
-                continue;
-            }
+        if !dst.contains(proc) {
+            continue;
         }
         let Ok(pos) = dst_ranks.binary_search_by_key(&proc, |&(member, _)| member) else {
             continue;
@@ -262,6 +257,44 @@ mod tests {
             let fast = align_for_self_comm(&src, &dst);
             let slow = align_reference(&src, &dst);
             assert_eq!(fast.as_slice(), slow.as_slice(), "p={p} q={q}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_across_procset_tier_boundaries() {
+        // Universes of 64/65/256/257 processors put the largest member id
+        // at 63/64/255/256 — exactly straddling the ProcSet mask tiers
+        // (single word `< 64`, four-word array `< 256`, spilled beyond).
+        // The fast path must match the reference greedy in every tier, so
+        // pin the top id into both sets to guarantee the tier is reached.
+        use rand::Rng;
+        for &universe in &[64u32, 65, 256, 257] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(u64::from(universe));
+            for round in 0..10 {
+                let top = universe - 1;
+                let mut pool: Vec<u32> = (0..universe).collect();
+                pool.shuffle(&mut rng);
+                let p = rng.random_range(2..=64u32);
+                let mut src: Vec<u32> = pool[..p as usize].to_vec();
+                if !src.contains(&top) {
+                    src[0] = top;
+                }
+                let src = ProcSet::new(src);
+                pool.shuffle(&mut rng);
+                let q = rng.random_range(2..=64u32);
+                let mut dst: Vec<u32> = pool[..q as usize].to_vec();
+                if !dst.contains(&top) {
+                    dst[q as usize - 1] = top;
+                }
+                let dst = ProcSet::new(dst);
+                let fast = align_for_self_comm(&src, &dst);
+                let slow = align_reference(&src, &dst);
+                assert_eq!(
+                    fast.as_slice(),
+                    slow.as_slice(),
+                    "universe={universe} round={round} p={p} q={q}"
+                );
+            }
         }
     }
 

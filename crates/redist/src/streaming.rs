@@ -61,7 +61,10 @@ pub struct RedistEstimator {
     per_link: Vec<f64>,
     /// Links touched this call (indices into `per_link`).
     touched: Vec<u32>,
-    /// Lazily filled route facts, indexed `src · P + dst`.
+    /// Lazily filled route facts, indexed `src · P + dst`. The table itself
+    /// is also allocated lazily, on the first exact estimate: its P² entries
+    /// are the dominant setup cost at small DAG sizes (a few dozen tasks
+    /// finish mapping before ever amortizing an eager table).
     pairs: Vec<PairRoute>,
     num_procs: usize,
     /// ≥ any path latency on the platform (slightly inflated).
@@ -96,7 +99,7 @@ impl RedistEstimator {
         Self {
             per_link: vec![0.0; platform.num_links()],
             touched: Vec::with_capacity(platform.num_links().min(64)),
-            pairs: vec![UNINIT_PAIR; p * p],
+            pairs: Vec::new(),
             num_procs: p,
             ub_latency,
             ub_inv_cap: (1.0 / min_cap) * SLACK,
@@ -113,9 +116,21 @@ impl RedistEstimator {
         self.ub_latency + total_bytes * self.ub_inv_cap
     }
 
+    /// The `(latency, inverse capacity)` coefficients behind
+    /// [`Self::cost_upper_bound`] — callers on hot paths can fold
+    /// `lat + bytes * inv` inline without reaching through the estimator
+    /// (the expression must mirror `cost_upper_bound` exactly; pinned by
+    /// its doc contract).
+    pub fn upper_bound_coeffs(&self) -> (f64, f64) {
+        (self.ub_latency, self.ub_inv_cap)
+    }
+
     /// The cached route facts of the ordered pair `(sp, dp)`.
     #[inline]
     fn pair(&mut self, platform: &Platform, sp: u32, dp: u32) -> PairRoute {
+        if self.pairs.is_empty() {
+            self.pairs = vec![UNINIT_PAIR; self.num_procs * self.num_procs];
+        }
         let idx = sp as usize * self.num_procs + dp as usize;
         let cached = self.pairs[idx];
         if cached.init {
@@ -306,6 +321,11 @@ impl RedistCache {
     #[inline]
     pub fn cost_upper_bound(&self, total_bytes: f64) -> f64 {
         self.estimator.cost_upper_bound(total_bytes)
+    }
+
+    /// See [`RedistEstimator::upper_bound_coeffs`].
+    pub fn upper_bound_coeffs(&self) -> (f64, f64) {
+        self.estimator.upper_bound_coeffs()
     }
 
     /// Number of memoized arrivals across all slots.

@@ -120,9 +120,9 @@ pub fn allocate(dag: &TaskGraph, platform: &Platform, params: AllocParams) -> Al
         .task_ids()
         .map(|t| dag.task(t).cost.time(1, gflops))
         .collect();
-    let edge_cost = |g: &TaskGraph, e: rats_dag::EdgeId| {
+    let edge_cost = |bytes: f64| {
         if params.cp_includes_comm {
-            g.edge(e).bytes / beta
+            bytes / beta
         } else {
             0.0
         }
@@ -158,14 +158,14 @@ pub fn allocate(dag: &TaskGraph, platform: &Platform, params: AllocParams) -> Al
     };
 
     loop {
-        let c_inf = critical_path_length(dag, &times, |e| edge_cost(dag, e));
+        let c_inf = critical_path_length(dag, &times, |_, bytes| edge_cost(bytes));
         let w = total_work(&alloc) / f64::from(p_eff);
         if c_inf <= w {
             break;
         }
         // Give one more processor to the critical task that gains the most
         // execution time from it.
-        let cp = critical_path(dag, &times, |e| edge_cost(dag, e));
+        let cp = critical_path(dag, &times, |_, bytes| edge_cost(bytes));
         let mut best: Option<(f64, usize)> = None;
         for t in cp {
             let i = t.index();
@@ -342,7 +342,7 @@ mod tests {
             .task_ids()
             .map(|t| g.task(t).cost.time(a.of(t), gflops))
             .collect();
-        let c_inf = critical_path_length(&g, &times, |_| 0.0);
+        let c_inf = critical_path_length(&g, &times, |_, _| 0.0);
         let w: f64 = g
             .task_ids()
             .map(|t| g.task(t).cost.work(a.of(t), gflops))

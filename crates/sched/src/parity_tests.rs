@@ -129,6 +129,57 @@ fn structured_families_parity() {
     }
 }
 
+#[test]
+fn small_dag_fast_path_parity_across_threshold() {
+    // DAG sizes straddling `SMALL_DAG_TASKS`: the memo-free small-DAG path
+    // and the full arena/memo machinery sit on either side of the switch,
+    // and both must agree with the reference bit for bit.
+    use crate::mapping::SMALL_DAG_TASKS;
+    let platform = Platform::from_spec(&ClusterSpec::grillon());
+    let threshold = SMALL_DAG_TASKS as u32;
+    let (mut below, mut at_or_above) = (false, false);
+    for n in threshold - 2..=threshold + 2 {
+        let params = DagParams {
+            n,
+            width: 0.5,
+            regularity: 0.5,
+            density: 0.5,
+            jump: 2,
+        };
+        let dag = irregular_dag(&params, &CostParams::paper(), 0xBEEF + u64::from(n));
+        if dag.num_tasks() < SMALL_DAG_TASKS {
+            below = true;
+        } else {
+            at_or_above = true;
+        }
+        check_parity(&dag, &platform, &format!("threshold(n={n})"));
+    }
+    assert!(
+        below && at_or_above,
+        "test sizes failed to straddle the small-DAG threshold"
+    );
+}
+
+#[test]
+fn parity_on_platforms_spanning_procset_tiers() {
+    // 64/65/256/257 processors put the largest processor id at
+    // 63/64/255/256 — exactly straddling the ProcSet mask tiers (single
+    // word `< 64`, four-word array `< 256`, spilled beyond). Every policy
+    // must agree with the reference on all three representations.
+    let params = DagParams {
+        n: 90,
+        width: 0.5,
+        regularity: 0.5,
+        density: 0.5,
+        jump: 2,
+    };
+    for procs in [64u32, 65, 256, 257] {
+        let platform = Platform::from_spec(&ClusterSpec::flat(format!("flat{procs}"), procs, 2.0));
+        let dag = irregular_dag(&params, &CostParams::paper(), 0xD00D + u64::from(procs));
+        check_parity(&dag, &platform, &format!("procset-tier(p={procs})"));
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

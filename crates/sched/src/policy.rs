@@ -117,7 +117,7 @@ impl<'a> MapView<'_, 'a> {
     /// The task's current allocation size (step one's output, possibly
     /// already rewritten by earlier pack/stretch decisions of this run).
     pub fn allocated(&self, t: TaskId) -> u32 {
-        self.mapper.alloc[t.index()]
+        self.mapper.tasks.alloc[t.index()]
     }
 
     /// The placement of an already-mapped task.
@@ -132,7 +132,7 @@ impl<'a> MapView<'_, 'a> {
     /// Whether `t`'s processor set has already been adopted by a child
     /// (an adopted set is consumed and cannot be adopted again).
     pub fn is_adopted(&self, t: TaskId) -> bool {
-        self.mapper.adopted[t.index()]
+        self.mapper.tasks.adopted[t.index()]
     }
 
     /// The predecessors of `t` whose placements are still available for
@@ -140,8 +140,18 @@ impl<'a> MapView<'_, 'a> {
     pub fn adoptable_predecessors(&self, t: TaskId) -> impl Iterator<Item = (TaskId, EdgeId)> + '_ {
         self.mapper
             .dag
-            .predecessors(t)
-            .filter(|(p, _)| !self.mapper.adopted[p.index()])
+            .preds_flat(t)
+            .iter()
+            .filter(|a| !self.mapper.tasks.adopted[a.task.index()])
+            .map(|a| (a.task, a.edge))
+    }
+
+    /// The placed processor-set size of an already-mapped task — equal to
+    /// `placement(t).procs.len()`, read from the engine's dense per-task
+    /// state instead of the schedule entry.
+    pub fn placed_size(&self, t: TaskId) -> u32 {
+        debug_assert!(self.mapper.tasks.entries[t.index()].is_some());
+        self.mapper.tasks.alloc[t.index()]
     }
 
     /// Payload of edge `e` in bytes.
@@ -159,6 +169,47 @@ impl<'a> MapView<'_, 'a> {
             start,
             finish,
         }
+    }
+
+    /// [`Self::estimate_on`], short-circuited through a sound finish-time
+    /// lower bound: returns `None` — without evaluating any redistribution
+    /// estimate — when the candidate provably cannot satisfy
+    /// `finish < beat - 1e-15` (the strict improvement test of a
+    /// best-candidate loop). Candidate selection is bit-identical to
+    /// estimating every candidate, because every pruned candidate would
+    /// have failed that test; the processor set is cloned only for the
+    /// survivors. Pass `beat = None` (or use [`Self::estimate_on`]) when
+    /// there is no incumbent yet.
+    pub fn estimate_if_better(
+        &self,
+        t: TaskId,
+        procs: &ProcSet,
+        beat: Option<f64>,
+    ) -> Option<Placement> {
+        let (start, finish) = self.mapper.estimate_if_better(t, procs, beat)?;
+        Some(Placement {
+            procs: procs.clone(),
+            start,
+            finish,
+        })
+    }
+
+    /// Estimated placement of `t` on `pred`'s placed processor set, pruned
+    /// by `beat` like [`estimate_if_better`](Self::estimate_if_better) —
+    /// the adoption loops' fast path: the engine rebuilds singleton sets
+    /// from its dense task table instead of loading the schedule entry.
+    pub fn estimate_adoption(
+        &self,
+        t: TaskId,
+        pred: TaskId,
+        beat: Option<f64>,
+    ) -> Option<Placement> {
+        let (procs, start, finish) = self.mapper.estimate_adoption(t, pred, beat)?;
+        Some(Placement {
+            procs,
+            start,
+            finish,
+        })
     }
 
     /// Execution time of `t` on `procs` processors (Amdahl model).
@@ -200,6 +251,25 @@ pub trait MappingPolicy: Send + Sync {
         SecondarySort::None
     }
 
+    /// `true` if the policy may evaluate the same (task, candidate set)
+    /// estimate more than once per run. Policies that adopt or pack search
+    /// several candidates and revisit the default placement, so the engine
+    /// caches per-task bound scalars and arrival bounds across candidates;
+    /// a policy that only ever takes the single default estimate (HCPA)
+    /// opts out, and the driver evaluates each task as one fused
+    /// predecessor pass with no cached-bound machinery at all.
+    fn repeats_estimates(&self) -> bool {
+        true
+    }
+
+    /// Whether the driver should memoize `data_ready` per (task, candidate
+    /// set). Worth it only when a policy re-estimates many *identical*
+    /// non-singleton sets per task — the driver already skips duplicate
+    /// singleton candidates outright. Ignored for single-estimate policies.
+    fn memoize_data_ready(&self) -> bool {
+        true
+    }
+
     /// The verdict for one ready task.
     fn decide(&self, view: &MapView<'_, '_>, task: TaskId) -> MappingDecision;
 }
@@ -219,6 +289,10 @@ pub struct Hcpa;
 impl MappingPolicy for Hcpa {
     fn name(&self) -> &str {
         "HCPA"
+    }
+
+    fn repeats_estimates(&self) -> bool {
+        false
     }
 
     fn decide(&self, _view: &MapView<'_, '_>, _task: TaskId) -> MappingDecision {
@@ -270,7 +344,7 @@ impl MappingPolicy for DeltaPolicy {
         // (|δ|, edge bytes, pred) of the best qualifying predecessor.
         let mut chosen: Option<(u32, f64, TaskId)> = None;
         for (pred, e) in view.adoptable_predecessors(task) {
-            let np = view.placement(pred).procs.len();
+            let np = view.placed_size(pred);
             let feasible = if np >= k {
                 np - k <= self.params.delta_max(k)
             } else {
@@ -343,6 +417,13 @@ impl MappingPolicy for TimeCostPolicy {
         "time-cost"
     }
 
+    fn memoize_data_ready(&self) -> bool {
+        // Measured on dense 10k-task DAGs: the adoption-candidate dedup
+        // leaves the memo a <5% hit rate — two set hashes per miss cost
+        // more than the rare rebuilt walk saves.
+        false
+    }
+
     fn secondary_sort(&self) -> SecondarySort {
         SecondarySort::GainDescending
     }
@@ -354,21 +435,34 @@ impl MappingPolicy for TimeCostPolicy {
         // Stretch (or adopt an equal-size predecessor, ρ = 1): among the
         // efficient enough candidates (ρ ≥ minrho), take the best finish.
         let mut best_stretch: Option<(TaskId, Placement)> = None;
+        // ρ is a pure function of the candidate size np, and runs of
+        // predecessors share a size (most are singletons) — remember the
+        // last (np, ρ) instead of re-dividing per predecessor.
+        let mut last_rho: Option<(u32, f64)> = None;
         for (pred, _) in view.adoptable_predecessors(task) {
-            let np = view.placement(pred).procs.len();
+            let np = view.placed_size(pred);
             if np < k {
                 continue;
             }
             let rho = if own_work == 0.0 {
                 1.0
             } else {
-                own_work / view.work(task, np)
+                match last_rho {
+                    Some((n, r)) if n == np => r,
+                    _ => {
+                        let r = own_work / view.work(task, np);
+                        last_rho = Some((np, r));
+                        r
+                    }
+                }
             };
             if rho < self.params.minrho {
                 continue;
             }
-            let procs = view.placement(pred).procs.clone();
-            let p = view.estimate_on(task, procs);
+            let beat = best_stretch.as_ref().map(|(_, b)| b.finish);
+            let Some(p) = view.estimate_adoption(task, pred, beat) else {
+                continue; // provably cannot beat the incumbent
+            };
             if best_stretch
                 .as_ref()
                 .is_none_or(|(_, b)| p.finish < b.finish - 1e-15)
@@ -384,19 +478,23 @@ impl MappingPolicy for TimeCostPolicy {
                 };
             }
         }
-        if !self.params.allow_packing {
+        if !self.params.allow_packing || k == 1 {
+            // No predecessor can be placed on fewer than one processor, so
+            // single-processor allocations have nothing to pack onto.
             return MappingDecision::Default(Some(default));
         }
         // Pack: adopt the smaller predecessor allocation with the best
         // estimated finish, but only if it beats the default mapping.
         let mut best_pack: Option<(TaskId, Placement)> = None;
         for (pred, _) in view.adoptable_predecessors(task) {
-            let np = view.placement(pred).procs.len();
+            let np = view.placed_size(pred);
             if np >= k {
                 continue;
             }
-            let procs = view.placement(pred).procs.clone();
-            let p = view.estimate_on(task, procs);
+            let beat = best_pack.as_ref().map(|(_, b)| b.finish);
+            let Some(p) = view.estimate_adoption(task, pred, beat) else {
+                continue;
+            };
             if best_pack
                 .as_ref()
                 .is_none_or(|(_, b)| p.finish < b.finish - 1e-15)
@@ -460,13 +558,21 @@ impl MappingPolicy for CombinedPolicy {
         let own_work = view.work(task, k);
         let default = view.default_mapping(task);
         let mut best: Option<(TaskId, Placement)> = None;
+        let mut last_rho: Option<(u32, f64)> = None;
         for (pred, _) in view.adoptable_predecessors(task) {
-            let np = view.placement(pred).procs.len();
+            let np = view.placed_size(pred);
             let feasible = if np >= k {
                 let rho = if own_work == 0.0 {
                     1.0
                 } else {
-                    own_work / view.work(task, np)
+                    match last_rho {
+                        Some((n, r)) if n == np => r,
+                        _ => {
+                            let r = own_work / view.work(task, np);
+                            last_rho = Some((np, r));
+                            r
+                        }
+                    }
                 };
                 np - k <= self.params.delta.delta_max(k) && rho >= self.params.minrho
             } else {
@@ -475,8 +581,10 @@ impl MappingPolicy for CombinedPolicy {
             if !feasible {
                 continue;
             }
-            let procs = view.placement(pred).procs.clone();
-            let p = view.estimate_on(task, procs);
+            let beat = best.as_ref().map(|(_, b)| b.finish);
+            let Some(p) = view.estimate_adoption(task, pred, beat) else {
+                continue;
+            };
             if best
                 .as_ref()
                 .is_none_or(|(_, b)| p.finish < b.finish - 1e-15)

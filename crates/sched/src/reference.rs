@@ -89,8 +89,8 @@ impl Mapper<'_> {
     fn sort_ready_naive(&self, ready: &mut [TaskId]) {
         let secondary = self.policy_secondary_sort();
         ready.sort_by(|&a, &b| {
-            let bl = self.bottom[b.index()]
-                .partial_cmp(&self.bottom[a.index()])
+            let bl = self.tasks.bottom[b.index()]
+                .partial_cmp(&self.tasks.bottom[a.index()])
                 .expect("bottom levels are finite");
             let sec = match secondary {
                 SecondarySort::None => std::cmp::Ordering::Equal,
@@ -116,11 +116,11 @@ impl Mapper<'_> {
                 .dag
                 .task_ids()
                 .filter(|&t| {
-                    self.entries[t.index()].is_none()
+                    self.tasks.entries[t.index()].is_none()
                         && self
                             .dag
                             .predecessors(t)
-                            .all(|(p, _)| self.entries[p.index()].is_some())
+                            .all(|(p, _)| self.tasks.entries[p.index()].is_some())
                 })
                 .collect();
             assert!(!ready.is_empty(), "acyclic graph always has ready tasks");
