@@ -81,6 +81,30 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// The resident-cache key of a population: an FNV-1a content hash over the
+/// `(suite, seed)` identity, rendered as 16 hex digits.
+///
+/// A population is a deterministic function of exactly these two values
+/// (custom suite tags are themselves content hashes of the workload spec),
+/// so this key is a *content* key: two specs that would generate the same
+/// scenarios share it, and a long-lived server (`campaign serve`) uses it
+/// to serve repeated submissions from one resident population instead of
+/// regenerating or re-reading `scenarios.cache`.
+pub fn population_key(suite: &str, seed: u64) -> String {
+    let mut bytes = Vec::with_capacity(suite.len() + 9);
+    bytes.extend_from_slice(suite.as_bytes());
+    bytes.push(0x1f); // unit separator: "ab"+1 never collides with "a"+b1
+    bytes.extend_from_slice(&seed.to_le_bytes());
+    format!("{:016x}", fnv1a(&bytes))
+}
+
+impl Population {
+    /// This population's resident-cache key (see [`population_key`]).
+    pub fn cache_key(&self) -> String {
+        population_key(&self.suite, self.seed)
+    }
+}
+
 /// Renders a population to the text format. `suite` is a free-form tag the
 /// reader can validate against (the dispatcher uses the spec's suite name).
 pub fn write_population(scenarios: &[Scenario], seed: u64, suite: &str) -> String {
@@ -309,6 +333,21 @@ mod tests {
                 assert_eq!(a.dag.edge(x).bytes.to_bits(), b.dag.edge(y).bytes.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn population_keys_separate_suite_and_seed() {
+        let a = population_key("mini", 7);
+        assert_eq!(a.len(), 16);
+        assert_eq!(a, population_key("mini", 7), "key is deterministic");
+        assert_ne!(a, population_key("mini", 8));
+        assert_ne!(a, population_key("paper", 7));
+        let pop = Population {
+            seed: 7,
+            suite: "mini".into(),
+            scenarios: Vec::new(),
+        };
+        assert_eq!(pop.cache_key(), a);
     }
 
     #[test]

@@ -26,6 +26,7 @@ use std::path::{Path, PathBuf};
 use std::time::{SystemTime, UNIX_EPOCH};
 
 use rats_journal::Event;
+use serde::{Serialize, Value};
 
 use crate::queue::{QueueStatus, WorkQueue};
 use crate::worker::load_root_spec;
@@ -108,6 +109,73 @@ impl CampaignStatus {
         } else {
             self.queue.done as f64 / self.queue.total as f64
         }
+    }
+
+    /// Machine-readable form of the report, as one JSON document. Shared
+    /// by `campaign status --json` and the server's `status` response so
+    /// the two can never drift apart.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.serialize()).expect("status reports always serialize")
+    }
+}
+
+impl Serialize for JobView {
+    fn serialize(&self) -> Value {
+        let mut t = Value::table();
+        match self {
+            JobView::Todo => t.insert("state", "todo"),
+            JobView::Done => t.insert("state", "done"),
+            JobView::Missing => t.insert("state", "missing"),
+            JobView::Claimed { workers, stale } => t
+                .insert("state", "claimed")
+                .insert("workers", workers)
+                .insert("stale", stale),
+        };
+        t
+    }
+}
+
+impl Serialize for JournalInsight {
+    fn serialize(&self) -> Value {
+        let mut t = Value::table();
+        t.insert("events", &self.events)
+            .insert("mean_job_ms", &self.mean_job_ms)
+            .insert("eta_ms", &self.eta_ms)
+            .insert("jobs_per_min", &self.jobs_per_min)
+            .insert("reclaimed", &self.reclaimed)
+            .insert("adopted", &self.adopted);
+        t
+    }
+}
+
+impl Serialize for CampaignStatus {
+    fn serialize(&self) -> Value {
+        let jobs: Vec<Value> = self
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(job, view)| {
+                let mut t = view.serialize();
+                t.insert("job", &job);
+                t
+            })
+            .collect();
+        let mut t = Value::table();
+        t.insert("name", &self.name)
+            .insert("suite", &self.suite)
+            .insert("seed", &self.seed)
+            .insert("spec_hash", &self.spec_hash)
+            .insert("root", &self.root.display().to_string())
+            .insert("total", &self.queue.total)
+            .insert("todo", &self.queue.todo)
+            .insert("claimed", &self.queue.claimed)
+            .insert("done", &self.queue.done)
+            .insert("missing", &self.missing)
+            .insert("stale", &self.stale)
+            .insert("progress", &self.progress())
+            .insert("jobs", &jobs)
+            .insert("journal", &self.journal);
+        t
     }
 }
 
@@ -399,6 +467,33 @@ mod tests {
             rendered.contains("0 leased, 1 todo, 1 missing"),
             "{rendered}"
         );
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn json_report_matches_the_scan() {
+        let root = temp_root("json");
+        let spec = ExperimentSpec::naive("js", "grillon", SuiteSpec::Mini, 9);
+        fs::write(root.join(SPEC_FILE), format!("{}\n", spec.to_json())).unwrap();
+        let queue = WorkQueue::init(&root, &spec, 2).unwrap();
+        let done = queue.claim("w0").unwrap().unwrap();
+        queue.mark_done(&done).unwrap();
+
+        let status = campaign_status(&root, 60_000).unwrap();
+        let parsed: Value = serde_json::from_str(&status.to_json()).expect("valid JSON");
+        assert_eq!(
+            parsed.field::<String>("spec_hash").unwrap(),
+            spec.spec_hash()
+        );
+        assert_eq!(parsed.field::<usize>("total").unwrap(), 2);
+        assert_eq!(parsed.field::<usize>("done").unwrap(), 1);
+        assert_eq!(parsed.field::<usize>("todo").unwrap(), 1);
+        let jobs: Vec<Value> = parsed.field("jobs").unwrap();
+        assert_eq!(jobs.len(), 2);
+        let states: Vec<String> = jobs.iter().map(|j| j.field("state").unwrap()).collect();
+        assert!(states.contains(&"done".to_string()), "{states:?}");
+        assert!(states.contains(&"todo".to_string()), "{states:?}");
+        assert_eq!(jobs[done.job].field::<usize>("job").unwrap(), done.job);
         fs::remove_dir_all(&root).unwrap();
     }
 

@@ -46,9 +46,11 @@ pub use campaign::{
 };
 pub use grid::{JobCoords, JobGrid, JobId, ShardSpec};
 pub use record::RunRecord;
+pub use runner::{parallel_map, parallel_map_pooled, ParallelExec};
 pub use shard::{
-    collect_shard_files, merge_shards, read_shard_file, run_shard, run_shard_journaled,
-    run_shard_with_scenarios, shard_file_name, MergeError, ShardError, ShardManifest, ShardRun,
+    collect_shard_files, merge_shards, read_shard_file, run_shard, run_shard_hooked,
+    run_shard_journaled, run_shard_with_scenarios, shard_file_name, AllocSource, MergeError,
+    ShardError, ShardHooks, ShardManifest, ShardRun,
 };
 pub use spec::{ExperimentSpec, SpecError, SpecOutcome, StrategySpec, SuiteSpec, SUITE_NAMES};
 pub use stats::{degradation_from_best, pairwise, summarize, Degradation, PairwiseCount};

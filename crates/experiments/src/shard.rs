@@ -31,13 +31,13 @@ use std::path::{Path, PathBuf};
 use rats_daggen::suite::Scenario;
 use rats_journal::{Event, Journal};
 use rats_platform::Platform;
-use rats_sched::{allocate, AllocParams, MappingStrategy};
+use rats_sched::{allocate, AllocParams, Allocation, MappingStrategy};
 use serde::{Deserialize, Serialize, Value};
 
 use crate::campaign::{AlgoResults, PreparedScenario};
 use crate::grid::{JobId, ShardSpec};
 use crate::record::RunRecord;
-use crate::runner::{default_threads, parallel_map};
+use crate::runner::{default_threads, parallel_map_pooled, ParallelExec};
 use crate::spec::{ClusterResults, ExperimentSpec, SpecError, SpecOutcome};
 
 /// Number of jobs evaluated between appends — the upper bound on work a
@@ -112,6 +112,46 @@ pub struct ShardRun {
     pub skipped: usize,
     /// Total jobs in the shard.
     pub total: usize,
+    /// Whether a [`ShardHooks::cancel`] flag stopped the run early. The
+    /// records written so far are committed (a later run resumes past
+    /// them); `executed` counts only what landed.
+    pub aborted: bool,
+}
+
+/// A warm source of step-one (HCPA) allocations, keyed by cluster name and
+/// scenario id.
+///
+/// `allocate` is a pure function of `(dag, platform)`, so a cached
+/// allocation is bit-identical to a recomputed one — serving it from a
+/// resident cache changes wall-clock, never results. A long-lived server
+/// implements this over an LRU keyed by population + cluster shape;
+/// [`run_shard_hooked`] consults it before step one and publishes whatever
+/// it had to compute.
+pub trait AllocSource: Sync {
+    /// A cached allocation for `scenario` on `cluster`, if present.
+    fn lookup(&self, cluster: &str, scenario: usize) -> Option<Allocation>;
+    /// Offers a freshly computed allocation to the cache.
+    fn publish(&self, cluster: &str, scenario: usize, alloc: &Allocation);
+}
+
+/// Optional extension points for [`run_shard_hooked`]. `Default` is the
+/// plain batch behaviour ([`run_shard_journaled`] passes it).
+#[derive(Default)]
+pub struct ShardHooks<'a> {
+    /// Called once per record, immediately after its line (and trailing
+    /// newline) is appended to the shard file — the streaming hook a
+    /// server uses to push results to a client as they land. Records
+    /// arrive in job-id order within the run; resumed (skipped) jobs are
+    /// not replayed through this hook.
+    pub on_record: Option<&'a mut dyn FnMut(&RunRecord)>,
+    /// Warm step-one allocations (see [`AllocSource`]).
+    pub allocs: Option<&'a dyn AllocSource>,
+    /// Resident execution pool; `None` uses per-call scoped threads.
+    pub pool: Option<&'a dyn ParallelExec>,
+    /// Cooperative cancellation, checked between write chunks: when set,
+    /// the run returns early with [`ShardRun::aborted`] instead of an
+    /// error, leaving a resumable shard file behind.
+    pub cancel: Option<&'a std::sync::atomic::AtomicBool>,
 }
 
 /// Errors from executing a shard.
@@ -232,7 +272,35 @@ pub fn run_shard_journaled(
     dir: &Path,
     threads: Option<usize>,
     scenarios: Option<&[Scenario]>,
+    journal: Option<&mut Journal>,
+) -> Result<ShardRun, ShardError> {
+    run_shard_hooked(
+        spec,
+        dir,
+        threads,
+        scenarios,
+        journal,
+        ShardHooks::default(),
+    )
+}
+
+/// [`run_shard_journaled`] with server extension points ([`ShardHooks`]):
+/// per-record streaming, warm step-one allocations, a resident execution
+/// pool and cooperative cancellation.
+///
+/// Every hook is wall-clock-only: the shard file bytes, the record values
+/// and the journal decision stream are bit-identical to the default batch
+/// path (warm allocations are pure-function cache hits, the pool preserves
+/// [`parallel_map`](crate::runner::parallel_map)'s ordered collection).
+/// Cancellation is the one behavioural addition — it commits the chunks
+/// written so far and returns [`ShardRun::aborted`].
+pub fn run_shard_hooked(
+    spec: &ExperimentSpec,
+    dir: &Path,
+    threads: Option<usize>,
+    scenarios: Option<&[Scenario]>,
     mut journal: Option<&mut Journal>,
+    mut hooks: ShardHooks<'_>,
 ) -> Result<ShardRun, ShardError> {
     spec.validate()?;
     if let Some(provided) = scenarios {
@@ -364,6 +432,7 @@ pub fn run_shard_journaled(
             executed: 0,
             skipped,
             total,
+            aborted: false,
         });
     }
 
@@ -386,9 +455,19 @@ pub fn run_shard_journaled(
         "suite size constants out of sync with the generators"
     );
 
+    let cancelled = || {
+        hooks
+            .cancel
+            .is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+    };
     let mut file = fs::OpenOptions::new().append(true).open(&path)?;
-    let executed = todo.len();
-    for (ci, cluster_name) in spec.clusters.iter().enumerate() {
+    let mut executed = 0usize;
+    let mut aborted = false;
+    'clusters: for (ci, cluster_name) in spec.clusters.iter().enumerate() {
+        if cancelled() {
+            aborted = true;
+            break;
+        }
         let cluster_jobs: Vec<JobId> = todo
             .iter()
             .copied()
@@ -399,7 +478,10 @@ pub fn run_shard_journaled(
         }
         let platform = Platform::from_spec(&spec.cluster_spec(cluster_name)?);
         // Step one (the shared HCPA allocation) only for the scenarios this
-        // shard actually touches on this cluster.
+        // shard actually touches on this cluster — served warm when an
+        // [`AllocSource`] already holds them (the allocation is a pure
+        // function of DAG and platform, so a cache hit is bit-identical to
+        // recomputation), computed and published otherwise.
         let needed: Vec<usize> = {
             let set: HashSet<usize> = cluster_jobs
                 .iter()
@@ -409,10 +491,24 @@ pub fn run_shard_journaled(
             v.sort_unstable();
             v
         };
-        let scenario_refs: Vec<&Scenario> = needed.iter().map(|&n| &scenarios[n]).collect();
-        let allocs = parallel_map(&scenario_refs, threads, |_, s| {
+        let mut allocs: Vec<Option<Allocation>> = match hooks.allocs {
+            Some(src) => needed
+                .iter()
+                .map(|&n| src.lookup(cluster_name, n))
+                .collect(),
+            None => needed.iter().map(|_| None).collect(),
+        };
+        let misses: Vec<usize> = (0..needed.len()).filter(|&i| allocs[i].is_none()).collect();
+        let miss_refs: Vec<&Scenario> = misses.iter().map(|&i| &scenarios[needed[i]]).collect();
+        let computed = parallel_map_pooled(hooks.pool, &miss_refs, threads, |_, s| {
             allocate(&s.dag, &platform, AllocParams::default())
         });
+        for (&i, alloc) in misses.iter().zip(computed) {
+            if let Some(src) = hooks.allocs {
+                src.publish(cluster_name, needed[i], &alloc);
+            }
+            allocs[i] = Some(alloc);
+        }
         let prepared: BTreeMap<usize, PreparedScenario> = needed
             .iter()
             .zip(allocs)
@@ -421,14 +517,18 @@ pub fn run_shard_journaled(
                     n,
                     PreparedScenario {
                         scenario: scenarios[n].clone(),
-                        alloc,
+                        alloc: alloc.expect("every miss filled above"),
                     },
                 )
             })
             .collect();
         for chunk in cluster_jobs.chunks(WRITE_CHUNK) {
+            if cancelled() {
+                aborted = true;
+                break 'clusters;
+            }
             let chunk_started = std::time::Instant::now();
-            let results = parallel_map(chunk, threads, |_, &job| {
+            let results = parallel_map_pooled(hooks.pool, chunk, threads, |_, &job| {
                 let c = grid.coords(job);
                 prepared[&c.scenario].evaluate(&platform, strategies[c.strategy])
             });
@@ -442,6 +542,10 @@ pub fn run_shard_journaled(
                     result,
                 );
                 writeln!(file, "{}", record.to_jsonl())?;
+                executed += 1;
+                if let Some(cb) = hooks.on_record.as_deref_mut() {
+                    cb(&record);
+                }
             }
             if let Some(j) = journal.as_deref_mut() {
                 j.emit(Event::ChunkDone {
@@ -453,18 +557,21 @@ pub fn run_shard_journaled(
         }
     }
     if let Some(j) = journal {
-        j.emit(Event::JobFinished {
-            job: shard.index as u64,
-            executed: executed as u64,
-            skipped: skipped as u64,
-            elapsed_ms: started.elapsed().as_millis() as u64,
-        });
+        if !aborted {
+            j.emit(Event::JobFinished {
+                job: shard.index as u64,
+                executed: executed as u64,
+                skipped: skipped as u64,
+                elapsed_ms: started.elapsed().as_millis() as u64,
+            });
+        }
     }
     Ok(ShardRun {
         path,
         executed,
         skipped,
         total,
+        aborted,
     })
 }
 

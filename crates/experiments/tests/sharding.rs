@@ -380,3 +380,83 @@ fn sharded_tuning_sweep_matches_in_process_tables_bit_for_bit() {
     assert_eq!(merged_tables.tuned, set.tune_family(2));
     fs::remove_dir_all(&dir).unwrap();
 }
+
+/// Cooperative cancellation through [`ShardHooks::cancel`]: a set flag
+/// aborts before any work, a flag set mid-run leaves a resumable file, and
+/// the resumed campaign merges bit-identical to the uncancelled one.
+#[test]
+fn cancelled_shard_aborts_resumably() {
+    use rats_experiments::shard::{run_shard_hooked, ShardHooks};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    // Two clusters: the cancel flag is observed between write chunks and
+    // between clusters, and a whole mini cluster fits one chunk — so the
+    // mid-run cancel below stops at the cluster boundary.
+    let mut spec = mini_spec("cancel", 904);
+    spec.clusters.push("chti".to_string());
+    let reference = spec.run().unwrap();
+    let dir = temp_dir("cancel");
+
+    // Pre-set flag: nothing executes, the run reports aborted.
+    let cancel = AtomicBool::new(true);
+    let run = run_shard_hooked(
+        &spec,
+        &dir,
+        Some(2),
+        None,
+        None,
+        ShardHooks {
+            cancel: Some(&cancel),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(run.aborted);
+    assert_eq!(run.executed, 0, "a pre-set cancel stops before any chunk");
+
+    // Cancel from the on_record hook: some records commit, then the run
+    // stops between chunks — still aborted, still resumable.
+    cancel.store(false, Ordering::SeqCst);
+    let mut seen = 0usize;
+    let mut on_record = |_: &rats_experiments::record::RunRecord| {
+        seen += 1;
+        cancel.store(true, Ordering::SeqCst);
+    };
+    let run = run_shard_hooked(
+        &spec,
+        &dir,
+        Some(2),
+        None,
+        None,
+        ShardHooks {
+            on_record: Some(&mut on_record),
+            cancel: Some(&cancel),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(run.aborted);
+    assert!(run.executed > 0 && run.executed < run.total);
+    assert_eq!(run.executed, seen, "every committed record was streamed");
+
+    // Resume with the flag cleared: the rest executes, nothing re-runs.
+    cancel.store(false, Ordering::SeqCst);
+    let resumed = run_shard_hooked(
+        &spec,
+        &dir,
+        Some(2),
+        None,
+        None,
+        ShardHooks {
+            cancel: Some(&cancel),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(!resumed.aborted);
+    assert_eq!(resumed.skipped, run.executed);
+    assert_eq!(resumed.executed + resumed.skipped, resumed.total);
+    let merged = merge_shards(std::slice::from_ref(&resumed.path)).unwrap();
+    assert_outcomes_bit_identical(&merged, &reference);
+    fs::remove_dir_all(&dir).unwrap();
+}

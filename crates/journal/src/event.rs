@@ -148,6 +148,28 @@ pub enum Event {
         /// Grid jobs covered by the merge.
         records: u64,
     },
+    /// A long-lived server accepted a campaign submission over the wire
+    /// (`campaign serve`): the request materialized this campaign root.
+    CampaignSubmitted {
+        /// The submitting client's self-reported name.
+        client: String,
+        /// Grid jobs in the submitted campaign.
+        jobs: u64,
+    },
+    /// The server streamed the campaign's records back to the submitting
+    /// client — live as they landed, plus disk backfill for resumed jobs.
+    ResultsStreamed {
+        /// Queue job index the stream covered.
+        job: u64,
+        /// Records delivered to the client.
+        records: u64,
+    },
+    /// The server finished a submission end to end: executed (or resumed),
+    /// streamed, merged and reported.
+    CampaignCompleted {
+        /// Grid jobs covered by the final merge.
+        records: u64,
+    },
 }
 
 impl Event {
@@ -171,6 +193,9 @@ impl Event {
             Event::JobReseeded { .. } => "job-reseeded",
             Event::ConflictsSwept { .. } => "conflicts-swept",
             Event::MergeCompleted { .. } => "merge-completed",
+            Event::CampaignSubmitted { .. } => "campaign-submitted",
+            Event::ResultsStreamed { .. } => "results-streamed",
+            Event::CampaignCompleted { .. } => "campaign-completed",
         }
     }
 
@@ -185,7 +210,8 @@ impl Event {
             | Event::JobDone { job, .. }
             | Event::LeaseLost { job, .. }
             | Event::LeaseReclaimed { job, .. }
-            | Event::JobReseeded { job } => Some(*job),
+            | Event::JobReseeded { job }
+            | Event::ResultsStreamed { job, .. } => Some(*job),
             _ => None,
         }
     }
@@ -282,6 +308,15 @@ impl fmt::Display for Event {
                 f,
                 "merge-completed shard_files={shard_files} records={records}"
             ),
+            Event::CampaignSubmitted { client, jobs } => {
+                write!(f, "campaign-submitted client={client} jobs={jobs}")
+            }
+            Event::ResultsStreamed { job, records } => {
+                write!(f, "results-streamed job={job} records={records}")
+            }
+            Event::CampaignCompleted { records } => {
+                write!(f, "campaign-completed records={records}")
+            }
         }
     }
 }
@@ -372,6 +407,15 @@ impl Serialize for Event {
                 t.insert("shard_files", shard_files)
                     .insert("records", records);
             }
+            Event::CampaignSubmitted { client, jobs } => {
+                t.insert("client", client).insert("jobs", jobs);
+            }
+            Event::ResultsStreamed { job, records } => {
+                t.insert("job", job).insert("records", records);
+            }
+            Event::CampaignCompleted { records } => {
+                t.insert("records", records);
+            }
         }
         t
     }
@@ -448,6 +492,17 @@ impl Deserialize for Event {
             },
             "merge-completed" => Event::MergeCompleted {
                 shard_files: v.field("shard_files")?,
+                records: v.field("records")?,
+            },
+            "campaign-submitted" => Event::CampaignSubmitted {
+                client: v.field("client")?,
+                jobs: v.field("jobs")?,
+            },
+            "results-streamed" => Event::ResultsStreamed {
+                job: v.field("job")?,
+                records: v.field("records")?,
+            },
+            "campaign-completed" => Event::CampaignCompleted {
                 records: v.field("records")?,
             },
             other => {
@@ -576,6 +631,15 @@ mod tests {
                 shard_files: 4,
                 records: 40,
             },
+            Event::CampaignSubmitted {
+                client: "bench-rig".into(),
+                jobs: 36,
+            },
+            Event::ResultsStreamed {
+                job: 0,
+                records: 36,
+            },
+            Event::CampaignCompleted { records: 36 },
         ]
     }
 

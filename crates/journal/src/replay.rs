@@ -72,6 +72,9 @@ pub struct ReplayState {
     pub workers_died: u64,
     /// `(shard_files, records)` once the merge has completed.
     pub merge: Option<(u64, u64)>,
+    /// Campaign submissions accepted by a long-lived server (`campaign
+    /// serve`) — batch dispatches journal zero.
+    pub submissions: u64,
     states: BTreeMap<u64, JobState>,
 }
 
@@ -127,12 +130,15 @@ impl ReplayState {
                 shard_files,
                 records,
             } => self.merge = Some((*shard_files, *records)),
+            Event::CampaignSubmitted { .. } => self.submissions += 1,
             Event::CacheReady { .. }
             | Event::PopulationLoaded { .. }
             | Event::JobStarted { .. }
             | Event::ChunkDone { .. }
             | Event::JobFinished { .. }
-            | Event::ConflictsSwept { .. } => {}
+            | Event::ConflictsSwept { .. }
+            | Event::ResultsStreamed { .. }
+            | Event::CampaignCompleted { .. } => {}
         }
     }
 

@@ -38,13 +38,35 @@
 //!     job-grid shape and population census — per-family scenario counts
 //!     and generated cluster inventory — without generating a single DAG.
 //!
-//! campaign status <ROOT> [--stale-ms MS]
+//! campaign status <ROOT> [--stale-ms MS] [--json]
 //!     read-only scan of a dispatched campaign's queue directory: per-job
 //!     state (todo/claimed/done), stale-lease hints (journal-based when
 //!     the campaign has an event journal, mtime-based otherwise; default
 //!     threshold 30000 ms) and a completed/total progress line with ETA
 //!     and throughput derived from journal timing events. Safe to run
-//!     while the dispatcher and workers are live.
+//!     while the dispatcher and workers are live. --json emits the same
+//!     scan as one machine-readable JSON document.
+//!
+//! campaign serve [--addr HOST:PORT] [--out DIR] [--fleet N]
+//!         [--warm-populations N] [--warm-allocs N]
+//!     run the long-lived scheduling service: accept campaign submissions
+//!     over a line-delimited JSON TCP protocol, execute them on a resident
+//!     worker fleet with warm (content-keyed, LRU-bounded) scenario
+//!     populations and step-one allocations, and stream records back to
+//!     each submitting client as they land. Every submission materializes
+//!     a normal campaign root under DIR — resumable, journaled, and
+//!     bit-identical to the batch run. Port 0 picks a free port; the
+//!     bound address is printed on stdout when ready.
+//!
+//! campaign client submit <spec> [--addr A] [--name N] [--records FILE]
+//! campaign client status [CAMPAIGN] [--addr A] [--stale-ms MS]
+//! campaign client results <CAMPAIGN> [--addr A] [--records FILE]
+//! campaign client cancel <CAMPAIGN> [--addr A]
+//! campaign client shutdown [--addr A]
+//!     talk to a running `campaign serve`. `submit` streams record lines
+//!     (stdout, or FILE with --records) and then prints the merged report
+//!     on stdout — byte-identical to running the spec in-process. CAMPAIGN
+//!     is the spec hash `submit`/`describe` print.
 //!
 //! campaign replay <ROOT> [--check] [--events]
 //!     verify and replay the campaign's hash-chained event journal
@@ -74,6 +96,7 @@ use rats_experiments::grid::ShardSpec;
 use rats_experiments::shard::{merge_shards, run_shard};
 use rats_experiments::spec::{ExperimentSpec, SuiteSpec};
 use rats_journal::{diff as journal_diff, read_journal, JobView as JournalJobView, Replay};
+use rats_server::{Client, Server, ServerConfig, SpecFormat, SubmitEnd};
 
 fn fail(message: impl std::fmt::Display) -> ! {
     eprintln!("campaign: {message}");
@@ -92,9 +115,16 @@ fn usage() -> ! {
          \x20      campaign worker <ROOT> [--worker-id W] [--threads N]\n\
          \x20                        [--beat-ms MS] [--poll-ms MS] [--idle-timeout-ms MS]\n\
          \x20      campaign describe <spec>\n\
-         \x20      campaign status <ROOT> [--stale-ms MS]\n\
+         \x20      campaign status <ROOT> [--stale-ms MS] [--json]\n\
          \x20      campaign replay <ROOT> [--check] [--events]\n\
          \x20      campaign diff <ROOT-A> <ROOT-B>\n\
+         \x20      campaign serve [--addr HOST:PORT] [--out DIR] [--fleet N]\n\
+         \x20                        [--warm-populations N] [--warm-allocs N]\n\
+         \x20      campaign client submit <spec> [--addr A] [--name N] [--records FILE]\n\
+         \x20      campaign client status [CAMPAIGN] [--addr A] [--stale-ms MS]\n\
+         \x20      campaign client results <CAMPAIGN> [--addr A] [--records FILE]\n\
+         \x20      campaign client cancel <CAMPAIGN> [--addr A]\n\
+         \x20      campaign client shutdown [--addr A]\n\
          \x20      campaign --print-template"
     );
     std::process::exit(2);
@@ -173,6 +203,8 @@ fn main() {
         Some("status") => cmd_status(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
         Some(flag) if flag.starts_with('-') => unknown("flag", flag),
         Some(spec_path) if looks_like_spec(spec_path) => cmd_in_process(spec_path, &args[1..]),
         Some(other) => unknown("subcommand", other),
@@ -417,10 +449,12 @@ fn cmd_describe(args: &[String]) {
 fn cmd_status(args: &[String]) {
     let mut root: Option<String> = None;
     let mut stale_ms = 30_000u64;
+    let mut json = false;
     let mut rest = args.iter().cloned();
     while let Some(a) = rest.next() {
         match a.as_str() {
             "--stale-ms" => stale_ms = parse_ms("--stale-ms", rest.next()),
+            "--json" => json = true,
             other if other.starts_with('-') => unknown("flag", other),
             other if root.is_none() => root = Some(other.to_string()),
             other => unknown("argument", other),
@@ -428,7 +462,11 @@ fn cmd_status(args: &[String]) {
     }
     let root = PathBuf::from(root.unwrap_or_else(|| usage()));
     let status = rats_dispatch::campaign_status(&root, stale_ms).unwrap_or_else(|e| fail(e));
-    println!("{status}");
+    if json {
+        println!("{}", status.to_json());
+    } else {
+        println!("{status}");
+    }
 }
 
 fn cmd_replay(args: &[String]) {
@@ -559,6 +597,224 @@ fn cmd_diff(args: &[String]) {
     println!("{d}");
     if !d.is_empty() {
         std::process::exit(1);
+    }
+}
+
+/// Validates an `--addr` value up front: malformed addresses are usage
+/// errors (exit 2), unlike operational failures such as a refused
+/// connection (exit 1).
+fn parse_addr(addr: &str) -> String {
+    use std::net::ToSocketAddrs as _;
+    if addr
+        .to_socket_addrs()
+        .map_or(true, |mut it| it.next().is_none())
+    {
+        eprintln!("campaign: --addr expects HOST:PORT, got `{addr}`\n");
+        usage();
+    }
+    addr.to_string()
+}
+
+fn cmd_serve(args: &[String]) {
+    let mut cfg = ServerConfig::new("serve");
+    let mut addr = rats_server::DEFAULT_ADDR.to_string();
+    let mut rest = args.iter().cloned();
+    while let Some(a) = rest.next() {
+        match a.as_str() {
+            "--addr" => {
+                addr = parse_addr(
+                    &rest
+                        .next()
+                        .unwrap_or_else(|| fail("--addr needs HOST:PORT")),
+                )
+            }
+            "--out" => {
+                cfg.out = PathBuf::from(
+                    rest.next()
+                        .unwrap_or_else(|| fail("--out needs a directory")),
+                )
+            }
+            "--fleet" => {
+                cfg.fleet = rest
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| fail("--fleet needs a positive number"))
+            }
+            "--warm-populations" => {
+                cfg.warm_populations = rest
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| fail("--warm-populations needs a positive number"))
+            }
+            "--warm-allocs" => {
+                cfg.warm_allocs = rest
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| fail("--warm-allocs needs a positive number"))
+            }
+            other => unknown("flag", other),
+        }
+    }
+    let fleet = cfg.fleet;
+    let out = cfg.out.clone();
+    let server =
+        Server::bind(&addr, cfg).unwrap_or_else(|e| fail(format_args!("cannot bind {addr}: {e}")));
+    // The ready line goes to stdout so scripts (and the CI smoke) can read
+    // the actually-bound address back, port 0 included.
+    println!(
+        "campaign: serving on {} (out {:?}, fleet {fleet})",
+        server.local_addr(),
+        out
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.serve().unwrap_or_else(|e| fail(e));
+}
+
+/// A line sink for streamed records: a file when `--records FILE` was
+/// given, stdout otherwise.
+fn record_sink(records: Option<String>) -> Box<dyn std::io::Write> {
+    match records {
+        Some(path) => Box::new(
+            std::fs::File::create(&path)
+                .map(std::io::BufWriter::new)
+                .unwrap_or_else(|e| fail(format_args!("cannot create {path:?}: {e}"))),
+        ),
+        None => Box::new(std::io::stdout()),
+    }
+}
+
+fn cmd_client(args: &[String]) {
+    let Some(op) = args.first() else { usage() };
+    let rest = &args[1..];
+    let mut addr = rats_server::DEFAULT_ADDR.to_string();
+    let mut name: Option<String> = None;
+    let mut records: Option<String> = None;
+    let mut stale_ms = 30_000u64;
+    let mut positional: Option<String> = None;
+    let mut it = rest.iter().cloned();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                addr = parse_addr(&it.next().unwrap_or_else(|| fail("--addr needs HOST:PORT")))
+            }
+            "--name" => name = Some(it.next().unwrap_or_else(|| fail("--name needs a value"))),
+            "--records" => {
+                records = Some(it.next().unwrap_or_else(|| fail("--records needs a file")))
+            }
+            "--stale-ms" => stale_ms = parse_ms("--stale-ms", it.next()),
+            other if other.starts_with('-') => unknown("flag", other),
+            other if positional.is_none() => positional = Some(other.to_string()),
+            other => unknown("argument", other),
+        }
+    }
+    let connect = |addr: &str| {
+        Client::connect(addr)
+            .unwrap_or_else(|e| fail(format_args!("cannot connect to {addr}: {e}")))
+    };
+    match op.as_str() {
+        "submit" => {
+            let spec_path = positional.unwrap_or_else(|| usage());
+            let text = std::fs::read_to_string(&spec_path)
+                .unwrap_or_else(|e| fail(format_args!("cannot read spec {spec_path:?}: {e}")));
+            let format = if spec_path.ends_with(".json") {
+                SpecFormat::Json
+            } else {
+                SpecFormat::Toml
+            };
+            let default_name = format!("client-{}", std::process::id());
+            let mut sink = record_sink(records);
+            let mut client = connect(&addr);
+            let end = client
+                .submit(
+                    name.as_deref().unwrap_or(&default_name),
+                    format,
+                    &text,
+                    |campaign, root, jobs, warm| {
+                        eprintln!(
+                            "campaign: accepted as `{campaign}` ({jobs} jobs, \
+                             population {}) at {root}",
+                            if warm { "warm" } else { "cold" }
+                        );
+                    },
+                    |line| {
+                        use std::io::Write as _;
+                        writeln!(sink, "{line}")
+                            .unwrap_or_else(|e| fail(format_args!("writing records: {e}")));
+                    },
+                )
+                .unwrap_or_else(|e| fail(e));
+            use std::io::Write as _;
+            sink.flush()
+                .unwrap_or_else(|e| fail(format_args!("flushing records: {e}")));
+            drop(sink);
+            match end {
+                SubmitEnd::Done {
+                    campaign,
+                    executed,
+                    resumed,
+                    streamed,
+                    population,
+                    report,
+                } => {
+                    eprintln!(
+                        "campaign: `{campaign}` done — {executed} executed, {resumed} \
+                         resumed, {streamed} streamed, population {population}"
+                    );
+                    print!("{report}");
+                }
+                SubmitEnd::Aborted { campaign, executed } => fail(format_args!(
+                    "`{campaign}` aborted after {executed} jobs (cancelled); \
+                     committed records remain on the server — resubmit to resume"
+                )),
+            }
+        }
+        "status" => {
+            let mut client = connect(&addr);
+            let body = client
+                .status(positional, stale_ms)
+                .unwrap_or_else(|e| fail(e));
+            println!(
+                "{}",
+                serde_json::to_string(&body).unwrap_or_else(|e| fail(e))
+            );
+        }
+        "results" => {
+            let campaign = positional.unwrap_or_else(|| usage());
+            let mut sink = record_sink(records);
+            let mut client = connect(&addr);
+            let end = client
+                .results(&campaign, |line| {
+                    use std::io::Write as _;
+                    writeln!(sink, "{line}")
+                        .unwrap_or_else(|e| fail(format_args!("writing records: {e}")));
+                })
+                .unwrap_or_else(|e| fail(e));
+            use std::io::Write as _;
+            sink.flush()
+                .unwrap_or_else(|e| fail(format_args!("flushing records: {e}")));
+            drop(sink);
+            if let SubmitEnd::Done {
+                streamed, report, ..
+            } = end
+            {
+                eprintln!("campaign: `{campaign}` — {streamed} records from disk");
+                print!("{report}");
+            }
+        }
+        "cancel" => {
+            let campaign = positional.unwrap_or_else(|| usage());
+            connect(&addr).cancel(&campaign).unwrap_or_else(|e| fail(e));
+            eprintln!("campaign: cancel delivered to `{campaign}`");
+        }
+        "shutdown" => {
+            connect(&addr).shutdown().unwrap_or_else(|e| fail(e));
+            eprintln!("campaign: server at {addr} acknowledged shutdown");
+        }
+        other => unknown("client operation", other),
     }
 }
 

@@ -1,0 +1,222 @@
+//! A thin TCP client for the serve protocol — what `campaign client`
+//! drives, and what the equivalence tests use in-process.
+
+use std::io::{BufReader, BufWriter};
+use std::net::TcpStream;
+
+use crate::protocol::{read_line, write_line, Request, Response, SpecFormat};
+
+/// One connection to a running `campaign serve`.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+/// How a submission ended.
+#[derive(Debug)]
+pub enum SubmitEnd {
+    /// Finished: the merged report and the submission counters.
+    Done {
+        /// Campaign identity (spec hash).
+        campaign: String,
+        /// Grid jobs executed by this submission.
+        executed: u64,
+        /// Grid jobs resumed from disk.
+        resumed: u64,
+        /// Record lines streamed to us.
+        streamed: u64,
+        /// `"warm"` or `"cold"`.
+        population: String,
+        /// The merged report (bit-identical to batch `spec.run()`).
+        report: String,
+    },
+    /// Cancelled mid-run; committed records survive on the server.
+    Aborted {
+        /// Campaign identity (spec hash).
+        campaign: String,
+        /// Grid jobs committed before the stop.
+        executed: u64,
+    },
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request line.
+    pub fn send(&mut self, req: &Request) -> std::io::Result<()> {
+        write_line(&mut self.writer, req)
+    }
+
+    /// Receives one response line (`None` on server EOF).
+    pub fn recv(&mut self) -> std::io::Result<Option<Response>> {
+        read_line(&mut self.reader)
+    }
+
+    /// Receives one response, treating EOF and `error` responses as
+    /// errors.
+    fn expect(&mut self) -> std::io::Result<Response> {
+        match self.recv()? {
+            None => Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+            Some(Response::Error { message }) => {
+                Err(std::io::Error::other(format!("server: {message}")))
+            }
+            Some(resp) => Ok(resp),
+        }
+    }
+
+    /// Submits a spec and streams its records through `on_record` (each
+    /// call gets one raw [`RunRecord`](rats_experiments::RunRecord) JSONL
+    /// line, byte-identical to the server's shard file). Returns the
+    /// terminal message. `on_accept` sees the `accepted` header first.
+    pub fn submit(
+        &mut self,
+        client_name: &str,
+        format: SpecFormat,
+        spec_text: &str,
+        mut on_accept: impl FnMut(&str, &str, u64, bool),
+        mut on_record: impl FnMut(&str),
+    ) -> std::io::Result<SubmitEnd> {
+        self.send(&Request::Submit {
+            client: client_name.to_string(),
+            format,
+            spec: spec_text.to_string(),
+        })?;
+        match self.expect()? {
+            Response::Accepted {
+                campaign,
+                root,
+                jobs,
+                warm_population,
+            } => on_accept(&campaign, &root, jobs, warm_population),
+            other => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("expected an accepted response, got {other:?}"),
+                ))
+            }
+        }
+        loop {
+            match self.expect()? {
+                Response::Record { line } => on_record(&line),
+                Response::Done {
+                    campaign,
+                    executed,
+                    resumed,
+                    streamed,
+                    population,
+                    report,
+                } => {
+                    return Ok(SubmitEnd::Done {
+                        campaign,
+                        executed,
+                        resumed,
+                        streamed,
+                        population,
+                        report,
+                    })
+                }
+                Response::Aborted { campaign, executed } => {
+                    return Ok(SubmitEnd::Aborted { campaign, executed })
+                }
+                other => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("unexpected mid-stream response {other:?}"),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Fetches a status document (server-wide when `campaign` is `None`).
+    pub fn status(
+        &mut self,
+        campaign: Option<String>,
+        stale_ms: u64,
+    ) -> std::io::Result<serde::Value> {
+        self.send(&Request::Status { campaign, stale_ms })?;
+        match self.expect()? {
+            Response::Status { body } => Ok(body),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("expected a status response, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Re-streams a finished campaign's records from the server's disk.
+    pub fn results(
+        &mut self,
+        campaign: &str,
+        mut on_record: impl FnMut(&str),
+    ) -> std::io::Result<SubmitEnd> {
+        self.send(&Request::Results {
+            campaign: campaign.to_string(),
+        })?;
+        loop {
+            match self.expect()? {
+                Response::Record { line } => on_record(&line),
+                Response::Done {
+                    campaign,
+                    executed,
+                    resumed,
+                    streamed,
+                    population,
+                    report,
+                } => {
+                    return Ok(SubmitEnd::Done {
+                        campaign,
+                        executed,
+                        resumed,
+                        streamed,
+                        population,
+                        report,
+                    })
+                }
+                other => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("unexpected mid-stream response {other:?}"),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Requests cancellation of a running campaign.
+    pub fn cancel(&mut self, campaign: &str) -> std::io::Result<()> {
+        self.send(&Request::Cancel {
+            campaign: campaign.to_string(),
+        })?;
+        match self.expect()? {
+            Response::Cancelled { .. } => Ok(()),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("expected a cancelled response, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Asks the server to shut down.
+    pub fn shutdown(&mut self) -> std::io::Result<()> {
+        self.send(&Request::Shutdown)?;
+        match self.expect()? {
+            Response::Bye => Ok(()),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("expected a bye response, got {other:?}"),
+            )),
+        }
+    }
+}

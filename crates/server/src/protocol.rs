@@ -1,0 +1,472 @@
+//! The wire protocol: line-delimited JSON over TCP, std-only.
+//!
+//! One request per line from the client; one or more response lines back.
+//! Every message is a single compact JSON object — requests carry an `op`
+//! field, responses a `type` field — so the protocol is scriptable with
+//! nothing more than a socket and a JSON parser (`campaign client` is
+//! exactly that).
+//!
+//! ```text
+//! → {"op":"submit","client":"ci","format":"toml","spec":"name = ..."}
+//! ← {"type":"accepted","campaign":"<hash16>","root":"...","jobs":18,...}
+//! ← {"type":"record","line":"{\"kind\":\"run\",...}"}     (× records)
+//! ← {"type":"done","campaign":"...","report":"...",...}
+//! ```
+//!
+//! Streamed [`RunRecord`](rats_experiments::RunRecord) lines ride inside
+//! `record` messages as *strings* — one JSON string-escape round trip,
+//! byte-preserving — so the stream a client reassembles is bit-identical
+//! to the shard file the server committed.
+
+use std::io::{BufRead, Write};
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// The default serve/client address when `--addr` is not given.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7463";
+
+/// How an inline spec payload is encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecFormat {
+    /// `ExperimentSpec::from_toml`.
+    Toml,
+    /// `ExperimentSpec::from_json`.
+    Json,
+}
+
+impl SpecFormat {
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpecFormat::Toml => "toml",
+            SpecFormat::Json => "json",
+        }
+    }
+
+    /// Parses the wire spelling.
+    pub fn parse(text: &str) -> Option<Self> {
+        match text {
+            "toml" => Some(SpecFormat::Toml),
+            "json" => Some(SpecFormat::Json),
+            _ => None,
+        }
+    }
+}
+
+/// A client request, one JSON line on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a campaign: the spec rides inline; results stream back on
+    /// this connection as they land.
+    Submit {
+        /// Self-reported client name (journaled with the submission).
+        client: String,
+        /// Encoding of `spec`.
+        format: SpecFormat,
+        /// The inline `ExperimentSpec` document.
+        spec: String,
+    },
+    /// Server-wide status, or one campaign's queue status when `campaign`
+    /// names a spec hash.
+    Status {
+        /// Spec hash of the campaign to inspect (`None` = server-wide).
+        campaign: Option<String>,
+        /// Stale-lease threshold for the per-campaign scan.
+        stale_ms: u64,
+    },
+    /// Re-stream a finished campaign's records from disk.
+    Results {
+        /// Spec hash of the campaign.
+        campaign: String,
+    },
+    /// Cooperatively cancel a running campaign (its job returns to todo;
+    /// committed records survive and a resubmission resumes past them).
+    Cancel {
+        /// Spec hash of the campaign.
+        campaign: String,
+    },
+    /// Stop accepting connections and shut the server down.
+    Shutdown,
+}
+
+impl Serialize for Request {
+    fn serialize(&self) -> Value {
+        let mut t = Value::table();
+        match self {
+            Request::Submit {
+                client,
+                format,
+                spec,
+            } => {
+                t.insert("op", "submit")
+                    .insert("client", client)
+                    .insert("format", format.as_str())
+                    .insert("spec", spec);
+            }
+            Request::Status { campaign, stale_ms } => {
+                t.insert("op", "status")
+                    .insert("campaign", campaign)
+                    .insert("stale_ms", stale_ms);
+            }
+            Request::Results { campaign } => {
+                t.insert("op", "results").insert("campaign", campaign);
+            }
+            Request::Cancel { campaign } => {
+                t.insert("op", "cancel").insert("campaign", campaign);
+            }
+            Request::Shutdown => {
+                t.insert("op", "shutdown");
+            }
+        }
+        t
+    }
+}
+
+impl Deserialize for Request {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let op: String = v.field("op")?;
+        Ok(match op.as_str() {
+            "submit" => {
+                let format: String = v.field_or("format", "toml".to_string())?;
+                Request::Submit {
+                    client: v.field_or("client", "anonymous".to_string())?,
+                    format: SpecFormat::parse(&format).ok_or_else(|| {
+                        Error::new(format!("format must be `toml` or `json`, got `{format}`"))
+                    })?,
+                    spec: v.field("spec")?,
+                }
+            }
+            "status" => Request::Status {
+                campaign: v.field_or("campaign", None)?,
+                stale_ms: v.field_or("stale_ms", 30_000)?,
+            },
+            "results" => Request::Results {
+                campaign: v.field("campaign")?,
+            },
+            "cancel" => Request::Cancel {
+                campaign: v.field("campaign")?,
+            },
+            "shutdown" => Request::Shutdown,
+            other => return Err(Error::new(format!("unknown op `{other}`"))),
+        })
+    }
+}
+
+/// A server response, one JSON line on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The submission was validated and its campaign root materialized;
+    /// record lines follow.
+    Accepted {
+        /// Spec hash — the campaign's identity for status/cancel/results.
+        campaign: String,
+        /// The campaign root directory on the server's filesystem.
+        root: String,
+        /// Grid jobs the campaign covers.
+        jobs: u64,
+        /// Whether the scenario population was served from warm state.
+        warm_population: bool,
+    },
+    /// One streamed [`RunRecord`](rats_experiments::RunRecord) JSONL line.
+    Record {
+        /// The record's exact shard-file bytes.
+        line: String,
+    },
+    /// The submission finished: executed (or resumed), streamed, merged.
+    Done {
+        /// Spec hash of the campaign.
+        campaign: String,
+        /// Grid jobs executed by this submission.
+        executed: u64,
+        /// Grid jobs resumed from disk (committed by an earlier
+        /// submission or a cancelled run).
+        resumed: u64,
+        /// Record lines streamed to this client (live + backfill).
+        streamed: u64,
+        /// `"warm"` or `"cold"` — where the population came from.
+        population: String,
+        /// The merged report, byte-identical to batch `spec.run()`.
+        report: String,
+    },
+    /// Status payload (server-wide table or one campaign's status JSON).
+    Status {
+        /// The status document.
+        body: Value,
+    },
+    /// A cancel request was delivered to the named campaign.
+    Cancelled {
+        /// Spec hash of the campaign.
+        campaign: String,
+    },
+    /// The submission stopped early on a cancel: committed records stay,
+    /// the job is back in todo, and a resubmission resumes past them.
+    Aborted {
+        /// Spec hash of the campaign.
+        campaign: String,
+        /// Grid jobs committed (and streamed) before the stop.
+        executed: u64,
+    },
+    /// Shutdown acknowledged; the server exits once in-flight work ends.
+    Bye,
+    /// The request failed; the connection stays usable.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl Serialize for Response {
+    fn serialize(&self) -> Value {
+        let mut t = Value::table();
+        match self {
+            Response::Accepted {
+                campaign,
+                root,
+                jobs,
+                warm_population,
+            } => {
+                t.insert("type", "accepted")
+                    .insert("campaign", campaign)
+                    .insert("root", root)
+                    .insert("jobs", jobs)
+                    .insert("warm_population", warm_population);
+            }
+            Response::Record { line } => {
+                t.insert("type", "record").insert("line", line);
+            }
+            Response::Done {
+                campaign,
+                executed,
+                resumed,
+                streamed,
+                population,
+                report,
+            } => {
+                t.insert("type", "done")
+                    .insert("campaign", campaign)
+                    .insert("executed", executed)
+                    .insert("resumed", resumed)
+                    .insert("streamed", streamed)
+                    .insert("population", population)
+                    .insert("report", report);
+            }
+            Response::Status { body } => {
+                t.insert("type", "status").insert("body", body);
+            }
+            Response::Cancelled { campaign } => {
+                t.insert("type", "cancelled").insert("campaign", campaign);
+            }
+            Response::Aborted { campaign, executed } => {
+                t.insert("type", "aborted")
+                    .insert("campaign", campaign)
+                    .insert("executed", executed);
+            }
+            Response::Bye => {
+                t.insert("type", "bye");
+            }
+            Response::Error { message } => {
+                t.insert("type", "error").insert("message", message);
+            }
+        }
+        t
+    }
+}
+
+impl Deserialize for Response {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let kind: String = v.field("type")?;
+        Ok(match kind.as_str() {
+            "accepted" => Response::Accepted {
+                campaign: v.field("campaign")?,
+                root: v.field("root")?,
+                jobs: v.field("jobs")?,
+                warm_population: v.field("warm_population")?,
+            },
+            "record" => Response::Record {
+                line: v.field("line")?,
+            },
+            "done" => Response::Done {
+                campaign: v.field("campaign")?,
+                executed: v.field("executed")?,
+                resumed: v.field("resumed")?,
+                streamed: v.field("streamed")?,
+                population: v.field("population")?,
+                report: v.field("report")?,
+            },
+            "status" => Response::Status {
+                body: v.field("body")?,
+            },
+            "cancelled" => Response::Cancelled {
+                campaign: v.field("campaign")?,
+            },
+            "aborted" => Response::Aborted {
+                campaign: v.field("campaign")?,
+                executed: v.field("executed")?,
+            },
+            "bye" => Response::Bye,
+            "error" => Response::Error {
+                message: v.field("message")?,
+            },
+            other => return Err(Error::new(format!("unknown response type `{other}`"))),
+        })
+    }
+}
+
+/// Writes one message as a JSON line and flushes (streaming latency beats
+/// buffering here — every record should reach the client as it lands).
+pub fn write_line<T: Serialize>(w: &mut impl Write, message: &T) -> std::io::Result<()> {
+    let text = serde_json::to_string(message)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    w.write_all(text.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// Reads one JSON line into a message. `Ok(None)` on clean EOF;
+/// a parse failure is an `InvalidData` error carrying the parser message.
+pub fn read_line<T: Deserialize>(r: &mut impl BufRead) -> std::io::Result<Option<T>> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return Ok(Some(read_line(r)?.ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "blank line then EOF")
+        })?));
+    }
+    serde_json::from_str(trimmed)
+        .map(Some)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let line = serde_json::to_string(&req).unwrap();
+        let back: Request = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Submit {
+            client: "ci".into(),
+            format: SpecFormat::Toml,
+            spec: "name = \"x\"\n".into(),
+        });
+        round_trip_request(Request::Status {
+            campaign: Some("abc".into()),
+            stale_ms: 5_000,
+        });
+        round_trip_request(Request::Status {
+            campaign: None,
+            stale_ms: 30_000,
+        });
+        round_trip_request(Request::Results {
+            campaign: "abc".into(),
+        });
+        round_trip_request(Request::Cancel {
+            campaign: "abc".into(),
+        });
+        round_trip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            Response::Accepted {
+                campaign: "h".into(),
+                root: "/tmp/x".into(),
+                jobs: 18,
+                warm_population: true,
+            },
+            Response::Record {
+                line: "{\"kind\":\"run\",\"makespan\":1.5}".into(),
+            },
+            Response::Done {
+                campaign: "h".into(),
+                executed: 18,
+                resumed: 0,
+                streamed: 18,
+                population: "cold".into(),
+                report: "report text\n".into(),
+            },
+            Response::Cancelled {
+                campaign: "h".into(),
+            },
+            Response::Aborted {
+                campaign: "h".into(),
+                executed: 3,
+            },
+            Response::Bye,
+            Response::Error {
+                message: "no".into(),
+            },
+        ] {
+            let line = serde_json::to_string(&resp).unwrap();
+            let back: Response = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn record_lines_survive_the_string_round_trip_byte_exactly() {
+        let line = "{\"kind\":\"run\",\"job\":3,\"makespan\":0.10000000000000001}";
+        let wire = serde_json::to_string(&Response::Record { line: line.into() }).unwrap();
+        match serde_json::from_str::<Response>(&wire).unwrap() {
+            Response::Record { line: back } => assert_eq!(back, line),
+            other => panic!("expected a record, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_defaults_apply() {
+        let req: Request =
+            serde_json::from_str("{\"op\":\"submit\",\"spec\":\"s\"}").expect("defaults fill in");
+        assert_eq!(
+            req,
+            Request::Submit {
+                client: "anonymous".into(),
+                format: SpecFormat::Toml,
+                spec: "s".into(),
+            }
+        );
+        let req: Request = serde_json::from_str("{\"op\":\"status\"}").unwrap();
+        assert_eq!(
+            req,
+            Request::Status {
+                campaign: None,
+                stale_ms: 30_000,
+            }
+        );
+        assert!(serde_json::from_str::<Request>("{\"op\":\"frobnicate\"}").is_err());
+    }
+
+    #[test]
+    fn write_read_line_round_trip() {
+        let mut buf = Vec::new();
+        write_line(&mut buf, &Request::Shutdown).unwrap();
+        write_line(
+            &mut buf,
+            &Request::Results {
+                campaign: "abc".into(),
+            },
+        )
+        .unwrap();
+        let mut r = std::io::BufReader::new(&buf[..]);
+        assert_eq!(
+            read_line::<Request>(&mut r).unwrap(),
+            Some(Request::Shutdown)
+        );
+        assert_eq!(
+            read_line::<Request>(&mut r).unwrap(),
+            Some(Request::Results {
+                campaign: "abc".into()
+            })
+        );
+        assert_eq!(read_line::<Request>(&mut r).unwrap(), None);
+    }
+}

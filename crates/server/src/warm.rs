@@ -1,0 +1,293 @@
+//! Resident warm state: the caches that make the N-th submission cheap.
+//!
+//! A batch `campaign` invocation regenerates its scenario population and
+//! recomputes every step-one (HCPA) allocation from scratch, every time.
+//! The server keeps both resident across requests, keyed by *content*:
+//!
+//! * **Populations** — keyed by [`population_key`] `(suite, seed)`; a
+//!   population is a pure function of exactly those two values, so a hit
+//!   is bit-identical to regeneration.
+//! * **Step-one allocations** — keyed by `(population key, cluster name,
+//!   scenario index)`. `allocate(dag, platform, default)` is a pure
+//!   function of the DAG and the platform; the population key pins the
+//!   DAG, and within one population the cluster name pins the platform
+//!   (custom topologies are part of the hashed workload content), so a
+//!   hit is bit-identical to recomputation.
+//!
+//! Both caches are LRU-bounded with hit/miss/eviction counters exposed in
+//! [`WarmStats`] — the warm-vs-cold determinism tests assert on these, so
+//! "the cache was used" is measured, never assumed.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use rats_daggen::population::population_key;
+use rats_daggen::suite::Scenario;
+use rats_experiments::shard::AllocSource;
+use rats_experiments::spec::ExperimentSpec;
+use rats_sched::Allocation;
+use serde::{Serialize, Value};
+
+/// A point-in-time snapshot of the warm-state counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WarmStats {
+    /// Population requests served from the resident cache.
+    pub population_hits: u64,
+    /// Population requests that had to generate.
+    pub population_misses: u64,
+    /// Populations evicted by the LRU bound.
+    pub population_evictions: u64,
+    /// Step-one allocation lookups served warm.
+    pub alloc_hits: u64,
+    /// Step-one allocation lookups that had to compute.
+    pub alloc_misses: u64,
+    /// Allocations evicted by the LRU bound.
+    pub alloc_evictions: u64,
+    /// Populations currently resident.
+    pub resident_populations: usize,
+    /// Allocations currently resident.
+    pub resident_allocs: usize,
+}
+
+impl Serialize for WarmStats {
+    fn serialize(&self) -> Value {
+        let mut t = Value::table();
+        t.insert("population_hits", &self.population_hits)
+            .insert("population_misses", &self.population_misses)
+            .insert("population_evictions", &self.population_evictions)
+            .insert("alloc_hits", &self.alloc_hits)
+            .insert("alloc_misses", &self.alloc_misses)
+            .insert("alloc_evictions", &self.alloc_evictions)
+            .insert("resident_populations", &self.resident_populations)
+            .insert("resident_allocs", &self.resident_allocs);
+        t
+    }
+}
+
+struct PopEntry {
+    scenarios: Arc<Vec<Scenario>>,
+    used: u64,
+}
+
+struct AllocEntry {
+    alloc: Allocation,
+    used: u64,
+}
+
+/// `(population key, cluster name, scenario index)` — see the module docs
+/// for why this triple pins the allocation's inputs exactly.
+type AllocKey = (String, String, usize);
+
+/// The server's resident caches. Shared by every connection thread; all
+/// methods take `&self`.
+pub struct WarmState {
+    pop_capacity: usize,
+    alloc_capacity: usize,
+    /// LRU clock: bumped on every touch, recorded per entry.
+    clock: AtomicU64,
+    pops: Mutex<HashMap<String, PopEntry>>,
+    allocs: Mutex<HashMap<AllocKey, AllocEntry>>,
+    pop_hits: AtomicU64,
+    pop_misses: AtomicU64,
+    pop_evictions: AtomicU64,
+    alloc_hits: AtomicU64,
+    alloc_misses: AtomicU64,
+    alloc_evictions: AtomicU64,
+}
+
+impl WarmState {
+    /// A warm state bounded to `pop_capacity` resident populations and
+    /// `alloc_capacity` resident allocations (each at least 1).
+    pub fn new(pop_capacity: usize, alloc_capacity: usize) -> Self {
+        Self {
+            pop_capacity: pop_capacity.max(1),
+            alloc_capacity: alloc_capacity.max(1),
+            clock: AtomicU64::new(0),
+            pops: Mutex::new(HashMap::new()),
+            allocs: Mutex::new(HashMap::new()),
+            pop_hits: AtomicU64::new(0),
+            pop_misses: AtomicU64::new(0),
+            pop_evictions: AtomicU64::new(0),
+            alloc_hits: AtomicU64::new(0),
+            alloc_misses: AtomicU64::new(0),
+            alloc_evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The population for `spec`, from the resident cache when possible.
+    /// Returns the scenarios and whether they were served warm. The
+    /// returned `Arc` stays valid even if the entry is evicted while a
+    /// campaign is still running on it.
+    pub fn population(&self, spec: &ExperimentSpec) -> (Arc<Vec<Scenario>>, bool) {
+        let key = population_key(&spec.suite.name(), spec.seed);
+        {
+            let mut pops = self.pops.lock().expect("warm population map");
+            if let Some(entry) = pops.get_mut(&key) {
+                entry.used = self.clock.fetch_add(1, Ordering::Relaxed);
+                self.pop_hits.fetch_add(1, Ordering::Relaxed);
+                return (Arc::clone(&entry.scenarios), true);
+            }
+        }
+        // Generate outside the lock: a slow (paper-sized) generation must
+        // not block other campaigns' unrelated lookups. Two concurrent
+        // misses of the same key both generate; the results are
+        // bit-identical, so whichever insert lands second just refreshes
+        // the entry.
+        self.pop_misses.fetch_add(1, Ordering::Relaxed);
+        let scenarios = Arc::new(spec.scenarios());
+        let mut pops = self.pops.lock().expect("warm population map");
+        let used = self.tick();
+        pops.insert(
+            key,
+            PopEntry {
+                scenarios: Arc::clone(&scenarios),
+                used,
+            },
+        );
+        while pops.len() > self.pop_capacity {
+            let coldest = pops
+                .iter()
+                .min_by_key(|(_, e)| e.used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty map over capacity");
+            pops.remove(&coldest);
+            self.pop_evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        (scenarios, false)
+    }
+
+    /// An [`AllocSource`] view of this warm state, scoped to one
+    /// population (the key namespaces cluster/scenario pairs).
+    pub fn allocs_for(&self, spec: &ExperimentSpec) -> WarmAllocs<'_> {
+        WarmAllocs {
+            warm: self,
+            population: population_key(&spec.suite.name(), spec.seed),
+        }
+    }
+
+    /// Current counter values and residency.
+    pub fn stats(&self) -> WarmStats {
+        WarmStats {
+            population_hits: self.pop_hits.load(Ordering::Relaxed),
+            population_misses: self.pop_misses.load(Ordering::Relaxed),
+            population_evictions: self.pop_evictions.load(Ordering::Relaxed),
+            alloc_hits: self.alloc_hits.load(Ordering::Relaxed),
+            alloc_misses: self.alloc_misses.load(Ordering::Relaxed),
+            alloc_evictions: self.alloc_evictions.load(Ordering::Relaxed),
+            resident_populations: self.pops.lock().expect("warm population map").len(),
+            resident_allocs: self.allocs.lock().expect("warm alloc map").len(),
+        }
+    }
+}
+
+/// [`WarmState`]'s allocation cache, bound to one population — the form
+/// [`run_shard_hooked`](rats_experiments::shard::run_shard_hooked)
+/// consumes through the [`AllocSource`] trait.
+pub struct WarmAllocs<'a> {
+    warm: &'a WarmState,
+    population: String,
+}
+
+impl AllocSource for WarmAllocs<'_> {
+    fn lookup(&self, cluster: &str, scenario: usize) -> Option<Allocation> {
+        let key = (self.population.clone(), cluster.to_string(), scenario);
+        let mut allocs = self.warm.allocs.lock().expect("warm alloc map");
+        match allocs.get_mut(&key) {
+            Some(entry) => {
+                entry.used = self.warm.clock.fetch_add(1, Ordering::Relaxed);
+                self.warm.alloc_hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.alloc.clone())
+            }
+            None => {
+                self.warm.alloc_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn publish(&self, cluster: &str, scenario: usize, alloc: &Allocation) {
+        let key = (self.population.clone(), cluster.to_string(), scenario);
+        let mut allocs = self.warm.allocs.lock().expect("warm alloc map");
+        let used = self.warm.tick();
+        allocs.insert(
+            key,
+            AllocEntry {
+                alloc: alloc.clone(),
+                used,
+            },
+        );
+        while allocs.len() > self.warm.alloc_capacity {
+            let coldest = allocs
+                .iter()
+                .min_by_key(|(_, e)| e.used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty map over capacity");
+            allocs.remove(&coldest);
+            self.warm.alloc_evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rats_experiments::spec::SuiteSpec;
+
+    fn spec(seed: u64) -> ExperimentSpec {
+        ExperimentSpec::naive("warm", "grillon", SuiteSpec::Mini, seed)
+    }
+
+    #[test]
+    fn population_hits_after_first_generation() {
+        let warm = WarmState::new(4, 16);
+        let (a, hit_a) = warm.population(&spec(1));
+        assert!(!hit_a, "first request generates");
+        let (b, hit_b) = warm.population(&spec(1));
+        assert!(hit_b, "second request is served warm");
+        assert!(Arc::ptr_eq(&a, &b), "the very same resident population");
+        let stats = warm.stats();
+        assert_eq!((stats.population_hits, stats.population_misses), (1, 1));
+        assert_eq!(stats.population_evictions, 0);
+        assert_eq!(stats.resident_populations, 1);
+    }
+
+    #[test]
+    fn population_lru_evicts_the_coldest() {
+        let warm = WarmState::new(1, 16);
+        warm.population(&spec(1));
+        warm.population(&spec(2)); // evicts seed 1
+        let (_, hit) = warm.population(&spec(1)); // regenerates
+        assert!(!hit);
+        let stats = warm.stats();
+        assert_eq!(stats.population_evictions, 2);
+        assert_eq!(stats.resident_populations, 1);
+    }
+
+    #[test]
+    fn alloc_cache_round_trips_and_counts() {
+        let warm = WarmState::new(4, 2);
+        let s = spec(1);
+        let allocs = warm.allocs_for(&s);
+        assert!(allocs.lookup("grillon", 0).is_none());
+        let alloc = Allocation::from_counts(vec![1, 2, 4]);
+        allocs.publish("grillon", 0, &alloc);
+        assert_eq!(allocs.lookup("grillon", 0), Some(alloc.clone()));
+        // A different population key must not see this entry.
+        let other = warm.allocs_for(&spec(2));
+        assert!(other.lookup("grillon", 0).is_none());
+        // LRU bound: capacity 2, third insert evicts the coldest.
+        allocs.publish("grillon", 1, &alloc);
+        allocs.lookup("grillon", 0); // touch 0 so 1 is coldest
+        allocs.publish("grillon", 2, &alloc);
+        let stats = warm.stats();
+        assert_eq!(stats.alloc_evictions, 1);
+        assert_eq!(stats.resident_allocs, 2);
+        assert!(allocs.lookup("grillon", 1).is_none(), "1 was evicted");
+        assert!(allocs.lookup("grillon", 0).is_some(), "0 was kept warm");
+    }
+}

@@ -1,0 +1,43 @@
+//! Helpers shared by the dispatch integration tests.
+
+use std::fs;
+use std::path::PathBuf;
+
+use rats_experiments::spec::SpecOutcome;
+
+/// A fresh per-process temp directory, `rats-<tag>-<pid>` under the system
+/// temp dir.
+pub fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rats-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The bit-identity invariant every execution path must satisfy: same
+/// clusters, same strategies, and every simulated f64 equal by `to_bits`
+/// (and therefore the same rendered report).
+pub fn assert_outcomes_bit_identical(merged: &SpecOutcome, reference: &SpecOutcome) {
+    assert_eq!(merged.clusters.len(), reference.clusters.len());
+    for (mc, rc) in merged.clusters.iter().zip(&reference.clusters) {
+        assert_eq!(mc.cluster, rc.cluster);
+        assert_eq!(mc.results.len(), rc.results.len());
+        for (ma, ra) in mc.results.iter().zip(&rc.results) {
+            assert_eq!(ma.name, ra.name);
+            assert_eq!(ma.runs.len(), ra.runs.len());
+            for (mr, rr) in ma.runs.iter().zip(&ra.runs) {
+                assert_eq!(mr.scenario_id, rr.scenario_id);
+                assert_eq!(mr.family, rr.family);
+                assert_eq!(
+                    mr.makespan.to_bits(),
+                    rr.makespan.to_bits(),
+                    "makespan differs for {} scenario {}",
+                    ma.name,
+                    mr.scenario_id
+                );
+                assert_eq!(mr.work.to_bits(), rr.work.to_bits());
+            }
+        }
+    }
+    assert_eq!(merged.render(), reference.render());
+}
