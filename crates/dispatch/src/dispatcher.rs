@@ -198,6 +198,7 @@ pub fn dispatch(
     for wp in plan.local_workers() {
         let child = spawn_worker(&exe, &root, wp, cfg, chaos.take())?;
         spawned += 1;
+        crate::telemetry::WORKERS_SPAWNED.inc();
         journal.emit(Event::WorkerSpawned {
             worker: wp.id.clone(),
             generation: 1,
@@ -377,6 +378,8 @@ pub fn dispatch(
             proc.generation += 1;
             spawned += 1;
             respawned += 1;
+            crate::telemetry::WORKERS_SPAWNED.inc();
+            crate::telemetry::WORKERS_RESPAWNED.inc();
         }
         if let Some((id, message)) = exhausted {
             kill_all(&mut procs);

@@ -54,6 +54,7 @@ pub mod inventory;
 pub mod queue;
 pub mod replay_check;
 pub mod status;
+pub mod telemetry;
 pub mod worker;
 
 pub use cache::{ensure_cache, load_cache, CACHE_FILE};

@@ -168,6 +168,7 @@ impl Lease {
         fs::write(&tmp, format!("{}\n", self.body()))
             .map_err(|e| io_err("writing lease beat", e))?;
         fs::rename(&tmp, &self.path).map_err(|e| io_err("publishing lease beat", e))?;
+        crate::telemetry::LEASE_RENEWALS.inc();
         Ok(true)
     }
 }
@@ -412,11 +413,13 @@ impl WorkQueue {
                     // indistinguishable from an instant reclaim; treat the
                     // claim as lost and keep looking.
                     if lease.beat()? {
+                        crate::telemetry::CLAIMS.inc();
                         return Ok(Some(lease));
                     }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                     // Lost the race to another worker; try the next job.
+                    crate::telemetry::CLAIM_RACES.inc();
                 }
                 Err(e) => return Err(io_err("claiming job", e)),
             }
@@ -444,7 +447,10 @@ impl WorkQueue {
         let from = self.job_path(job, &format!("claim-{worker}"));
         let to = self.job_path(job, "todo");
         match fs::rename(&from, &to) {
-            Ok(()) => Ok(true),
+            Ok(()) => {
+                crate::telemetry::RECLAIMS.inc();
+                Ok(true)
+            }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
             Err(e) => Err(io_err("reclaiming job", e)),
         }
@@ -456,7 +462,11 @@ impl WorkQueue {
     pub fn mark_done(&self, lease: &Lease) -> Result<bool, QueueError> {
         let to = self.job_path(lease.job, "done");
         match fs::rename(&lease.path, &to) {
-            Ok(()) => Ok(true),
+            Ok(()) => {
+                crate::telemetry::JOBS_DONE.inc();
+                crate::telemetry::WORKER_JOBS.inc(&lease.worker);
+                Ok(true)
+            }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
             Err(e) => Err(io_err("completing job", e)),
         }
@@ -475,7 +485,9 @@ impl WorkQueue {
             )));
         }
         let path = self.job_path(job, "todo");
-        write_atomically(&path, &format!("{}\n", self.todo_body(job)))
+        write_atomically(&path, &format!("{}\n", self.todo_body(job)))?;
+        crate::telemetry::RESEEDS.inc();
+        Ok(())
     }
 
     /// Sweeps contradictory files: once a job is done, stray `.todo` and
@@ -511,6 +523,7 @@ impl WorkQueue {
                 }
             }
         }
+        crate::telemetry::CONFLICTS_SWEPT.add(removed as u64);
         removed
     }
 }

@@ -1,0 +1,82 @@
+//! Work-queue and dispatcher metrics — the data feed the ROADMAP's
+//! dynamic re-weighting follow-on needs: claim/reclaim/renewal counters,
+//! conflict sweeps, and per-worker job completions (from which a scraper
+//! derives per-worker jobs/s). All queue operations are filesystem-bound,
+//! so the unconditional atomic increments here are noise.
+
+use rats_telemetry::{Counter, Family, Metric};
+
+/// Successful job claims (atomic todo → claim renames that won).
+pub static CLAIMS: Counter = Counter::new(
+    "rats_dispatch_claims_total",
+    "Jobs successfully claimed from the work queue.",
+);
+
+/// Claim attempts that lost the rename race to another worker.
+pub static CLAIM_RACES: Counter = Counter::new(
+    "rats_dispatch_claim_races_total",
+    "Claim renames lost to a concurrent worker.",
+);
+
+/// Leases reclaimed from dead or straggling workers.
+pub static RECLAIMS: Counter = Counter::new(
+    "rats_dispatch_reclaims_total",
+    "Leases reclaimed (claim returned to todo) from silent workers.",
+);
+
+/// Lease heartbeat renewals.
+pub static LEASE_RENEWALS: Counter = Counter::new(
+    "rats_dispatch_lease_renewals_total",
+    "Lease heartbeat rewrites published by workers.",
+);
+
+/// Conflict files removed by sweeps.
+pub static CONFLICTS_SWEPT: Counter = Counter::new(
+    "rats_dispatch_conflict_files_swept_total",
+    "Contradictory queue files (stray todo/claim) removed by conflict sweeps.",
+);
+
+/// Jobs re-seeded after losing every file.
+pub static RESEEDS: Counter = Counter::new(
+    "rats_dispatch_reseeds_total",
+    "File-less jobs re-seeded with a fresh todo file.",
+);
+
+/// Jobs marked done while still holding the lease.
+pub static JOBS_DONE: Counter = Counter::new(
+    "rats_dispatch_jobs_done_total",
+    "Jobs marked done by the lease holder.",
+);
+
+/// Worker processes spawned by the dispatcher (including respawns).
+pub static WORKERS_SPAWNED: Counter = Counter::new(
+    "rats_dispatch_workers_spawned_total",
+    "Worker processes spawned by the dispatcher, respawns included.",
+);
+
+/// Worker processes respawned after dying with work remaining.
+pub static WORKERS_RESPAWNED: Counter = Counter::new(
+    "rats_dispatch_workers_respawned_total",
+    "Worker processes respawned after dying with work remaining.",
+);
+
+/// Per-worker job completions (rate over scrapes = per-worker jobs/s).
+pub static WORKER_JOBS: Family = Family::new(
+    "rats_dispatch_worker_jobs_total",
+    "Jobs completed per worker id.",
+    "worker",
+);
+
+/// Every metric this crate exports, for registry registration.
+pub static METRICS: &[Metric] = &[
+    Metric::Counter(&CLAIMS),
+    Metric::Counter(&CLAIM_RACES),
+    Metric::Counter(&RECLAIMS),
+    Metric::Counter(&LEASE_RENEWALS),
+    Metric::Counter(&CONFLICTS_SWEPT),
+    Metric::Counter(&RESEEDS),
+    Metric::Counter(&JOBS_DONE),
+    Metric::Counter(&WORKERS_SPAWNED),
+    Metric::Counter(&WORKERS_RESPAWNED),
+    Metric::Family(&WORKER_JOBS),
+];

@@ -71,6 +71,7 @@ impl PreparedScenario {
     /// Allocates (step one) every scenario of a suite in parallel.
     pub fn prepare(suite: Vec<Scenario>, platform: &Platform, threads: usize) -> Vec<Self> {
         let allocs = parallel_map(&suite, threads, |_, s| {
+            let _span = rats_telemetry::span(&rats_sched::telemetry::ALLOC_SECONDS);
             allocate(&s.dag, platform, AllocParams::default())
         });
         suite

@@ -39,6 +39,7 @@ pub mod runner;
 pub mod shard;
 pub mod spec;
 pub mod stats;
+pub mod telemetry;
 pub mod tuning;
 
 pub use campaign::{

@@ -427,6 +427,11 @@ pub fn run_shard_hooked(
                 elapsed_ms: started.elapsed().as_millis() as u64,
             });
         }
+        crate::telemetry::JOBS_COMPLETED.inc();
+        crate::telemetry::RESUMED.add(skipped as u64);
+        if rats_telemetry::enabled() {
+            crate::telemetry::JOB_SECONDS.observe(started.elapsed().as_secs_f64());
+        }
         return Ok(ShardRun {
             path,
             executed: 0,
@@ -501,6 +506,7 @@ pub fn run_shard_hooked(
         let misses: Vec<usize> = (0..needed.len()).filter(|&i| allocs[i].is_none()).collect();
         let miss_refs: Vec<&Scenario> = misses.iter().map(|&i| &scenarios[needed[i]]).collect();
         let computed = parallel_map_pooled(hooks.pool, &miss_refs, threads, |_, s| {
+            let _span = rats_telemetry::span(&rats_sched::telemetry::ALLOC_SECONDS);
             allocate(&s.dag, &platform, AllocParams::default())
         });
         for (&i, alloc) in misses.iter().zip(computed) {
@@ -554,6 +560,10 @@ pub fn run_shard_hooked(
                     elapsed_ms: chunk_started.elapsed().as_millis() as u64,
                 });
             }
+            crate::telemetry::RECORDS.add(chunk.len() as u64);
+            if rats_telemetry::enabled() {
+                crate::telemetry::CHUNK_SECONDS.observe(chunk_started.elapsed().as_secs_f64());
+            }
         }
     }
     if let Some(j) = journal {
@@ -564,6 +574,13 @@ pub fn run_shard_hooked(
                 skipped: skipped as u64,
                 elapsed_ms: started.elapsed().as_millis() as u64,
             });
+        }
+    }
+    if !aborted {
+        crate::telemetry::JOBS_COMPLETED.inc();
+        crate::telemetry::RESUMED.add(skipped as u64);
+        if rats_telemetry::enabled() {
+            crate::telemetry::JOB_SECONDS.observe(started.elapsed().as_secs_f64());
         }
     }
     Ok(ShardRun {

@@ -78,6 +78,7 @@ pub mod policy;
 mod reference;
 mod schedule;
 mod strategy;
+pub mod telemetry;
 
 pub use allocation::{allocate, AllocParams, Allocation, AreaPolicy};
 pub use mapping::Scheduler;

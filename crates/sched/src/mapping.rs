@@ -173,7 +173,10 @@ impl<'p> Scheduler<'p> {
 
     /// Runs both steps and returns the schedule.
     pub fn schedule(&self, dag: &TaskGraph) -> Schedule {
-        let alloc = allocate(dag, self.platform, self.alloc_params);
+        let alloc = {
+            let _span = rats_telemetry::span(&crate::telemetry::ALLOC_SECONDS);
+            allocate(dag, self.platform, self.alloc_params)
+        };
         self.schedule_with_allocation(dag, &alloc)
     }
 
@@ -422,6 +425,9 @@ pub(crate) struct Mapper<'a> {
     /// `data_ready` memoization on (see
     /// [`MappingPolicy::memoize_data_ready`]).
     memo: bool,
+    /// Per-run telemetry tally (plain cells, flushed once per run —
+    /// observational only, never read back by the engine).
+    tally: crate::telemetry::RunTally,
     /// Run the retained pre-incremental engine instead (parity oracle).
     #[cfg(any(test, feature = "reference"))]
     pub(crate) naive: bool,
@@ -514,6 +520,7 @@ impl<'a> Mapper<'a> {
             small,
             single,
             memo,
+            tally: crate::telemetry::RunTally::default(),
             #[cfg(any(test, feature = "reference"))]
             naive: false,
         }
@@ -649,8 +656,10 @@ impl<'a> Mapper<'a> {
     ) -> f64 {
         if self.memo {
             if let Some(v) = cache.data_ready.get(t.index(), procs, |_| true) {
+                crate::telemetry::bump(&self.tally.memo_hits);
                 return v;
             }
+            crate::telemetry::bump(&self.tally.memo_misses);
         }
         let (start, len) = self.bound_items(cache, t);
         let MapCache {
@@ -795,6 +804,7 @@ impl<'a> Mapper<'a> {
                 }
             }
             if lb + self.exec_on(t, np) >= beat - 1e-15 {
+                crate::telemetry::bump(&self.tally.pruned);
                 return None;
             }
         }
@@ -810,6 +820,7 @@ impl<'a> Mapper<'a> {
                 seen.clear();
             }
             if seen.contains(&first) {
+                crate::telemetry::bump(&self.tally.pruned);
                 return None;
             }
             seen.push(first);
@@ -838,6 +849,20 @@ impl<'a> Mapper<'a> {
     /// are computed once and shared between the lower-bound test and the
     /// exact estimate it guards.
     fn estimate_core(&self, t: TaskId, procs: &ProcSet, beat: Option<f64>) -> Option<(f64, f64)> {
+        let result = self.estimate_core_inner(t, procs, beat);
+        crate::telemetry::bump(match result {
+            Some(_) => &self.tally.estimates,
+            None => &self.tally.pruned,
+        });
+        result
+    }
+
+    fn estimate_core_inner(
+        &self,
+        t: TaskId,
+        procs: &ProcSet,
+        beat: Option<f64>,
+    ) -> Option<(f64, f64)> {
         let proc_avail = self.proc_avail(procs);
         let exec = self.exec_on(t, procs.len());
         if self.dag.in_degree(t) == 0 {
@@ -1207,6 +1232,7 @@ impl<'a> Mapper<'a> {
         for &p in procs.as_slice() {
             self.proc_ready[p as usize] = finish;
             self.proc_argmin.update(p, &self.proc_ready);
+            crate::telemetry::bump(&self.tally.argmin_updates);
         }
         if procs.len() != self.tasks.alloc[t.index()] {
             // An adopting decision rewrote the allocation size: keep the
@@ -1270,11 +1296,14 @@ impl<'a> Mapper<'a> {
         if self.naive {
             return self.run_naive();
         }
+        let _map_span = rats_telemetry::span(&crate::telemetry::MAP_SECONDS);
         let mut tracker = ReadyTracker::new(self.dag);
         let n = self.dag.num_tasks();
         let mut num_mapped = 0usize;
         let mut ready: Vec<TaskId> = Vec::new();
         while num_mapped < n {
+            let _round_span = rats_telemetry::span(&crate::telemetry::ROUND_SECONDS);
+            crate::telemetry::bump(&self.tally.rounds);
             tracker.take_batch_into(&mut ready);
             assert!(!ready.is_empty(), "acyclic graph always has ready tasks");
             self.sort_ready(&mut ready);
@@ -1285,6 +1314,8 @@ impl<'a> Mapper<'a> {
                 num_mapped += 1;
             }
         }
+        let (redist_hits, redist_misses) = self.cache.borrow().redist.hit_stats();
+        self.tally.flush(n as u64, redist_hits, redist_misses);
         self.into_schedule()
     }
 

@@ -130,6 +130,35 @@ fn structured_families_parity() {
 }
 
 #[test]
+fn parity_holds_with_telemetry_spans_active() {
+    // Telemetry is observational only: with wall-time capture enabled
+    // process-wide (spans recording, tallies flushing), every policy must
+    // still match the reference engine bit for bit. Exercises both the
+    // small-DAG fast path and the full memo/bound machinery. The flag is
+    // global; other tests in this process are unaffected because metrics
+    // are never read back by the engine.
+    rats_telemetry::set_enabled(true);
+    let platform = Platform::from_spec(&ClusterSpec::grillon());
+    for (name, dag) in [
+        ("telemetry/fft16", fft_dag(16, &CostParams::paper(), 5)),
+        (
+            "telemetry/layered",
+            layered_dag(
+                &DagParams::layered(120, 0.5, 0.6, 0.6),
+                &CostParams::paper(),
+                11,
+            ),
+        ),
+    ] {
+        check_parity(&dag, &platform, name);
+    }
+    rats_telemetry::set_enabled(false);
+    // And the run actually recorded: placements flushed into the tally.
+    assert!(crate::telemetry::TASKS.get() > 0);
+    assert!(crate::telemetry::MAP_SECONDS.count() > 0);
+}
+
+#[test]
 fn small_dag_fast_path_parity_across_threshold() {
     // DAG sizes straddling `SMALL_DAG_TASKS`: the memo-free small-DAG path
     // and the full arena/memo machinery sit on either side of the switch,

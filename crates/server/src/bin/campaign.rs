@@ -7,9 +7,11 @@
 //!     run the whole campaign in-process and print the report
 //!
 //! campaign run <spec> [--shard I/N] [--out DIR] [--threads N]
+//!         [--metrics-out FILE]
 //!     execute one shard of the campaign's job grid, appending JSONL
 //!     records to DIR (default ./shards). Re-running resumes: jobs already
-//!     on disk are skipped.
+//!     on disk are skipped. --metrics-out additionally enables phase
+//!     timing and writes the full metrics registry as JSON on completion.
 //!
 //! campaign merge <DIR|file.jsonl ...> [--figures]
 //!     validate shard files (coverage, seed, spec hash) and print the
@@ -20,7 +22,7 @@
 //! campaign dispatch <spec> [--inventory hosts.toml] [--workers N]
 //!         [--out DIR] [--oversub K] [--threads N] [--beat-ms MS]
 //!         [--stale-ms MS] [--poll-ms MS] [--timeout-ms MS] [--no-cache]
-//!         [--chaos claim|manifest|partial]
+//!         [--chaos claim|manifest|partial] [--metrics-out FILE]
 //!     plan shard counts and thread budgets from the host inventory, spawn
 //!     local `campaign worker` processes, watch their lease heartbeats,
 //!     reclaim and re-dispatch shards from dead workers, then merge and
@@ -38,6 +40,13 @@
 //!     job-grid shape and population census — per-family scenario counts
 //!     and generated cluster inventory — without generating a single DAG.
 //!
+//! campaign profile <spec> [--threads N]
+//!     run the campaign in-process with phase timing enabled and print,
+//!     after the report, a per-phase profile: scheduling/shard histograms
+//!     (count, total, mean, occupied buckets) and every engine counter
+//!     (estimator calls and prunes, memo and redistribution cache hit
+//!     rates, argmin-tree updates).
+//!
 //! campaign status <ROOT> [--stale-ms MS] [--json]
 //!     read-only scan of a dispatched campaign's queue directory: per-job
 //!     state (todo/claimed/done), stale-lease hints (journal-based when
@@ -49,6 +58,7 @@
 //!
 //! campaign serve [--addr HOST:PORT] [--out DIR] [--fleet N]
 //!         [--warm-populations N] [--warm-allocs N]
+//!         [--metrics-addr HOST:PORT]
 //!     run the long-lived scheduling service: accept campaign submissions
 //!     over a line-delimited JSON TCP protocol, execute them on a resident
 //!     worker fleet with warm (content-keyed, LRU-bounded) scenario
@@ -56,17 +66,23 @@
 //!     each submitting client as they land. Every submission materializes
 //!     a normal campaign root under DIR — resumable, journaled, and
 //!     bit-identical to the batch run. Port 0 picks a free port; the
-//!     bound address is printed on stdout when ready.
+//!     bound address is printed on stdout when ready. --metrics-addr
+//!     additionally serves Prometheus text exposition on
+//!     `GET /metrics` (phase histograms, cache hit rates, warm-state
+//!     residency gauges).
 //!
 //! campaign client submit <spec> [--addr A] [--name N] [--records FILE]
 //! campaign client status [CAMPAIGN] [--addr A] [--stale-ms MS]
 //! campaign client results <CAMPAIGN> [--addr A] [--records FILE]
 //! campaign client cancel <CAMPAIGN> [--addr A]
+//! campaign client metrics [--addr A]
 //! campaign client shutdown [--addr A]
 //!     talk to a running `campaign serve`. `submit` streams record lines
 //!     (stdout, or FILE with --records) and then prints the merged report
 //!     on stdout — byte-identical to running the spec in-process. CAMPAIGN
-//!     is the spec hash `submit`/`describe` print.
+//!     is the spec hash `submit`/`describe` print. `metrics` prints the
+//!     server's Prometheus document over the protocol (no HTTP listener
+//!     required).
 //!
 //! campaign replay <ROOT> [--check] [--events]
 //!     verify and replay the campaign's hash-chained event journal
@@ -107,23 +123,28 @@ fn usage() -> ! {
     eprintln!(
         "usage: campaign <spec.toml|spec.json> [--threads N]\n\
          \x20      campaign run <spec> [--shard I/N] [--out DIR] [--threads N]\n\
+         \x20                        [--metrics-out FILE]\n\
          \x20      campaign merge <DIR|file.jsonl ...> [--figures]\n\
          \x20      campaign dispatch <spec> [--inventory hosts.toml] [--workers N]\n\
          \x20                        [--out DIR] [--oversub K] [--threads N]\n\
          \x20                        [--beat-ms MS] [--stale-ms MS] [--poll-ms MS]\n\
          \x20                        [--timeout-ms MS] [--no-cache] [--chaos PHASE]\n\
+         \x20                        [--metrics-out FILE]\n\
          \x20      campaign worker <ROOT> [--worker-id W] [--threads N]\n\
          \x20                        [--beat-ms MS] [--poll-ms MS] [--idle-timeout-ms MS]\n\
          \x20      campaign describe <spec>\n\
+         \x20      campaign profile <spec> [--threads N]\n\
          \x20      campaign status <ROOT> [--stale-ms MS] [--json]\n\
          \x20      campaign replay <ROOT> [--check] [--events]\n\
          \x20      campaign diff <ROOT-A> <ROOT-B>\n\
          \x20      campaign serve [--addr HOST:PORT] [--out DIR] [--fleet N]\n\
          \x20                        [--warm-populations N] [--warm-allocs N]\n\
+         \x20                        [--metrics-addr HOST:PORT]\n\
          \x20      campaign client submit <spec> [--addr A] [--name N] [--records FILE]\n\
          \x20      campaign client status [CAMPAIGN] [--addr A] [--stale-ms MS]\n\
          \x20      campaign client results <CAMPAIGN> [--addr A] [--records FILE]\n\
          \x20      campaign client cancel <CAMPAIGN> [--addr A]\n\
+         \x20      campaign client metrics [--addr A]\n\
          \x20      campaign client shutdown [--addr A]\n\
          \x20      campaign --print-template"
     );
@@ -181,6 +202,21 @@ fn looks_like_spec(arg: &str) -> bool {
     arg.ends_with(".toml") || arg.ends_with(".json") || std::path::Path::new(arg).is_file()
 }
 
+/// Registers every layer's metrics and turns phase timing on — the front
+/// half of `--metrics-out` and `profile`.
+fn metrics_begin() {
+    rats_server::telemetry::register_all();
+    rats_telemetry::set_enabled(true);
+}
+
+/// Dumps the metrics registry as one JSON document — the back half of
+/// `--metrics-out`.
+fn metrics_dump(path: &str) {
+    std::fs::write(path, rats_telemetry::global().render_json())
+        .unwrap_or_else(|e| fail(format_args!("cannot write metrics to {path:?}: {e}")));
+    eprintln!("campaign: metrics written to {path:?}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -200,6 +236,7 @@ fn main() {
         Some("dispatch") => cmd_dispatch(&args[1..]),
         Some("worker") => cmd_worker(&args[1..]),
         Some("describe") => cmd_describe(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("status") => cmd_status(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
@@ -233,6 +270,7 @@ fn cmd_run(args: &[String]) {
     let mut out = PathBuf::from("shards");
     let mut shard = None;
     let mut threads = None;
+    let mut metrics_out: Option<String> = None;
     let mut rest = args.iter().cloned();
     while let Some(a) = rest.next() {
         match a.as_str() {
@@ -248,6 +286,12 @@ fn cmd_run(args: &[String]) {
                 )
             }
             "--threads" => threads = Some(parse_threads(rest.next())),
+            "--metrics-out" => {
+                metrics_out = Some(
+                    rest.next()
+                        .unwrap_or_else(|| fail("--metrics-out needs a file")),
+                )
+            }
             other if spec_path.is_none() && !other.starts_with('-') => {
                 spec_path = Some(other.to_string())
             }
@@ -258,6 +302,9 @@ fn cmd_run(args: &[String]) {
     if let Some(shard) = shard {
         spec.shard = Some(shard);
     }
+    if metrics_out.is_some() {
+        metrics_begin();
+    }
     let run = run_shard(&spec, &out, threads).unwrap_or_else(|e| fail(e));
     eprintln!(
         "campaign: shard {} — {} jobs executed, {} resumed from disk, {} total → {:?}",
@@ -267,6 +314,9 @@ fn cmd_run(args: &[String]) {
         run.total,
         run.path
     );
+    if let Some(path) = metrics_out {
+        metrics_dump(&path);
+    }
 }
 
 fn cmd_merge(args: &[String]) {
@@ -325,6 +375,7 @@ fn cmd_dispatch(args: &[String]) {
     let mut inventory_path: Option<String> = None;
     let mut workers: Option<usize> = None;
     let mut cfg = DispatchConfig::new(PathBuf::from("dispatch"), HostInventory::localhost(1, 1));
+    let mut metrics_out: Option<String> = None;
     let mut rest = args.iter().cloned();
     while let Some(a) = rest.next() {
         match a.as_str() {
@@ -361,6 +412,12 @@ fn cmd_dispatch(args: &[String]) {
             "--poll-ms" => cfg.poll_ms = parse_ms("--poll-ms", rest.next()),
             "--timeout-ms" => cfg.timeout_ms = parse_ms("--timeout-ms", rest.next()),
             "--no-cache" => cfg.use_cache = false,
+            "--metrics-out" => {
+                metrics_out = Some(
+                    rest.next()
+                        .unwrap_or_else(|| fail("--metrics-out needs a file")),
+                )
+            }
             "--chaos" => {
                 let phase = rest.next().unwrap_or_else(|| fail("--chaos needs a phase"));
                 cfg.chaos = Some(ChaosPhase::parse(&phase).unwrap_or_else(|| {
@@ -390,6 +447,9 @@ fn cmd_dispatch(args: &[String]) {
             HostInventory::localhost(cores, n.unwrap_or_else(|| cores.clamp(1, 4)))
         }
     };
+    if metrics_out.is_some() {
+        metrics_begin();
+    }
     let report = dispatch(&spec, &cfg).unwrap_or_else(|e| fail(e));
     eprintln!(
         "campaign: dispatched {} jobs as {} shards over {} workers \
@@ -408,6 +468,9 @@ fn cmd_dispatch(args: &[String]) {
         report.root
     );
     print!("{}", report.outcome.render());
+    if let Some(path) = metrics_out {
+        metrics_dump(&path);
+    }
 }
 
 fn cmd_describe(args: &[String]) {
@@ -444,6 +507,118 @@ fn cmd_describe(args: &[String]) {
     println!("strategies: {}", strategies.join(", "));
     println!("clusters: {}", spec.clusters.join(", "));
     print!("{}", spec.suite.census());
+}
+
+fn cmd_profile(args: &[String]) {
+    let mut spec_path = None;
+    let mut threads = None;
+    let mut rest = args.iter().cloned();
+    while let Some(a) = rest.next() {
+        match a.as_str() {
+            "--threads" => threads = Some(parse_threads(rest.next())),
+            other if spec_path.is_none() && !other.starts_with('-') => {
+                spec_path = Some(other.to_string())
+            }
+            other => unknown("flag", other),
+        }
+    }
+    let mut spec = load_spec(&spec_path.unwrap_or_else(|| usage()));
+    if threads.is_some() {
+        spec.threads = threads;
+    }
+    metrics_begin();
+    let started = std::time::Instant::now();
+    let outcome = spec.run().unwrap_or_else(|e| fail(e));
+    let wall = started.elapsed().as_secs_f64();
+    rats_telemetry::set_enabled(false);
+    print!("{}", outcome.render());
+    print!("\n{}", render_profile(wall));
+}
+
+/// Renders the per-phase profile from the process-global registry: every
+/// histogram that saw an observation (count, total, mean, occupied
+/// buckets), then every non-zero counter and family cell. Ratios a reader
+/// would otherwise compute by hand — estimator prune rate, cache hit
+/// rates — ride along on the counter lines.
+fn render_profile(wall_seconds: f64) -> String {
+    use std::fmt::Write as _;
+    let metrics = rats_telemetry::global().metrics();
+    let mut out = format!("profile: wall {wall_seconds:.3}s\n\n");
+    writeln!(
+        out,
+        "{:<40} {:>9} {:>12} {:>12}",
+        "phase", "count", "total s", "mean µs"
+    )
+    .unwrap();
+    for m in &metrics {
+        let rats_telemetry::Metric::Histogram(h) = m else {
+            continue;
+        };
+        let count = h.count();
+        if count == 0 {
+            continue;
+        }
+        let sum = h.sum();
+        writeln!(
+            out,
+            "{:<40} {:>9} {:>12.4} {:>12.2}",
+            h.name(),
+            count,
+            sum,
+            sum / count as f64 * 1e6
+        )
+        .unwrap();
+        let mut spread = String::new();
+        for (i, &c) in h.bucket_counts().iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            match h.bounds().get(i) {
+                Some(b) => write!(spread, "  ≤{b}s: {c}").unwrap(),
+                None => write!(spread, "  >{}s: {c}", h.bounds().last().unwrap()).unwrap(),
+            }
+        }
+        if !spread.is_empty() {
+            writeln!(out, "  buckets{spread}").unwrap();
+        }
+    }
+    writeln!(out, "\n{:<52} {:>10}", "counter", "value").unwrap();
+    for m in &metrics {
+        match m {
+            rats_telemetry::Metric::Counter(c) if c.get() > 0 => {
+                writeln!(out, "{:<52} {:>10}", c.name(), c.get()).unwrap();
+            }
+            rats_telemetry::Metric::Family(f) => {
+                for (key, v) in f.snapshot() {
+                    let cell = format!("{}{{{}=\"{key}\"}}", f.name(), f.label());
+                    writeln!(out, "{cell:<52} {v:>10}").unwrap();
+                }
+            }
+            _ => {}
+        }
+    }
+    let rate = |hits: u64, misses: u64| -> String {
+        let total = hits + misses;
+        if total == 0 {
+            "n/a".to_string()
+        } else {
+            format!("{:.1}% of {total}", hits as f64 / total as f64 * 100.0)
+        }
+    };
+    writeln!(
+        out,
+        "\nhit rates: data-ready memo {}, redistribution cache {}",
+        rate(
+            rats_sched::telemetry::MEMO_HITS.get(),
+            rats_sched::telemetry::MEMO_MISSES.get()
+        ),
+        rate(
+            rats_sched::telemetry::REDIST_HITS.get(),
+            rats_sched::telemetry::REDIST_MISSES.get()
+        ),
+    )
+    .unwrap();
+    out
 }
 
 fn cmd_status(args: &[String]) {
@@ -655,6 +830,13 @@ fn cmd_serve(args: &[String]) {
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| fail("--warm-allocs needs a positive number"))
             }
+            "--metrics-addr" => {
+                cfg.metrics_addr = Some(parse_addr(
+                    &rest
+                        .next()
+                        .unwrap_or_else(|| fail("--metrics-addr needs HOST:PORT")),
+                ))
+            }
             other => unknown("flag", other),
         }
     }
@@ -664,11 +846,18 @@ fn cmd_serve(args: &[String]) {
         Server::bind(&addr, cfg).unwrap_or_else(|e| fail(format_args!("cannot bind {addr}: {e}")));
     // The ready line goes to stdout so scripts (and the CI smoke) can read
     // the actually-bound address back, port 0 included.
-    println!(
-        "campaign: serving on {} (out {:?}, fleet {fleet})",
-        server.local_addr(),
-        out
-    );
+    match server.metrics_addr() {
+        Some(m) => println!(
+            "campaign: serving on {} (out {:?}, fleet {fleet}, metrics http://{m}/metrics)",
+            server.local_addr(),
+            out
+        ),
+        None => println!(
+            "campaign: serving on {} (out {:?}, fleet {fleet})",
+            server.local_addr(),
+            out
+        ),
+    }
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     server.serve().unwrap_or_else(|e| fail(e));
@@ -809,6 +998,10 @@ fn cmd_client(args: &[String]) {
             let campaign = positional.unwrap_or_else(|| usage());
             connect(&addr).cancel(&campaign).unwrap_or_else(|e| fail(e));
             eprintln!("campaign: cancel delivered to `{campaign}`");
+        }
+        "metrics" => {
+            let text = connect(&addr).metrics().unwrap_or_else(|e| fail(e));
+            print!("{text}");
         }
         "shutdown" => {
             connect(&addr).shutdown().unwrap_or_else(|e| fail(e));

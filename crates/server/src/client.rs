@@ -194,6 +194,18 @@ impl Client {
         }
     }
 
+    /// Fetches the server's metrics as Prometheus text exposition.
+    pub fn metrics(&mut self) -> std::io::Result<String> {
+        self.send(&Request::Metrics)?;
+        match self.expect()? {
+            Response::Metrics { text } => Ok(text),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("expected a metrics response, got {other:?}"),
+            )),
+        }
+    }
+
     /// Requests cancellation of a running campaign.
     pub fn cancel(&mut self, campaign: &str) -> std::io::Result<()> {
         self.send(&Request::Cancel {

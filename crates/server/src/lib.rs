@@ -25,13 +25,19 @@
 //! * [`protocol`] — the wire messages and line framing.
 //! * [`server`] — the accept loop, the submit flow, status/cancel.
 //! * [`client`] — the thin client the CLI and the tests drive.
+//! * [`telemetry`] — server metrics plus [`telemetry::register_all`],
+//!   the one-call registration of every instrumented layer.
+//! * [`metrics_http`] — the minimal `GET /metrics` listener for
+//!   Prometheus-compatible scrapers.
 //!
 //! [`ParallelExec`]: rats_experiments::ParallelExec
 
 pub mod client;
 pub mod fleet;
+pub mod metrics_http;
 pub mod protocol;
 pub mod server;
+pub mod telemetry;
 pub mod warm;
 
 pub use client::{Client, SubmitEnd};

@@ -1,0 +1,72 @@
+//! A minimal hand-rolled HTTP/1.1 listener for `GET /metrics` — just
+//! enough protocol for Prometheus-compatible scrapers, std-only. One
+//! thread accepts; each request is served inline (scrapes are rare and
+//! rendering is microseconds, so a per-connection thread would be waste).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+
+/// The Prometheus text exposition content type.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Binds `addr` and serves `GET /metrics` forever on a background thread,
+/// rendering the body with `body` per request. Returns the bound address
+/// (use port 0 to let the OS pick). The thread runs until process exit —
+/// the listener has no independent shutdown, matching the server's
+/// process-per-instance lifecycle.
+pub fn spawn_metrics_listener(
+    addr: &str,
+    body: Arc<dyn Fn() -> String + Send + Sync>,
+) -> std::io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            let _ = serve_one(stream, &*body);
+        }
+    });
+    Ok(bound)
+}
+
+/// Reads one request, writes one response, closes the connection.
+fn serve_one(stream: TcpStream, body: &(dyn Fn() -> String + Send + Sync)) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain the headers so well-behaved clients see a clean close.
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header.trim().is_empty() {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let mut w = stream;
+    if method != "GET" {
+        return respond(&mut w, "405 Method Not Allowed", "text/plain", "only GET\n");
+    }
+    // Accept query strings (`/metrics?foo=1`) the way real scrapers send
+    // them.
+    if path != "/metrics" && !path.starts_with("/metrics?") {
+        return respond(&mut w, "404 Not Found", "text/plain", "try /metrics\n");
+    }
+    respond(&mut w, "200 OK", CONTENT_TYPE, &body())
+}
+
+fn respond(
+    w: &mut impl Write,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    w.flush()
+}

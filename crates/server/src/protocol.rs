@@ -85,6 +85,9 @@ pub enum Request {
         /// Spec hash of the campaign.
         campaign: String,
     },
+    /// Fetch the server's metrics in Prometheus text exposition format
+    /// (the same document `GET /metrics` serves on `--metrics-addr`).
+    Metrics,
     /// Stop accepting connections and shut the server down.
     Shutdown,
 }
@@ -113,6 +116,9 @@ impl Serialize for Request {
             }
             Request::Cancel { campaign } => {
                 t.insert("op", "cancel").insert("campaign", campaign);
+            }
+            Request::Metrics => {
+                t.insert("op", "metrics");
             }
             Request::Shutdown => {
                 t.insert("op", "shutdown");
@@ -146,6 +152,7 @@ impl Deserialize for Request {
             "cancel" => Request::Cancel {
                 campaign: v.field("campaign")?,
             },
+            "metrics" => Request::Metrics,
             "shutdown" => Request::Shutdown,
             other => return Err(Error::new(format!("unknown op `{other}`"))),
         })
@@ -206,6 +213,11 @@ pub enum Response {
         /// Grid jobs committed (and streamed) before the stop.
         executed: u64,
     },
+    /// The metrics document, Prometheus text exposition format 0.0.4.
+    Metrics {
+        /// The rendered exposition text.
+        text: String,
+    },
     /// Shutdown acknowledged; the server exits once in-flight work ends.
     Bye,
     /// The request failed; the connection stays usable.
@@ -261,6 +273,9 @@ impl Serialize for Response {
                     .insert("campaign", campaign)
                     .insert("executed", executed);
             }
+            Response::Metrics { text } => {
+                t.insert("type", "metrics").insert("text", text);
+            }
             Response::Bye => {
                 t.insert("type", "bye");
             }
@@ -302,6 +317,9 @@ impl Deserialize for Response {
             "aborted" => Response::Aborted {
                 campaign: v.field("campaign")?,
                 executed: v.field("executed")?,
+            },
+            "metrics" => Response::Metrics {
+                text: v.field("text")?,
             },
             "bye" => Response::Bye,
             "error" => Response::Error {
@@ -371,6 +389,7 @@ mod tests {
         round_trip_request(Request::Cancel {
             campaign: "abc".into(),
         });
+        round_trip_request(Request::Metrics);
         round_trip_request(Request::Shutdown);
     }
 
@@ -400,6 +419,9 @@ mod tests {
             Response::Aborted {
                 campaign: "h".into(),
                 executed: 3,
+            },
+            Response::Metrics {
+                text: "# HELP x y\n# TYPE x counter\nx 1\n".into(),
             },
             Response::Bye,
             Response::Error {

@@ -52,6 +52,9 @@ pub struct ServerConfig {
     pub warm_populations: usize,
     /// LRU bound on resident step-one allocations.
     pub warm_allocs: usize,
+    /// When set, serve `GET /metrics` (Prometheus text exposition) on
+    /// this address (use port 0 to let the OS pick).
+    pub metrics_addr: Option<String>,
 }
 
 impl ServerConfig {
@@ -63,6 +66,7 @@ impl ServerConfig {
             fleet: 4,
             warm_populations: 8,
             warm_allocs: 4096,
+            metrics_addr: None,
         }
     }
 }
@@ -99,11 +103,15 @@ struct ServerState {
 pub struct Server {
     listener: TcpListener,
     state: Arc<ServerState>,
+    metrics_addr: Option<SocketAddr>,
 }
 
 impl Server {
-    /// Binds the service (use port 0 to let the OS pick).
+    /// Binds the service (use port 0 to let the OS pick). When the config
+    /// names a metrics address, the `/metrics` HTTP listener starts here
+    /// too, so scrapes work for the service's whole lifetime.
     pub fn bind(addr: &str, cfg: ServerConfig) -> std::io::Result<Self> {
+        crate::telemetry::register_all();
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let state = Arc::new(ServerState {
@@ -115,12 +123,31 @@ impl Server {
             shutdown: AtomicBool::new(false),
             submissions: AtomicU64::new(0),
         });
-        Ok(Server { listener, state })
+        let metrics_addr = match &state.cfg.metrics_addr {
+            Some(maddr) => {
+                let scrape_state = Arc::clone(&state);
+                Some(crate::metrics_http::spawn_metrics_listener(
+                    maddr,
+                    Arc::new(move || metrics_text(&scrape_state)),
+                )?)
+            }
+            None => None,
+        };
+        Ok(Server {
+            listener,
+            state,
+            metrics_addr,
+        })
     }
 
     /// The actually bound address.
     pub fn local_addr(&self) -> SocketAddr {
         self.state.addr
+    }
+
+    /// The bound `/metrics` address, when the config asked for one.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Current warm-state counters (tests assert on these in-process).
@@ -226,6 +253,12 @@ fn handle_request(
                 write_line(w, &Response::Cancelled { campaign })
             }
         },
+        Request::Metrics => write_line(
+            w,
+            &Response::Metrics {
+                text: metrics_text(state),
+            },
+        ),
         Request::Shutdown => {
             state.shutdown.store(true, Ordering::SeqCst);
             let ack = write_line(w, &Response::Bye);
@@ -247,6 +280,16 @@ fn lookup(state: &ServerState, hash: &str) -> Option<Arc<CampaignHandle>> {
 
 fn fail(w: &mut impl Write, message: String) -> std::io::Result<()> {
     write_line(w, &Response::Error { message })
+}
+
+/// Renders the Prometheus document for this server instance: warm gauges
+/// are mirrored from the live `WarmState` first so the snapshot is
+/// consistent with what a `status` op would report.
+fn metrics_text(state: &ServerState) -> String {
+    crate::telemetry::refresh_warm(&state.warm.stats());
+    crate::telemetry::CAMPAIGNS.set(state.campaigns.lock().unwrap().len() as u64);
+    crate::telemetry::SCRAPES.inc();
+    rats_telemetry::global().render_prometheus()
 }
 
 /// The server-wide status document.
@@ -347,6 +390,7 @@ fn handle_submit(
     };
 
     let submission = state.submissions.fetch_add(1, Ordering::SeqCst) + 1;
+    crate::telemetry::SUBMISSIONS.inc();
     let writer_id = format!("serve-{submission}");
     let mut journal = Journal::open(&root, &writer_id, &hash);
     journal.emit(Event::CampaignSubmitted {

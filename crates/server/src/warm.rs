@@ -48,6 +48,11 @@ pub struct WarmStats {
     pub resident_populations: usize,
     /// Allocations currently resident.
     pub resident_allocs: usize,
+    /// Approximate bytes held by resident populations (task graphs,
+    /// adjacency, names — estimated per scenario, not measured).
+    pub resident_population_bytes: u64,
+    /// Approximate bytes held by resident allocations (keys + counts).
+    pub resident_alloc_bytes: u64,
 }
 
 impl Serialize for WarmStats {
@@ -60,19 +65,41 @@ impl Serialize for WarmStats {
             .insert("alloc_misses", &self.alloc_misses)
             .insert("alloc_evictions", &self.alloc_evictions)
             .insert("resident_populations", &self.resident_populations)
-            .insert("resident_allocs", &self.resident_allocs);
+            .insert("resident_allocs", &self.resident_allocs)
+            .insert("resident_population_bytes", &self.resident_population_bytes)
+            .insert("resident_alloc_bytes", &self.resident_alloc_bytes);
         t
     }
+}
+
+/// Approximate heap footprint of one scenario: per-task cost model plus
+/// adjacency entries, per-edge endpoints and byte weights, and the name
+/// string. An estimate for capacity planning, not an allocator census.
+fn scenario_bytes(s: &Scenario) -> u64 {
+    (s.name.len() + 64 + s.dag.num_tasks() * 72 + s.dag.num_edges() * 32) as u64
+}
+
+fn population_bytes(scenarios: &[Scenario]) -> u64 {
+    scenarios.iter().map(scenario_bytes).sum()
+}
+
+fn alloc_entry_bytes(key: &AllocKey, alloc: &Allocation) -> u64 {
+    (key.0.len() + key.1.len() + 48 + alloc.as_slice().len() * 4) as u64
 }
 
 struct PopEntry {
     scenarios: Arc<Vec<Scenario>>,
     used: u64,
+    /// Approximate footprint, computed once at insert so eviction can
+    /// subtract exactly what was added.
+    bytes: u64,
 }
 
 struct AllocEntry {
     alloc: Allocation,
     used: u64,
+    /// See [`PopEntry::bytes`].
+    bytes: u64,
 }
 
 /// `(population key, cluster name, scenario index)` — see the module docs
@@ -94,6 +121,8 @@ pub struct WarmState {
     alloc_hits: AtomicU64,
     alloc_misses: AtomicU64,
     alloc_evictions: AtomicU64,
+    pop_bytes: AtomicU64,
+    alloc_bytes: AtomicU64,
 }
 
 impl WarmState {
@@ -112,6 +141,8 @@ impl WarmState {
             alloc_hits: AtomicU64::new(0),
             alloc_misses: AtomicU64::new(0),
             alloc_evictions: AtomicU64::new(0),
+            pop_bytes: AtomicU64::new(0),
+            alloc_bytes: AtomicU64::new(0),
         }
     }
 
@@ -140,22 +171,29 @@ impl WarmState {
         // the entry.
         self.pop_misses.fetch_add(1, Ordering::Relaxed);
         let scenarios = Arc::new(spec.scenarios());
+        let bytes = population_bytes(&scenarios);
         let mut pops = self.pops.lock().expect("warm population map");
         let used = self.tick();
-        pops.insert(
+        if let Some(old) = pops.insert(
             key,
             PopEntry {
                 scenarios: Arc::clone(&scenarios),
                 used,
+                bytes,
             },
-        );
+        ) {
+            self.pop_bytes.fetch_sub(old.bytes, Ordering::Relaxed);
+        }
+        self.pop_bytes.fetch_add(bytes, Ordering::Relaxed);
         while pops.len() > self.pop_capacity {
             let coldest = pops
                 .iter()
                 .min_by_key(|(_, e)| e.used)
                 .map(|(k, _)| k.clone())
                 .expect("non-empty map over capacity");
-            pops.remove(&coldest);
+            if let Some(evicted) = pops.remove(&coldest) {
+                self.pop_bytes.fetch_sub(evicted.bytes, Ordering::Relaxed);
+            }
             self.pop_evictions.fetch_add(1, Ordering::Relaxed);
         }
         (scenarios, false)
@@ -181,6 +219,8 @@ impl WarmState {
             alloc_evictions: self.alloc_evictions.load(Ordering::Relaxed),
             resident_populations: self.pops.lock().expect("warm population map").len(),
             resident_allocs: self.allocs.lock().expect("warm alloc map").len(),
+            resident_population_bytes: self.pop_bytes.load(Ordering::Relaxed),
+            resident_alloc_bytes: self.alloc_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -212,22 +252,33 @@ impl AllocSource for WarmAllocs<'_> {
 
     fn publish(&self, cluster: &str, scenario: usize, alloc: &Allocation) {
         let key = (self.population.clone(), cluster.to_string(), scenario);
+        let bytes = alloc_entry_bytes(&key, alloc);
         let mut allocs = self.warm.allocs.lock().expect("warm alloc map");
         let used = self.warm.tick();
-        allocs.insert(
+        if let Some(old) = allocs.insert(
             key,
             AllocEntry {
                 alloc: alloc.clone(),
                 used,
+                bytes,
             },
-        );
+        ) {
+            self.warm
+                .alloc_bytes
+                .fetch_sub(old.bytes, Ordering::Relaxed);
+        }
+        self.warm.alloc_bytes.fetch_add(bytes, Ordering::Relaxed);
         while allocs.len() > self.warm.alloc_capacity {
             let coldest = allocs
                 .iter()
                 .min_by_key(|(_, e)| e.used)
                 .map(|(k, _)| k.clone())
                 .expect("non-empty map over capacity");
-            allocs.remove(&coldest);
+            if let Some(evicted) = allocs.remove(&coldest) {
+                self.warm
+                    .alloc_bytes
+                    .fetch_sub(evicted.bytes, Ordering::Relaxed);
+            }
             self.warm.alloc_evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -289,5 +340,32 @@ mod tests {
         assert_eq!(stats.resident_allocs, 2);
         assert!(allocs.lookup("grillon", 1).is_none(), "1 was evicted");
         assert!(allocs.lookup("grillon", 0).is_some(), "0 was kept warm");
+    }
+
+    #[test]
+    fn resident_bytes_track_inserts_and_evictions() {
+        let warm = WarmState::new(1, 1);
+        assert_eq!(warm.stats().resident_population_bytes, 0);
+        warm.population(&spec(1));
+        let one = warm.stats().resident_population_bytes;
+        assert!(one > 0, "a resident population has a footprint");
+        // Capacity 1: the second population replaces the first, so the
+        // footprint stays at exactly one population's worth.
+        warm.population(&spec(2));
+        let stats = warm.stats();
+        assert_eq!(stats.resident_populations, 1);
+        assert!(stats.resident_population_bytes > 0);
+
+        let allocs = warm.allocs_for(&spec(1));
+        let alloc = Allocation::from_counts(vec![1, 2, 4]);
+        allocs.publish("grillon", 0, &alloc);
+        let a = warm.stats().resident_alloc_bytes;
+        assert!(a > 0);
+        // Re-publishing the same key must not double-count.
+        allocs.publish("grillon", 0, &alloc);
+        assert_eq!(warm.stats().resident_alloc_bytes, a);
+        // Eviction returns the evicted entry's bytes.
+        allocs.publish("grillon", 1, &alloc);
+        assert_eq!(warm.stats().resident_allocs, 1);
     }
 }

@@ -77,6 +77,79 @@ fn serve_and_client_usage_errors_exit_2() {
     assert_eq!(output.status.code(), Some(1));
 }
 
+/// The observability CLI through the real binary: `campaign profile`
+/// prints the report followed by the phase table, and `campaign run
+/// --metrics-out` dumps the registry as parseable JSON with the shard
+/// engine's series populated.
+#[test]
+fn profile_and_metrics_out_through_the_binary() {
+    let out = temp_dir("cli-profile");
+    let spec = mini_spec("cli-profile", 7601);
+    let spec_path = out.join("spec.toml");
+    fs::write(&spec_path, spec.to_toml()).unwrap();
+
+    let profile = Command::new(campaign_exe())
+        .arg("profile")
+        .arg(&spec_path)
+        .args(["--threads", "2"])
+        .output()
+        .unwrap();
+    assert!(
+        profile.status.success(),
+        "{}",
+        String::from_utf8_lossy(&profile.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&profile.stdout);
+    assert!(
+        stdout.contains(&spec.run().unwrap().render()),
+        "profile still prints the full report:\n{stdout}"
+    );
+    for needle in [
+        "profile: wall ",
+        "rats_mapping_map_seconds",
+        "rats_mapping_alloc_seconds",
+        "rats_mapping_argmin_updates_total",
+        "hit rates:",
+    ] {
+        assert!(stdout.contains(needle), "missing `{needle}`:\n{stdout}");
+    }
+
+    let metrics_path = out.join("metrics.json");
+    let run = Command::new(campaign_exe())
+        .arg("run")
+        .arg(&spec_path)
+        .args(["--threads", "2", "--out"])
+        .arg(out.join("shards"))
+        .arg("--metrics-out")
+        .arg(&metrics_path)
+        .output()
+        .unwrap();
+    assert!(
+        run.status.success(),
+        "{}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    let doc: Value = serde_json::from_str(&fs::read_to_string(&metrics_path).unwrap())
+        .expect("--metrics-out writes parseable JSON");
+    let counters = doc.get("counters").expect("counters section");
+    assert_eq!(
+        counters
+            .field::<u64>("rats_shard_jobs_completed_total")
+            .unwrap(),
+        1,
+        "the shard engine's counters are populated"
+    );
+    assert!(
+        counters.field::<u64>("rats_mapping_runs_total").unwrap() > 0,
+        "scheduling counters ride along"
+    );
+    doc.get("histograms")
+        .and_then(|h| h.get("rats_shard_job_seconds"))
+        .expect("shard phase histogram present");
+
+    fs::remove_dir_all(&out).unwrap();
+}
+
 /// The full service loop through the real binary: background `campaign
 /// serve` on an ephemeral port, a client submission streaming records to a
 /// file, `status --json` over the materialized root, `replay --check`, a

@@ -175,6 +175,95 @@ fn population_lru_eviction_is_counted_over_the_wire() {
     fs::remove_dir_all(&out).unwrap();
 }
 
+/// The observability surface over real sockets: the `metrics` protocol op
+/// and the `GET /metrics` HTTP listener both render the same registry,
+/// the document carries scheduler histograms, warm-state gauges (resident
+/// bytes included) and server counters, and the scrape counter is
+/// monotone across scrapes.
+#[test]
+fn metrics_are_scrapable_over_protocol_and_http() {
+    use std::io::{Read, Write};
+
+    let out = temp_dir("serve-metrics");
+    let mut cfg = ServerConfig::new(out.join("serve"));
+    cfg.fleet = 1;
+    cfg.metrics_addr = Some("127.0.0.1:0".to_string());
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind an ephemeral port");
+    let addr = server.local_addr().to_string();
+    let http_addr = server
+        .metrics_addr()
+        .expect("metrics listener bound")
+        .to_string();
+    let handle = std::thread::spawn(move || server.serve().expect("serve loop"));
+
+    submit(&addr, "t-metrics", &mini_spec("serve-metrics", 7301));
+
+    // The protocol op renders a Prometheus document with series from
+    // every instrumented layer that ran in this process.
+    let text = Client::connect(&addr)
+        .expect("connect")
+        .metrics()
+        .expect("metrics op");
+    for series in [
+        "# TYPE rats_mapping_map_seconds histogram",
+        "rats_mapping_map_seconds_bucket{le=\"+Inf\"}",
+        "rats_mapping_tasks_total",
+        "rats_shard_jobs_completed_total",
+        "rats_warm_population_resident_bytes",
+        "rats_warm_alloc_resident_bytes",
+    ] {
+        assert!(text.contains(series), "missing `{series}` in:\n{text}");
+    }
+    // Counters are process-global and other tests in this binary also
+    // submit, so assert at-least-one rather than an exact count.
+    let submissions: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("rats_serve_submissions_total "))
+        .expect("submissions series present")
+        .trim()
+        .parse()
+        .expect("integer submission count");
+    assert!(submissions >= 1);
+
+    // The HTTP listener serves the same registry with the Prometheus
+    // content type; a second scrape sees a strictly larger scrape count.
+    let scrape = |path: &str| -> String {
+        let mut stream = TcpStream::connect(&http_addr).expect("connect scrape");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        response
+    };
+    let scrape_count = |body: &str| -> u64 {
+        body.lines()
+            .find_map(|l| l.strip_prefix("rats_serve_metrics_scrapes_total "))
+            .expect("scrape counter series present")
+            .trim()
+            .parse()
+            .expect("integer scrape count")
+    };
+    let first = scrape("/metrics");
+    assert!(first.starts_with("HTTP/1.1 200 OK\r\n"), "{first}");
+    assert!(
+        first.contains("Content-Type: text/plain; version=0.0.4"),
+        "{first}"
+    );
+    assert!(first.contains("rats_warm_population_resident_bytes"));
+    assert!(first.contains("rats_mapping_map_seconds_sum"));
+    let second = scrape("/metrics?ts=1");
+    assert!(
+        scrape_count(&second) > scrape_count(&first),
+        "scrape counter is monotone"
+    );
+    assert!(
+        scrape("/elsewhere").starts_with("HTTP/1.1 404"),
+        "unknown paths 404"
+    );
+
+    shutdown(&addr, handle);
+    fs::remove_dir_all(&out).unwrap();
+}
+
 /// Two clients submit different campaigns concurrently over one fleet:
 /// streams do not cross-contaminate (every record carries its own
 /// campaign's seed), reports match the per-spec batch outcome, and each

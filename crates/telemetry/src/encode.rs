@@ -1,0 +1,189 @@
+//! Exposition encoders: Prometheus text format 0.0.4 and a JSON mirror.
+
+use std::fmt::Write as _;
+
+use crate::registry::Metric;
+
+/// Escapes a HELP line: backslashes and newlines.
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value: backslashes, double quotes and newlines.
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Formats an f64 the way Prometheus text format expects (shortest
+/// round-trip decimal; Rust's `Display` already does this).
+fn fmt_f64(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders Prometheus text exposition format 0.0.4. Histogram buckets
+/// are emitted cumulatively in ascending `le` order with a final `+Inf`
+/// bucket equal to `_count`.
+pub fn prometheus(metrics: &[Metric]) -> String {
+    let mut out = String::new();
+    for m in metrics {
+        match m {
+            Metric::Counter(c) => {
+                let _ = writeln!(out, "# HELP {} {}", c.name(), escape_help(c.help()));
+                let _ = writeln!(out, "# TYPE {} counter", c.name());
+                let _ = writeln!(out, "{} {}", c.name(), c.get());
+            }
+            Metric::Gauge(g) => {
+                let _ = writeln!(out, "# HELP {} {}", g.name(), escape_help(g.help()));
+                let _ = writeln!(out, "# TYPE {} gauge", g.name());
+                let _ = writeln!(out, "{} {}", g.name(), g.get());
+            }
+            Metric::Family(f) => {
+                let _ = writeln!(out, "# HELP {} {}", f.name(), escape_help(f.help()));
+                let _ = writeln!(out, "# TYPE {} counter", f.name());
+                for (key, v) in f.snapshot() {
+                    let _ = writeln!(
+                        out,
+                        "{}{{{}=\"{}\"}} {}",
+                        f.name(),
+                        f.label(),
+                        escape_label(&key),
+                        v
+                    );
+                }
+            }
+            Metric::Histogram(h) => {
+                let _ = writeln!(out, "# HELP {} {}", h.name(), escape_help(h.help()));
+                let _ = writeln!(out, "# TYPE {} histogram", h.name());
+                let counts = h.bucket_counts();
+                let mut cum = 0u64;
+                for (bound, count) in h.bounds().iter().zip(&counts) {
+                    cum += count;
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{{le=\"{}\"}} {}",
+                        h.name(),
+                        fmt_f64(*bound),
+                        cum
+                    );
+                }
+                cum += counts.last().copied().unwrap_or(0);
+                let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", h.name(), cum);
+                let _ = writeln!(out, "{}_sum {}", h.name(), fmt_f64(h.sum()));
+                let _ = writeln!(out, "{}_count {}", h.name(), cum);
+            }
+        }
+    }
+    out
+}
+
+/// Escapes a string for use inside a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an f64 as a JSON number (non-finite values, which the metrics
+/// here never produce, fall back to 0 to keep the document valid).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Renders all metrics as one JSON object keyed by kind, suitable for
+/// `--metrics-out` dumps and offline diffing.
+pub fn json(metrics: &[Metric]) -> String {
+    let mut counters = String::new();
+    let mut gauges = String::new();
+    let mut histograms = String::new();
+    let mut families = String::new();
+    for m in metrics {
+        match m {
+            Metric::Counter(c) => {
+                if !counters.is_empty() {
+                    counters.push(',');
+                }
+                let _ = write!(counters, "\"{}\":{}", escape_json(c.name()), c.get());
+            }
+            Metric::Gauge(g) => {
+                if !gauges.is_empty() {
+                    gauges.push(',');
+                }
+                let _ = write!(gauges, "\"{}\":{}", escape_json(g.name()), g.get());
+            }
+            Metric::Histogram(h) => {
+                if !histograms.is_empty() {
+                    histograms.push(',');
+                }
+                let counts = h.bucket_counts();
+                let mut buckets = String::new();
+                let mut cum = 0u64;
+                for (bound, count) in h.bounds().iter().zip(&counts) {
+                    cum += count;
+                    if !buckets.is_empty() {
+                        buckets.push(',');
+                    }
+                    let _ = write!(buckets, "{{\"le\":{},\"count\":{cum}}}", json_f64(*bound));
+                }
+                cum += counts.last().copied().unwrap_or(0);
+                if !buckets.is_empty() {
+                    buckets.push(',');
+                }
+                let _ = write!(buckets, "{{\"le\":\"+Inf\",\"count\":{cum}}}");
+                let _ = write!(
+                    histograms,
+                    "\"{}\":{{\"count\":{},\"sum\":{},\"buckets\":[{}]}}",
+                    escape_json(h.name()),
+                    cum,
+                    json_f64(h.sum()),
+                    buckets
+                );
+            }
+            Metric::Family(f) => {
+                if !families.is_empty() {
+                    families.push(',');
+                }
+                let mut cells = String::new();
+                for (key, v) in f.snapshot() {
+                    if !cells.is_empty() {
+                        cells.push(',');
+                    }
+                    let _ = write!(cells, "\"{}\":{}", escape_json(&key), v);
+                }
+                let _ = write!(
+                    families,
+                    "\"{}\":{{\"label\":\"{}\",\"cells\":{{{}}}}}",
+                    escape_json(f.name()),
+                    escape_json(f.label()),
+                    cells
+                );
+            }
+        }
+    }
+    format!(
+        "{{\"counters\":{{{counters}}},\"gauges\":{{{gauges}}},\"histograms\":{{{histograms}}},\"families\":{{{families}}}}}"
+    )
+}

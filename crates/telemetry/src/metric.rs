@@ -1,0 +1,316 @@
+//! The four metric primitives. All are const-constructible so they can
+//! live in `static`s, and all record with relaxed atomics ([`Family`]
+//! takes a mutex, but only lives on cold paths).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Maximum number of finite bucket bounds a [`Histogram`] supports (one
+/// overflow bucket for `+Inf` is always added on top).
+pub const MAX_BOUNDS: usize = 16;
+
+// A const (not a static) on purpose: `[ZERO; N]` must instantiate a
+// *fresh* atomic per array slot, which is exactly the copy semantics
+// clippy warns about.
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+
+/// A monotonically increasing counter. By Prometheus convention names
+/// end in `_total`.
+pub struct Counter {
+    name: &'static str,
+    help: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A new counter at zero.
+    pub const fn new(name: &'static str, help: &'static str) -> Self {
+        Counter {
+            name,
+            help,
+            value: ZERO,
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Help text.
+    pub fn help(&self) -> &'static str {
+        self.help
+    }
+}
+
+/// A settable value (resident bytes, queue depth, campaign count).
+pub struct Gauge {
+    name: &'static str,
+    help: &'static str,
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A new gauge at zero.
+    pub const fn new(name: &'static str, help: &'static str) -> Self {
+        Gauge {
+            name,
+            help,
+            value: ZERO,
+        }
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`, saturating at zero.
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        let _ = self
+            .value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Help text.
+    pub fn help(&self) -> &'static str {
+        self.help
+    }
+}
+
+/// A fixed-bucket histogram with lock-free recording. Bounds are a
+/// static ascending slice of at most [`MAX_BOUNDS`] upper limits
+/// (`le` semantics: an observation lands in the first bucket whose bound
+/// is `>=` the value); everything larger lands in the implicit `+Inf`
+/// overflow bucket. Buckets store per-bucket (non-cumulative) counts —
+/// the encoders accumulate for exposition.
+pub struct Histogram {
+    name: &'static str,
+    help: &'static str,
+    bounds: &'static [f64],
+    buckets: [AtomicU64; MAX_BOUNDS + 1],
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// A new empty histogram over `bounds` (ascending, at most
+    /// [`MAX_BOUNDS`] entries — checked on first observation and at
+    /// registration rather than here, to stay `const`).
+    pub const fn new(name: &'static str, help: &'static str, bounds: &'static [f64]) -> Self {
+        Histogram {
+            name,
+            help,
+            bounds,
+            buckets: [ZERO; MAX_BOUNDS + 1],
+            sum_bits: ZERO,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        debug_assert!(self.bounds.len() <= MAX_BOUNDS);
+        let mut i = 0;
+        while i < self.bounds.len() && v > self.bounds[i] {
+            i += 1;
+        }
+        self.buckets[i].fetch_add(1, Ordering::Relaxed);
+        // f64 accumulation via a CAS loop on the bit pattern: lock-free,
+        // and losses under contention retry rather than drop.
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets[..=self.bounds.len()]
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// The finite bucket bounds.
+    pub fn bounds(&self) -> &'static [f64] {
+        self.bounds
+    }
+
+    /// Per-bucket (non-cumulative) counts; the last entry is the `+Inf`
+    /// overflow bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets[..=self.bounds.len()]
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Help text.
+    pub fn help(&self) -> &'static str {
+        self.help
+    }
+}
+
+/// A counter family keyed by one label (e.g. jobs done per worker).
+/// Mutex-guarded — use only off the hot path.
+pub struct Family {
+    name: &'static str,
+    help: &'static str,
+    label: &'static str,
+    cells: Mutex<BTreeMap<String, u64>>,
+}
+
+impl Family {
+    /// A new empty family whose series carry the `label` key.
+    pub const fn new(name: &'static str, help: &'static str, label: &'static str) -> Self {
+        Family {
+            name,
+            help,
+            label,
+            cells: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Adds `n` to the series for `key` (creating it at zero first).
+    pub fn add(&self, key: &str, n: u64) {
+        let mut cells = self.cells.lock().expect("family mutex poisoned");
+        *cells.entry(key.to_string()).or_insert(0) += n;
+    }
+
+    /// Adds one to the series for `key`.
+    pub fn inc(&self, key: &str) {
+        self.add(key, 1);
+    }
+
+    /// Current value for `key` (zero when absent).
+    pub fn get(&self, key: &str) -> u64 {
+        self.cells
+            .lock()
+            .expect("family mutex poisoned")
+            .get(key)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// A sorted snapshot of all series.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        self.cells
+            .lock()
+            .expect("family mutex poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// The label key its series carry.
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// Metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Help text.
+    pub fn help(&self) -> &'static str {
+        self.help
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucket_placement_uses_le_semantics() {
+        static H: Histogram = Histogram::new("t_place", "t", &[1.0, 2.0]);
+        H.observe(1.0); // le="1"
+        H.observe(1.5); // le="2"
+        H.observe(2.0); // le="2" (boundary is inclusive)
+        H.observe(9.0); // +Inf
+        assert_eq!(H.bucket_counts(), vec![1, 2, 1]);
+        assert_eq!(H.count(), 4);
+        assert!((H.sum() - 13.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauge_sub_saturates() {
+        static G: Gauge = Gauge::new("t_gauge", "t");
+        G.set(3);
+        G.sub(10);
+        assert_eq!(G.get(), 0);
+    }
+
+    #[test]
+    fn family_accumulates_per_key() {
+        static F: Family = Family::new("t_family_total", "t", "worker");
+        F.inc("a");
+        F.add("a", 2);
+        F.inc("b");
+        assert_eq!(F.get("a"), 3);
+        assert_eq!(F.get("b"), 1);
+        assert_eq!(F.get("c"), 0);
+        assert_eq!(
+            F.snapshot(),
+            vec![("a".to_string(), 3), ("b".to_string(), 1)]
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! The metric registry: a named, deduplicated list of `'static` metrics
+//! that the encoders walk. One process-wide [`global`] instance backs the
+//! scrape surfaces; tests construct private [`Registry`]s.
+
+use std::sync::Mutex;
+
+use crate::metric::{Counter, Family, Gauge, Histogram, MAX_BOUNDS};
+
+/// A reference to one registered metric.
+#[derive(Clone, Copy)]
+pub enum Metric {
+    /// A monotonic counter.
+    Counter(&'static Counter),
+    /// A settable gauge.
+    Gauge(&'static Gauge),
+    /// A fixed-bucket histogram.
+    Histogram(&'static Histogram),
+    /// A one-label counter family.
+    Family(&'static Family),
+}
+
+impl Metric {
+    /// The metric's exposition name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Metric::Counter(c) => c.name(),
+            Metric::Gauge(g) => g.name(),
+            Metric::Histogram(h) => h.name(),
+            Metric::Family(f) => f.name(),
+        }
+    }
+}
+
+/// An ordered, name-deduplicated collection of metrics.
+pub struct Registry {
+    metrics: Mutex<Vec<Metric>>,
+}
+
+impl Registry {
+    /// A new empty registry.
+    pub const fn new() -> Self {
+        Registry {
+            metrics: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Registers a batch of metrics, skipping names already present —
+    /// crates export their metric lists as `static` slices and callers
+    /// may register them more than once (bin + library paths). Panics on
+    /// a histogram with unsorted or oversized bounds: that is a
+    /// programmer error best caught at startup.
+    pub fn register(&self, batch: &[Metric]) {
+        let mut metrics = self.metrics.lock().expect("registry mutex poisoned");
+        for m in batch {
+            if let Metric::Histogram(h) = m {
+                assert!(
+                    h.bounds().len() <= MAX_BOUNDS,
+                    "histogram {} has {} bounds (max {MAX_BOUNDS})",
+                    h.name(),
+                    h.bounds().len()
+                );
+                assert!(
+                    h.bounds().windows(2).all(|w| w[0] < w[1]),
+                    "histogram {} bounds are not strictly ascending",
+                    h.name()
+                );
+            }
+            if metrics.iter().all(|e| e.name() != m.name()) {
+                metrics.push(*m);
+            }
+        }
+        metrics.sort_by_key(|m| m.name());
+    }
+
+    /// A snapshot of the registered metrics, sorted by name.
+    pub fn metrics(&self) -> Vec<Metric> {
+        self.metrics
+            .lock()
+            .expect("registry mutex poisoned")
+            .clone()
+    }
+
+    /// Renders Prometheus text exposition format 0.0.4.
+    pub fn render_prometheus(&self) -> String {
+        crate::encode::prometheus(&self.metrics())
+    }
+
+    /// Renders a single JSON object with the same data.
+    pub fn render_json(&self) -> String {
+        crate::encode::json(&self.metrics())
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+static GLOBAL: Registry = Registry::new();
+
+/// The process-wide registry behind `/metrics`, the `metrics` op and
+/// `--metrics-out`.
+pub fn global() -> &'static Registry {
+    &GLOBAL
+}

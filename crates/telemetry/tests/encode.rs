@@ -1,0 +1,172 @@
+//! Prometheus text encoder coverage: escaping, bucket cumulativity,
+//! scrape-to-scrape monotonicity, and a golden output for a populated
+//! registry. Each test uses its own statics so parallel execution cannot
+//! cross-contaminate counts.
+
+use rats_telemetry::{Counter, Family, Gauge, Histogram, Metric, Registry};
+
+#[test]
+fn help_and_label_escaping() {
+    static C: Counter = Counter::new("esc_counter_total", "line one\nline two \\ done");
+    static F: Family = Family::new("esc_family_total", "per-thing", "thing");
+    F.inc("quo\"te");
+    F.inc("back\\slash");
+    F.inc("new\nline");
+    let reg = Registry::new();
+    reg.register(&[Metric::Counter(&C), Metric::Family(&F)]);
+    let text = reg.render_prometheus();
+    assert!(
+        text.contains("# HELP esc_counter_total line one\\nline two \\\\ done"),
+        "help not escaped:\n{text}"
+    );
+    assert!(
+        text.contains("esc_family_total{thing=\"quo\\\"te\"} 1"),
+        "quote not escaped:\n{text}"
+    );
+    assert!(
+        text.contains("esc_family_total{thing=\"back\\\\slash\"} 1"),
+        "backslash not escaped:\n{text}"
+    );
+    assert!(
+        text.contains("esc_family_total{thing=\"new\\nline\"} 1"),
+        "newline not escaped:\n{text}"
+    );
+}
+
+#[test]
+fn histogram_buckets_are_cumulative_and_ordered() {
+    static H: Histogram = Histogram::new("cum_seconds", "cumulative", &[0.1, 1.0, 10.0]);
+    // 2 in le=0.1, 1 more in le=1, 0 in le=10, 3 in +Inf.
+    for v in [0.05, 0.1, 0.5, 11.0, 50.0, 100.0] {
+        H.observe(v);
+    }
+    let reg = Registry::new();
+    reg.register(&[Metric::Histogram(&H)]);
+    let text = reg.render_prometheus();
+
+    // Exact cumulative series, in le order, ending with +Inf == _count.
+    let lines: Vec<&str> = text
+        .lines()
+        .filter(|l| l.starts_with("cum_seconds_bucket"))
+        .collect();
+    assert_eq!(
+        lines,
+        vec![
+            "cum_seconds_bucket{le=\"0.1\"} 2",
+            "cum_seconds_bucket{le=\"1\"} 3",
+            "cum_seconds_bucket{le=\"10\"} 3",
+            "cum_seconds_bucket{le=\"+Inf\"} 6",
+        ]
+    );
+    assert!(text.contains("cum_seconds_count 6"));
+
+    // Cumulativity invariant holds mechanically: values never decrease.
+    let counts: Vec<u64> = lines
+        .iter()
+        .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+        .collect();
+    assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+}
+
+/// Pulls `name value` out of an exposition document.
+fn series_value(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .unwrap_or_else(|| panic!("series {name} missing"))
+        .rsplit(' ')
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn counters_are_monotone_across_scrapes() {
+    static C: Counter = Counter::new("mono_total", "monotone");
+    static H: Histogram = Histogram::new("mono_seconds", "monotone", &[1.0]);
+    let reg = Registry::new();
+    reg.register(&[Metric::Counter(&C), Metric::Histogram(&H)]);
+
+    let mut last_c = 0;
+    let mut last_h = 0;
+    for round in 0..5 {
+        C.add(round);
+        if round % 2 == 0 {
+            H.observe(0.5);
+        }
+        let text = reg.render_prometheus();
+        let c = series_value(&text, "mono_total");
+        let h = series_value(&text, "mono_seconds_count");
+        assert!(c >= last_c, "counter went backwards: {last_c} -> {c}");
+        assert!(
+            h >= last_h,
+            "histogram count went backwards: {last_h} -> {h}"
+        );
+        last_c = c;
+        last_h = h;
+    }
+    assert_eq!(last_c, 1 + 2 + 3 + 4);
+    assert_eq!(last_h, 3);
+}
+
+#[test]
+fn golden_output_for_populated_registry() {
+    static REQS: Counter = Counter::new("gold_requests_total", "Requests served.");
+    static RES: Gauge = Gauge::new("gold_resident_bytes", "Bytes held.");
+    static LAT: Histogram = Histogram::new("gold_latency_seconds", "Latency.", &[0.25, 2.5]);
+    static JOBS: Family = Family::new("gold_worker_jobs_total", "Jobs per worker.", "worker");
+
+    REQS.add(7);
+    RES.set(4096);
+    LAT.observe(0.25);
+    LAT.observe(1.0);
+    LAT.observe(9.0);
+    JOBS.add("w0", 2);
+    JOBS.add("w1", 1);
+
+    let reg = Registry::new();
+    // Registration order is irrelevant: the registry sorts by name.
+    reg.register(&[
+        Metric::Family(&JOBS),
+        Metric::Counter(&REQS),
+        Metric::Histogram(&LAT),
+        Metric::Gauge(&RES),
+    ]);
+
+    let golden = "\
+# HELP gold_latency_seconds Latency.
+# TYPE gold_latency_seconds histogram
+gold_latency_seconds_bucket{le=\"0.25\"} 1
+gold_latency_seconds_bucket{le=\"2.5\"} 2
+gold_latency_seconds_bucket{le=\"+Inf\"} 3
+gold_latency_seconds_sum 10.25
+gold_latency_seconds_count 3
+# HELP gold_requests_total Requests served.
+# TYPE gold_requests_total counter
+gold_requests_total 7
+# HELP gold_resident_bytes Bytes held.
+# TYPE gold_resident_bytes gauge
+gold_resident_bytes 4096
+# HELP gold_worker_jobs_total Jobs per worker.
+# TYPE gold_worker_jobs_total counter
+gold_worker_jobs_total{worker=\"w0\"} 2
+gold_worker_jobs_total{worker=\"w1\"} 1
+";
+    assert_eq!(reg.render_prometheus(), golden);
+
+    let json = reg.render_json();
+    assert!(json.contains("\"gold_requests_total\":7"));
+    assert!(json.contains("\"gold_resident_bytes\":4096"));
+    assert!(json.contains("{\"le\":\"+Inf\",\"count\":3}"));
+    assert!(json.contains("\"w0\":2"));
+}
+
+#[test]
+fn duplicate_registration_is_idempotent() {
+    static C: Counter = Counter::new("dup_total", "dup");
+    let reg = Registry::new();
+    reg.register(&[Metric::Counter(&C)]);
+    reg.register(&[Metric::Counter(&C)]);
+    let text = reg.render_prometheus();
+    assert_eq!(text.matches("# TYPE dup_total counter").count(), 1);
+}

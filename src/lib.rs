@@ -25,6 +25,10 @@
 //! * [`journal`] — append-only, hash-chained campaign event journal with
 //!   deterministic replay and cross-run diff (the `campaign replay` and
 //!   `campaign diff` subcommands),
+//! * [`telemetry`] — process-wide metrics registry (counters, gauges,
+//!   histograms) and RAII phase spans, rendered as Prometheus text or
+//!   JSON (the `campaign profile` subcommand and the server's
+//!   `/metrics` endpoint),
 //! * [`dispatch`] — fault-tolerant multi-worker dispatch of those shards
 //!   over a filesystem work queue (host inventories, lease heartbeats,
 //!   shared scenario cache; the `campaign dispatch` subcommand).
@@ -74,6 +78,7 @@ pub use rats_redist as redist;
 pub use rats_sched as sched;
 pub use rats_sim as sim;
 pub use rats_simnet as simnet;
+pub use rats_telemetry as telemetry;
 pub use rats_workloads as workloads;
 
 mod pipeline;
